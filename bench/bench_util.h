@@ -1,0 +1,69 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the Table 1 timing parameters and its scale factor,
+// then one aligned table (and optionally CSV) with the same series the
+// paper's figure plots. Scale can be overridden with --scale=N; larger N is
+// faster and coarser. Timings never scale (DESIGN.md §5).
+#ifndef FLASHSIM_BENCH_BENCH_UTIL_H_
+#define FLASHSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/util/table.h"
+
+namespace flashsim {
+
+// Default scale for bench runs: 8 GB RAM -> 64 MiB, 64 GB flash -> 512 MiB,
+// an 80 GB working-set trace issues ~650k block I/Os (~1 s of host time).
+constexpr uint64_t kDefaultBenchScale = 128;
+
+struct BenchOptions {
+  uint64_t scale = kDefaultBenchScale;
+  bool csv = false;
+};
+
+inline BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      options.scale = std::strtoull(argv[i] + 8, nullptr, 10);
+      if (options.scale == 0) {
+        options.scale = 1;
+      }
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      options.csv = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--scale=N] [--csv]\n", argv[0]);
+    }
+  }
+  return options;
+}
+
+inline void PrintTable(const Table& table, const BenchOptions& options) {
+  if (options.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.PrintAligned(std::cout);
+  }
+}
+
+// The working-set sizes (paper GB units) used by the WSS-sweep figures.
+inline std::vector<double> WorkingSetSweepGib() {
+  return {5, 10, 20, 40, 60, 80, 120, 160, 240, 320, 480, 640};
+}
+
+inline ExperimentParams BaselineParams(const BenchOptions& options) {
+  ExperimentParams params;
+  params.scale = options.scale;
+  return params;
+}
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_BENCH_BENCH_UTIL_H_

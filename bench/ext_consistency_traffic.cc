@@ -1,0 +1,45 @@
+// Extension bench: what the paper's free-invalidation assumption hides.
+//
+// §3.8 counts invalidations but does not charge their protocol traffic.
+// This bench reruns the Fig 11 worst case (two hosts, one shared working
+// set) under three traffic models — free (the paper), asynchronous
+// messages, and blocking (the writer waits for acknowledgements) — to
+// quantify how much of the write-latency advantage of client flash caching
+// survives a real consistency protocol.
+//
+// Expected shape: async messaging is nearly free (small packets on
+// otherwise idle links); blocking invalidation adds a network round trip to
+// every invalidating write, which at high sharing rates erases the
+// "writes at RAM speed" property.
+#include "bench/bench_util.h"
+
+using namespace flashsim;
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  ExperimentParams base = BaselineParams(options);
+  base.hosts = 2;
+  base.shared_working_set = true;
+  base.working_set_gib = 60.0;
+  PrintExperimentHeader("Extension: consistency protocol traffic (2 hosts, shared set)", base);
+
+  const InvalidationTraffic models[] = {InvalidationTraffic::kNone, InvalidationTraffic::kAsync,
+                                        InvalidationTraffic::kBlocking};
+  Table table({"write_pct", "traffic_model", "write_us", "read_us", "invalidation_pct",
+               "messages"});
+  for (int write_pct : {10, 30, 60, 90}) {
+    for (InvalidationTraffic model : models) {
+      ExperimentParams params = base;
+      params.write_fraction = write_pct / 100.0;
+      params.invalidation_traffic = model;
+      const Metrics m = RunExperiment(params).metrics;
+      table.AddRow({Table::Cell(static_cast<int64_t>(write_pct)),
+                    InvalidationTrafficName(model), Table::Cell(m.mean_write_us(), 2),
+                    Table::Cell(m.mean_read_us(), 2),
+                    Table::Cell(100.0 * m.invalidation_rate(), 1),
+                    Table::Cell(m.invalidation_messages)});
+    }
+  }
+  PrintTable(table, options);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Extension bench: persistent-cache recovery time (§7.8 deferred this).
+//
+// Prints, across flash cache sizes, the time to rebuild the cache index by
+// scanning on-flash metadata against the alternative of refilling the
+// resident blocks from the filer — and therefore how long the cache is
+// offline for consistency purposes after a reboot (§3.8's concern).
+#include "bench/bench_util.h"
+#include "src/core/recovery.h"
+
+using namespace flashsim;
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintExperimentHeader("Extension: persistent cache recovery time", BaselineParams(options));
+
+  Table table({"flash_gib", "metadata_pages", "scan", "refill", "speedup_x"});
+  for (double flash_gib : {8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
+    RecoveryParams params;
+    params.flash_blocks = static_cast<uint64_t>(flash_gib * static_cast<double>(kGiB)) / 4096;
+    params.occupancy = 0.95;
+    const RecoveryEstimate estimate = EstimateRecovery(params, TimingModel{});
+    table.AddRow({Table::Cell(flash_gib, 0), Table::Cell(estimate.metadata_pages),
+                  FormatDuration(estimate.scan_time_ns), FormatDuration(estimate.refill_time_ns),
+                  Table::Cell(estimate.speedup(), 1)});
+  }
+  PrintTable(table, options);
+  std::printf(
+      "\nWhile the scan runs the cache cannot answer invalidations (§3.8); the scan\n"
+      "column is therefore also the consistency-unavailability window after reboot.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 4: read latency as a function of working set size for flash cache
+// sizes of none, 32 GB, 64 GB, and 128 GB (8 GB RAM throughout).
+//
+// Expected shape (§7.2): dramatic improvement when the working set fits in
+// flash; flash still helps when the working set far exceeds it, because
+// flash hits avoid the occasional multi-millisecond slow filer read; the
+// no-flash line plateaus near 0.9*fast + 0.1*slow (~900 us).
+#include "bench/bench_util.h"
+
+using namespace flashsim;
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  ExperimentParams base = BaselineParams(options);
+  PrintExperimentHeader("Fig 4: flash vs. no flash across working set sizes", base);
+
+  const double flash_sizes[] = {0, 32, 64, 128};
+  Table table({"ws_gib", "flash_gib", "read_us", "ram_hit_pct", "flash_hit_pct",
+               "filer_pct", "write_us"});
+  for (double ws : WorkingSetSweepGib()) {
+    for (double flash : flash_sizes) {
+      ExperimentParams params = base;
+      params.working_set_gib = ws;
+      params.flash_gib = flash;
+      const Metrics m = RunExperiment(params).metrics;
+      table.AddRow({Table::Cell(ws, 0), Table::Cell(flash, 0),
+                    Table::Cell(m.mean_read_us(), 2), Table::Cell(100.0 * m.ram_hit_rate(), 1),
+                    Table::Cell(100.0 * m.flash_hit_rate(), 1),
+                    Table::Cell(100.0 * m.filer_read_rate(), 1),
+                    Table::Cell(m.mean_write_us(), 2)});
+    }
+  }
+  PrintTable(table, options);
+  return 0;
+}

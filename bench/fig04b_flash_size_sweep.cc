@@ -1,0 +1,26 @@
+// §7.4: flash cache size sweep at a fixed workload (the paper describes the
+// result — read latency falls as more of the working set fits, bottoming
+// out at flash latency once the whole set fits — but omits the graph; this
+// bench regenerates the series anyway).
+#include "bench/bench_util.h"
+
+using namespace flashsim;
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  ExperimentParams base = BaselineParams(options);
+  base.working_set_gib = 80.0;
+  PrintExperimentHeader("§7.4: flash cache size sweep (80 GB working set)", base);
+
+  Table table({"flash_gib", "read_us", "flash_hit_pct", "filer_pct"});
+  for (double flash : {0.0, 8.0, 16.0, 32.0, 48.0, 64.0, 96.0, 128.0, 192.0}) {
+    ExperimentParams params = base;
+    params.flash_gib = flash;
+    const Metrics m = RunExperiment(params).metrics;
+    table.AddRow({Table::Cell(flash, 0), Table::Cell(m.mean_read_us(), 2),
+                  Table::Cell(100.0 * m.flash_hit_rate(), 1),
+                  Table::Cell(100.0 * m.filer_read_rate(), 1)});
+  }
+  PrintTable(table, options);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 5: the filer read-ahead sensitivity bound (§7.3).
+//
+// A large client cache may starve the filer's prefetcher of the sequential
+// read stream it learns from. The paper bounds the effect by running each
+// configuration at an 80% ("pessimal") and a 95% ("optimistic") filer
+// fast-read rate, with and without a 64 GB flash.
+//
+// Expected shape: application read latency is dominated by slow filer
+// reads, so the two prefetch rates separate the curves dramatically; if
+// adding flash drops the filer from 95% to 80%, flash only pays off in the
+// pocket of working sets that fit in flash but not RAM.
+#include "bench/bench_util.h"
+
+using namespace flashsim;
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  ExperimentParams base = BaselineParams(options);
+  PrintExperimentHeader("Fig 5: filer prefetch-rate bound", base);
+
+  Table table({"ws_gib", "flash_gib", "prefetch_pct", "read_us", "filer_pct"});
+  for (double ws : WorkingSetSweepGib()) {
+    for (double flash : {0.0, 64.0}) {
+      for (double prefetch : {0.80, 0.95}) {
+        ExperimentParams params = base;
+        params.working_set_gib = ws;
+        params.flash_gib = flash;
+        params.timing.filer_fast_read_rate = prefetch;
+        const Metrics m = RunExperiment(params).metrics;
+        table.AddRow({Table::Cell(ws, 0), Table::Cell(flash, 0),
+                      Table::Cell(100.0 * prefetch, 0), Table::Cell(m.mean_read_us(), 2),
+                      Table::Cell(100.0 * m.filer_read_rate(), 1)});
+      }
+    }
+  }
+  PrintTable(table, options);
+  return 0;
+}

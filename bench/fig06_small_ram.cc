@@ -1,0 +1,60 @@
+// Figures 6: read and write latency with tiny RAM caches (64 GB flash,
+// working sets of 60 and 80 GB), under the asynchronous write-through (a)
+// and 1-second periodic (p1) RAM policies.
+//
+// Expected shape (§7.5): the zero-RAM configuration performs poorly, but a
+// tiny RAM buffer (256 KB at full scale with policy "a") already writes at
+// RAM speed, and a small cache (~64 MB) reads nearly as well as the full
+// 8 GB — with a huge flash, RAM only needs to be a speed-matching write
+// buffer. Under p1, the smallest caches fill with dirty blocks between
+// syncer runs and degrade.
+//
+// RAM sizes are in *paper* bytes and scale with --scale like every other
+// capacity; rows whose scaled size rounds to zero blocks coincide with the
+// "0" row.
+#include "bench/bench_util.h"
+
+using namespace flashsim;
+
+namespace {
+
+void RunSweep(const BenchOptions& options, double ws_gib) {
+  ExperimentParams base = BaselineParams(options);
+  base.working_set_gib = ws_gib;
+  std::printf("\n--- working set %.0f GB ---\n", ws_gib);
+
+  const uint64_t ram_sizes[] = {0,
+                                64 * kKiB,
+                                256 * kKiB,
+                                kMiB,
+                                4 * kMiB,
+                                16 * kMiB,
+                                64 * kMiB,
+                                256 * kMiB,
+                                kGiB,
+                                4 * kGiB,
+                                8 * kGiB};
+  Table table({"ram", "policy", "read_us", "write_us", "ram_hit_pct", "sync_ram_evictions"});
+  for (uint64_t ram_bytes : ram_sizes) {
+    for (WritebackPolicy policy : {WritebackPolicy::kPeriodic1, WritebackPolicy::kAsync}) {
+      ExperimentParams params = base;
+      params.ram_gib = static_cast<double>(ram_bytes) / static_cast<double>(kGiB);
+      params.ram_policy = policy;
+      const Metrics m = RunExperiment(params).metrics;
+      table.AddRow({FormatSize(ram_bytes), PolicyName(policy), Table::Cell(m.mean_read_us(), 2),
+                    Table::Cell(m.mean_write_us(), 2), Table::Cell(100.0 * m.ram_hit_rate(), 1),
+                    Table::Cell(m.stack_totals.sync_ram_evictions)});
+    }
+  }
+  PrintTable(table, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintExperimentHeader("Fig 6: small RAM caches over a 64 GB flash", BaselineParams(options));
+  RunSweep(options, 60.0);
+  RunSweep(options, 80.0);
+  return 0;
+}

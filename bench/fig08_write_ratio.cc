@@ -1,0 +1,34 @@
+// Figure 8: read/write latency as a function of the write percentage
+// (60 and 80 GB working sets, baseline caches and policies).
+//
+// Expected shape (§7.6): read latency is stable across the sweep; write
+// latency stays at RAM speed until very high write rates, where the
+// 1-second RAM syncer falls behind, RAM fills with dirty blocks, and
+// synchronous evictions expose the flash write latency. The paper tells
+// readers to take the >90% region with a grain of salt.
+#include "bench/bench_util.h"
+
+using namespace flashsim;
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  ExperimentParams base = BaselineParams(options);
+  PrintExperimentHeader("Fig 8: sensitivity to the write percentage", base);
+
+  Table table({"write_pct", "ws_gib", "read_us", "write_us", "sync_ram_evictions",
+               "invalidation_pct"});
+  for (int write_pct = 0; write_pct <= 100; write_pct += 10) {
+    for (double ws : {60.0, 80.0}) {
+      ExperimentParams params = base;
+      params.working_set_gib = ws;
+      params.write_fraction = write_pct / 100.0;
+      const Metrics m = RunExperiment(params).metrics;
+      table.AddRow({Table::Cell(static_cast<int64_t>(write_pct)), Table::Cell(ws, 0),
+                    Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2),
+                    Table::Cell(m.stack_totals.sync_ram_evictions),
+                    Table::Cell(100.0 * m.invalidation_rate(), 1)});
+    }
+  }
+  PrintTable(table, options);
+  return 0;
+}

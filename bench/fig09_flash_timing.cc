@@ -1,0 +1,39 @@
+// Figure 9: application read latency across a range of flash read times
+// (write times scaled proportionally, 21/88 of the read time), for all
+// three architectures and both baseline working sets. The leftmost point
+// approximates phase-change memory.
+//
+// Expected shape (§7.7): application read latency scales linearly in the
+// flash read time wherever flash latency is on the path; when the working
+// set fits in flash the architectures coincide, and when it falls out the
+// unified architecture's larger effective capacity gives it the edge.
+#include "bench/bench_util.h"
+
+using namespace flashsim;
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  ExperimentParams base = BaselineParams(options);
+  PrintExperimentHeader("Fig 9: sensitivity to flash timings", base);
+
+  const int flash_read_us[] = {1, 12, 25, 37, 50, 62, 75, 88, 100};
+  Table table({"flash_read_us", "arch", "ws_gib", "read_us", "write_us"});
+  for (int read_us : flash_read_us) {
+    for (Architecture arch : kAllArchitectures) {
+      for (double ws : {60.0, 80.0}) {
+        ExperimentParams params = base;
+        params.arch = arch;
+        params.working_set_gib = ws;
+        params.timing.flash_read_ns = static_cast<SimDuration>(read_us) * kMicrosecond;
+        params.timing.flash_write_ns =
+            static_cast<SimDuration>(read_us) * kMicrosecond * 21 / 88;
+        const Metrics m = RunExperiment(params).metrics;
+        table.AddRow({Table::Cell(static_cast<int64_t>(read_us)), ArchitectureName(arch),
+                      Table::Cell(ws, 0), Table::Cell(m.mean_read_us(), 2),
+                      Table::Cell(m.mean_write_us(), 2)});
+      }
+    }
+  }
+  PrintTable(table, options);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig 10 companion: the warming curve behind the persistence result.
+//
+// Fig 10 reports steady-state averages for warmed vs. cold caches; this
+// bench shows the dynamics the averages integrate over — per-window mean
+// read latency as simulated time progresses after a cold start, against a
+// recovered (persistent) cache that starts warm. The cold cache's curve
+// decays toward the warm line as the flash refills; the area between the
+// curves is the cost of losing the cache.
+#include "bench/bench_util.h"
+#include "src/util/time_series.h"
+
+using namespace flashsim;
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  ExperimentParams base = BaselineParams(options);
+  base.working_set_gib = 60.0;  // fits the 64 GB flash: warming matters most
+  PrintExperimentHeader("Fig 10 companion: read latency vs. time after a cold start", base);
+
+  const SimDuration window = 500 * kMillisecond;
+  TimeSeriesRecorder warm_series(window);
+  TimeSeriesRecorder cold_series(window);
+
+  ExperimentParams warm = base;
+  warm.timing.persistent_flash = true;  // recovered cache
+  warm.read_latency_series = &warm_series;
+  RunExperiment(warm);
+
+  ExperimentParams cold = base;
+  cold.skip_warmup = true;  // crashed non-persistent cache
+  cold.read_latency_series = &cold_series;
+  RunExperiment(cold);
+
+  // The warm run's measured phase begins after its (uncounted) warmup
+  // executes; align both series to the first measured window so the x-axis
+  // is "time since measurement started".
+  const auto first_window = [](const TimeSeriesRecorder& series) {
+    for (size_t w = 0; w < series.num_windows(); ++w) {
+      if (series.window(w).count() > 0) {
+        return w;
+      }
+    }
+    return static_cast<size_t>(0);
+  };
+  const size_t warm_offset = first_window(warm_series);
+  const size_t cold_offset = first_window(cold_series);
+  const size_t windows = std::max(warm_series.num_windows() - warm_offset,
+                                  cold_series.num_windows() - cold_offset);
+
+  Table table({"time_s", "warm_read_us", "cold_read_us", "cold_penalty_x"});
+  for (size_t w = 0; w < windows; ++w) {
+    const size_t warm_index = w + warm_offset;
+    const size_t cold_index = w + cold_offset;
+    const double warm_us =
+        warm_index < warm_series.num_windows() ? warm_series.WindowMean(warm_index) / 1000.0
+                                               : 0.0;
+    const double cold_us =
+        cold_index < cold_series.num_windows() ? cold_series.WindowMean(cold_index) / 1000.0
+                                               : 0.0;
+    if (warm_us == 0.0 && cold_us == 0.0) {
+      continue;
+    }
+    table.AddRow({Table::Cell(static_cast<double>(warm_series.window_start(w)) / 1e9, 1),
+                  Table::Cell(warm_us, 2), Table::Cell(cold_us, 2),
+                  Table::Cell(warm_us > 0 ? cold_us / warm_us : 0.0, 2)});
+  }
+  PrintTable(table, options);
+  return 0;
+}

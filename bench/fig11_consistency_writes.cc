@@ -1,0 +1,37 @@
+// Figure 11: invalidations and read latency as a function of the write
+// percentage, with two hosts sharing one working set (the §7.9 worst case).
+//
+// Expected shape: with the 64 GB flash, a far larger fraction of block
+// writes requires invalidating the other host's copy than with RAM-only
+// caches (the flash retains shared blocks much longer), and read latency
+// rises with the invalidation rate because invalidated blocks must be
+// refetched from the filer.
+#include "bench/bench_util.h"
+
+using namespace flashsim;
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  ExperimentParams base = BaselineParams(options);
+  base.hosts = 2;
+  base.shared_working_set = true;
+  PrintExperimentHeader("Fig 11: consistency vs. write percentage (2 hosts, shared set)", base);
+
+  Table table({"write_pct", "ws_gib", "flash_gib", "invalidation_pct", "read_us", "write_us"});
+  for (int write_pct = 10; write_pct <= 100; write_pct += 10) {
+    for (double ws : {60.0, 80.0}) {
+      for (double flash : {0.0, 64.0}) {
+        ExperimentParams params = base;
+        params.working_set_gib = ws;
+        params.flash_gib = flash;
+        params.write_fraction = write_pct / 100.0;
+        const Metrics m = RunExperiment(params).metrics;
+        table.AddRow({Table::Cell(static_cast<int64_t>(write_pct)), Table::Cell(ws, 0),
+                      Table::Cell(flash, 0), Table::Cell(100.0 * m.invalidation_rate(), 1),
+                      Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2)});
+      }
+    }
+  }
+  PrintTable(table, options);
+  return 0;
+}

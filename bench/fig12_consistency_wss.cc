@@ -1,0 +1,33 @@
+// Figure 12: invalidations and read latency as a function of working set
+// size, at the baseline 30% writes, with two hosts sharing one working set.
+//
+// Expected shape: for working sets that fit in flash the invalidation rate
+// is high (both hosts cache everything); it falls off for out-of-cache
+// working sets, but far more slowly than with RAM-only caches, and read
+// latency tracks the extra refetches.
+#include "bench/bench_util.h"
+
+using namespace flashsim;
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  ExperimentParams base = BaselineParams(options);
+  base.hosts = 2;
+  base.shared_working_set = true;
+  PrintExperimentHeader("Fig 12: consistency vs. working set size (2 hosts, shared set)", base);
+
+  Table table({"ws_gib", "flash_gib", "invalidation_pct", "read_us"});
+  for (double ws : WorkingSetSweepGib()) {
+    for (double flash : {0.0, 64.0}) {
+      ExperimentParams params = base;
+      params.working_set_gib = ws;
+      params.flash_gib = flash;
+      const Metrics m = RunExperiment(params).metrics;
+      table.AddRow({Table::Cell(ws, 0), Table::Cell(flash, 0),
+                    Table::Cell(100.0 * m.invalidation_rate(), 1),
+                    Table::Cell(m.mean_read_us(), 2)});
+    }
+  }
+  PrintTable(table, options);
+  return 0;
+}

@@ -1,0 +1,222 @@
+// flashsim_cli: the full simulator behind one command line.
+//
+// Runs a synthetic workload (or a trace file) through any configuration the
+// library supports and prints the complete metrics. This is the adoption
+// surface for scripting parameter studies that the fixed benches don't
+// cover.
+//
+//   flashsim_cli [options]
+//     --trace=PATH            replay a trace file instead of generating
+//     --arch=naive|lookaside|unified
+//     --ram-policy=POL --flash-policy=POL      (s a p1 p5 p15 p30 n)
+//     --ram-gib=N --flash-gib=N --ws-gib=N --filer-tib=N
+//     --hosts=N --threads=N --write-pct=N --scale=N --seed=N
+//     --prefetch-pct=N        filer fast-read rate
+//     --flash-read-us=N --flash-write-us=N
+//     --persistent            doubled flash writes (recoverable cache)
+//     --cold                  skip warmup (crashed cache)
+//     --ftl                   FTL-backed flash device (GC, erases, TRIM)
+//     --invalidation=none|async|blocking
+//     --series-ms=N           print a read-latency time series
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/core/simulation.h"
+#include "src/trace/trace_file.h"
+#include "src/util/table.h"
+#include "src/util/time_series.h"
+
+using namespace flashsim;
+
+namespace {
+
+struct CliOptions {
+  ExperimentParams params;
+  std::string trace_path;
+  int64_t series_ms = 0;
+};
+
+bool ParseValue(const char* arg, const char* prefix, double* out) {
+  const size_t len = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, len) != 0) {
+    return false;
+  }
+  *out = std::strtod(arg + len, nullptr);
+  return true;
+}
+
+bool ParseString(const char* arg, const char* prefix, std::string* out) {
+  const size_t len = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, len) != 0) {
+    return false;
+  }
+  *out = arg + len;
+  return true;
+}
+
+int Usage(const char* prog) {
+  std::fprintf(stderr, "see the header comment of examples/flashsim_cli.cpp\n(%s)\n", prog);
+  return 1;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  ExperimentParams& params = options->params;
+  params.scale = 128;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    double value = 0;
+    std::string text;
+    if (ParseString(arg, "--trace=", &options->trace_path)) {
+    } else if (ParseString(arg, "--arch=", &text)) {
+      const auto arch = ParseArchitecture(text);
+      if (!arch) {
+        return false;
+      }
+      params.arch = *arch;
+    } else if (ParseString(arg, "--ram-policy=", &text)) {
+      const auto policy = ParsePolicy(text);
+      if (!policy) {
+        return false;
+      }
+      params.ram_policy = *policy;
+    } else if (ParseString(arg, "--flash-policy=", &text)) {
+      const auto policy = ParsePolicy(text);
+      if (!policy) {
+        return false;
+      }
+      params.flash_policy = *policy;
+    } else if (ParseString(arg, "--invalidation=", &text)) {
+      if (text == "none") {
+        params.invalidation_traffic = InvalidationTraffic::kNone;
+      } else if (text == "async") {
+        params.invalidation_traffic = InvalidationTraffic::kAsync;
+      } else if (text == "blocking") {
+        params.invalidation_traffic = InvalidationTraffic::kBlocking;
+      } else {
+        return false;
+      }
+    } else if (ParseValue(arg, "--ram-gib=", &params.ram_gib)) {
+    } else if (ParseValue(arg, "--flash-gib=", &params.flash_gib)) {
+    } else if (ParseValue(arg, "--ws-gib=", &params.working_set_gib)) {
+    } else if (ParseValue(arg, "--filer-tib=", &params.filer_tib)) {
+    } else if (ParseValue(arg, "--write-pct=", &value)) {
+      params.write_fraction = value / 100.0;
+    } else if (ParseValue(arg, "--prefetch-pct=", &value)) {
+      params.timing.filer_fast_read_rate = value / 100.0;
+    } else if (ParseValue(arg, "--flash-read-us=", &value)) {
+      params.timing.flash_read_ns = static_cast<SimDuration>(value * 1000.0);
+    } else if (ParseValue(arg, "--flash-write-us=", &value)) {
+      params.timing.flash_write_ns = static_cast<SimDuration>(value * 1000.0);
+    } else if (ParseValue(arg, "--hosts=", &value)) {
+      params.hosts = static_cast<int>(value);
+    } else if (ParseValue(arg, "--threads=", &value)) {
+      params.threads_per_host = static_cast<int>(value);
+    } else if (ParseValue(arg, "--scale=", &value)) {
+      params.scale = static_cast<uint64_t>(value);
+    } else if (ParseValue(arg, "--seed=", &value)) {
+      params.seed = static_cast<uint64_t>(value);
+    } else if (ParseValue(arg, "--series-ms=", &value)) {
+      options->series_ms = static_cast<int64_t>(value);
+    } else if (std::strcmp(arg, "--persistent") == 0) {
+      params.timing.persistent_flash = true;
+    } else if (std::strcmp(arg, "--cold") == 0) {
+      params.skip_warmup = true;
+    } else if (std::strcmp(arg, "--ftl") == 0) {
+      params.timing.use_ftl = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintMetrics(const Metrics& m) {
+  std::printf("\noperations: %llu (measured blocks: %llu read, %llu write; warmup %llu)\n",
+              static_cast<unsigned long long>(m.trace_records),
+              static_cast<unsigned long long>(m.measured_read_blocks),
+              static_cast<unsigned long long>(m.measured_write_blocks),
+              static_cast<unsigned long long>(m.warmup_blocks));
+  std::printf("reads : %s\n", m.read_latency.Summary().c_str());
+  std::printf("writes: %s\n", m.write_latency.Summary().c_str());
+  std::printf("read service: ram %.1f%%  flash %.1f%%  filer %.1f%% "
+              "(fast %llu / slow %llu)\n",
+              100.0 * m.ram_hit_rate(), 100.0 * m.flash_hit_rate(),
+              100.0 * m.filer_read_rate(), static_cast<unsigned long long>(m.filer_fast_reads),
+              static_cast<unsigned long long>(m.filer_slow_reads));
+  std::printf("writebacks to filer: %llu; sync evictions: %llu ram, %llu flash\n",
+              static_cast<unsigned long long>(m.stack_totals.filer_writebacks),
+              static_cast<unsigned long long>(m.stack_totals.sync_ram_evictions),
+              static_cast<unsigned long long>(m.stack_totals.sync_flash_evictions));
+  if (m.consistency_writes > 0) {
+    std::printf("consistency: %.1f%% of writes invalidate (%llu invalidations, "
+                "%llu protocol messages)\n",
+                100.0 * m.invalidation_rate(),
+                static_cast<unsigned long long>(m.invalidations),
+                static_cast<unsigned long long>(m.invalidation_messages));
+  }
+  if (m.ftl_enabled) {
+    std::printf("ftl: write amplification %.3f, %llu erases, %llu GC relocations\n",
+                m.ftl_write_amplification, static_cast<unsigned long long>(m.ftl_erases),
+                static_cast<unsigned long long>(m.ftl_gc_relocations));
+  }
+  std::printf("simulated time: %.3f s\n", static_cast<double>(m.end_time) / 1e9);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    return Usage(argv[0]);
+  }
+
+  std::unique_ptr<TimeSeriesRecorder> series;
+  if (options.series_ms > 0) {
+    series = std::make_unique<TimeSeriesRecorder>(options.series_ms * kMillisecond);
+    options.params.read_latency_series = series.get();
+  }
+
+  PrintExperimentHeader("flashsim_cli", options.params);
+  Metrics metrics;
+  if (!options.trace_path.empty()) {
+    std::string error;
+    auto source = FileTraceSource::Open(options.trace_path, &error);
+    if (source == nullptr) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    SimConfig config = BuildSimConfig(options.params);
+    std::printf("configuration: %s (trace: %s)\n", config.Summary().c_str(),
+                options.trace_path.c_str());
+    Simulation sim(config);
+    if (series != nullptr) {
+      sim.set_read_latency_series(series.get());
+    }
+    metrics = sim.Run(*source);
+  } else {
+    const ExperimentResult result = RunExperiment(options.params);
+    std::printf("configuration: %s\n", result.config.Summary().c_str());
+    metrics = result.metrics;
+  }
+  PrintMetrics(metrics);
+
+  if (series != nullptr) {
+    std::printf("\nread latency time series (%lld ms windows):\n",
+                static_cast<long long>(options.series_ms));
+    Table table({"window_start_s", "mean_read_us", "samples"});
+    for (size_t w = 0; w < series->num_windows(); ++w) {
+      if (series->window(w).count() == 0) {
+        continue;
+      }
+      table.AddRow({Table::Cell(static_cast<double>(series->window_start(w)) / 1e9, 2),
+                    Table::Cell(series->WindowMean(w) / 1000.0, 2),
+                    Table::Cell(series->window(w).count())});
+    }
+    table.PrintAligned(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Scenario: render-farm compute nodes with big flash and almost no RAM
+// reserved for file caching.
+//
+// The paper's most striking result (§7.5): with a large flash cache and a
+// workload much bigger than RAM, the file-system RAM cache can shrink to a
+// speed-matching write buffer — 256 KB! — freeing nearly all of memory for
+// the application (here: the renderer's scene data). This example plays a
+// render-farm-like workload (90% reads over a 80 GB texture/asset working
+// set) against decreasing RAM allocations, with and without the flash.
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/experiment.h"
+#include "src/util/table.h"
+
+using namespace flashsim;
+
+namespace {
+
+Metrics Run(uint64_t ram_bytes, double flash_gib) {
+  ExperimentParams params;
+  params.scale = 128;
+  params.working_set_gib = 80.0;
+  params.write_fraction = 0.10;  // renderers mostly read assets
+  params.ram_gib = static_cast<double>(ram_bytes) / static_cast<double>(kGiB);
+  params.flash_gib = flash_gib;
+  // Asynchronous write-through: the paper's recommendation for tiny RAM
+  // buffers (a periodic syncer can't keep a 256 KB buffer clean).
+  params.ram_policy = WritebackPolicy::kAsync;
+  return RunExperiment(params).metrics;
+}
+
+}  // namespace
+
+int main() {
+  ExperimentParams header;
+  header.scale = 128;
+  PrintExperimentHeader("render farm: shrinking the file-cache RAM under a 64 GB flash", header);
+
+  Table table({"file_cache_ram", "flash_gib", "read_us", "write_us",
+               "ram_freed_for_renderer"});
+  const uint64_t ram_sizes[] = {8 * kGiB, kGiB, 64 * kMiB, kMiB, 256 * kKiB};
+  for (uint64_t ram : ram_sizes) {
+    const Metrics m = Run(ram, 64.0);
+    table.AddRow({FormatSize(ram), "64", Table::Cell(m.mean_read_us(), 2),
+                  Table::Cell(m.mean_write_us(), 2), FormatSize(8 * kGiB - ram)});
+  }
+  // The cautionary tale: the same cut without flash.
+  for (uint64_t ram : {8 * kGiB, 256 * kKiB}) {
+    const Metrics m = Run(ram, 0.0);
+    table.AddRow({FormatSize(ram), "0", Table::Cell(m.mean_read_us(), 2),
+                  Table::Cell(m.mean_write_us(), 2), FormatSize(8 * kGiB - ram)});
+  }
+  table.PrintAligned(std::cout);
+
+  std::printf(
+      "\nWith the flash cache, cutting the file-cache RAM from 8 GB to 256 KB\n"
+      "barely moves read latency (the flash holds the working set) and writes\n"
+      "still land in RAM — nearly all 8 GB goes back to the renderer. Without\n"
+      "the flash, the same cut sends every read to the filer.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Scenario: two application servers sharing SAN-provided disk images.
+//
+// The paper's consistency analysis (§3.8, §7.9) targets exactly this
+// deployment: compute servers with client-side flash caches in front of a
+// shared filer. This example contrasts a private-data deployment (each host
+// has its own working set — the common case the paper concentrates on)
+// against the worst case where both hosts actively modify one shared
+// working set, and shows why write-through flash caches matter there: every
+// write a host buffers locally is a write the other host can read stale.
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/experiment.h"
+#include "src/util/table.h"
+
+using namespace flashsim;
+
+namespace {
+
+Metrics Run(bool shared, double write_pct) {
+  ExperimentParams params;
+  params.scale = 128;
+  params.hosts = 2;
+  params.working_set_gib = 60.0;
+  params.write_fraction = write_pct / 100.0;
+  params.shared_working_set = shared;
+  return RunExperiment(params).metrics;
+}
+
+}  // namespace
+
+int main() {
+  ExperimentParams header;
+  header.scale = 128;
+  PrintExperimentHeader("shared disk images: consistency traffic between two hosts", header);
+
+  Table table({"working_sets", "write_pct", "invalidation_pct", "invalidations", "read_us"});
+  for (double write_pct : {10.0, 30.0, 60.0}) {
+    for (bool shared : {false, true}) {
+      const Metrics m = Run(shared, write_pct);
+      table.AddRow({shared ? "one_shared" : "private_per_host", Table::Cell(write_pct, 0),
+                    Table::Cell(100.0 * m.invalidation_rate(), 1),
+                    Table::Cell(m.invalidations), Table::Cell(m.mean_read_us(), 2)});
+    }
+  }
+  table.PrintAligned(std::cout);
+
+  std::printf(
+      "\nWith private working sets, almost no write needs to invalidate a peer's\n"
+      "copy; with one shared set, most writes do — and the 64 GB flash makes it\n"
+      "worse than RAM-only caching ever was, because blocks stay cached (and so\n"
+      "stale-able) for far longer (§7.9). Read latency rises with the\n"
+      "invalidation rate because invalidated blocks must be refetched.\n");
+  return 0;
+}

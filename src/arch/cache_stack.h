@@ -1,0 +1,165 @@
+// Cache stack interface: one host's RAM + flash caching hierarchy (§3.3).
+//
+// A stack receives application block reads and writes, charges simulated
+// time against the host's devices and network link via timeline resources,
+// and returns the application-visible completion time. The three concrete
+// stacks implement the paper's architectures:
+//
+//   Naive     — flash is an independent tier below RAM; RAM is a subset of
+//               flash; dirty data moves RAM -> flash -> filer.
+//   Lookaside — Mercury-style: dirty data moves RAM -> filer, and the flash
+//               copy is refreshed after the filer write; flash never holds
+//               dirty data.
+//   Unified   — RAM and flash buffers on a single LRU chain; blocks are
+//               placed in the least-recently-used buffer regardless of
+//               medium and never migrate.
+#ifndef FLASHSIM_SRC_ARCH_CACHE_STACK_H_
+#define FLASHSIM_SRC_ARCH_CACHE_STACK_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/cache/lru_cache.h"
+#include "src/cache/policy.h"
+#include "src/device/background_writer.h"
+#include "src/device/flash_device.h"
+#include "src/device/ram_device.h"
+#include "src/device/remote_store.h"
+#include "src/sim/sim_time.h"
+#include "src/trace/record.h"
+
+namespace flashsim {
+
+// Where a read was satisfied; the filer levels also record whether its
+// read-ahead succeeded ("fast") or it went to disk ("slow").
+enum class HitLevel : uint8_t {
+  kRam = 0,
+  kFlash = 1,
+  kFilerFast = 2,
+  kFilerSlow = 3,
+};
+
+const char* HitLevelName(HitLevel level);
+
+// Receives block residency transitions for the consistency directory.
+class ResidencyListener {
+ public:
+  virtual ~ResidencyListener() = default;
+  virtual void OnCached(BlockKey key) = 0;
+  virtual void OnDropped(BlockKey key) = 0;
+};
+
+// Counters every stack maintains; all are block-granularity events.
+struct StackCounters {
+  uint64_t ram_hits = 0;
+  uint64_t flash_hits = 0;
+  uint64_t filer_reads = 0;
+  // Evictions whose writeback blocked the application (the §7.1 convoy).
+  uint64_t sync_ram_evictions = 0;
+  uint64_t sync_flash_evictions = 0;
+  uint64_t flash_installs = 0;     // data blocks written into the flash
+  uint64_t filer_writebacks = 0;   // blocks written back to the filer
+};
+
+struct StackConfig {
+  uint64_t ram_blocks = 0;
+  uint64_t flash_blocks = 0;
+  WritebackPolicy ram_policy = WritebackPolicy::kPeriodic1;
+  WritebackPolicy flash_policy = WritebackPolicy::kAsync;
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;  // §1: LRU throughout
+};
+
+class CacheStack {
+ public:
+  CacheStack(const StackConfig& config, RamDevice& ram_dev, FlashDevice& flash_dev,
+             RemoteStore& remote, BackgroundWriter& writer)
+      : config_(config),
+        ram_dev_(&ram_dev),
+        flash_dev_(&flash_dev),
+        remote_(&remote),
+        writer_(&writer) {}
+  virtual ~CacheStack() = default;
+
+  CacheStack(const CacheStack&) = delete;
+  CacheStack& operator=(const CacheStack&) = delete;
+
+  // Application block read/write starting at `now`; returns the time the
+  // application sees completion. Read reports where the block was found.
+  virtual SimTime Read(SimTime now, BlockKey key, HitLevel* level) = 0;
+  virtual SimTime Write(SimTime now, BlockKey key) = 0;
+
+  // Syncer interface. A periodic writeback policy is a syncer *thread*
+  // (§3.5) with one writeback in flight at a time; when it falls behind the
+  // dirty-production rate, dirty data accumulates — the paper observes
+  // exactly this at very high write rates (§7.6). Each call writes back the
+  // oldest dirty block of the tier and returns the completion time the
+  // syncer must wait for before its next writeback, or nullopt when the
+  // tier is clean — or when its oldest dirty block was dirtied after
+  // `dirtied_before` (the kDelayed1 extension flushes only mature blocks).
+  // For the unified stack "tier" means buffers of that medium.
+  virtual std::optional<SimTime> FlushOneRamBlock(SimTime now,
+                                                  SimTime dirtied_before = kSimTimeNever) = 0;
+  virtual std::optional<SimTime> FlushOneFlashBlock(SimTime now,
+                                                    SimTime dirtied_before = kSimTimeNever) = 0;
+
+  // Drains a tier completely with back-to-back sequential writebacks
+  // (test/shutdown convenience); returns the final completion time.
+  SimTime FlushAllRam(SimTime now) {
+    while (auto done = FlushOneRamBlock(now)) {
+      now = *done;
+    }
+    return now;
+  }
+  SimTime FlushAllFlash(SimTime now) {
+    while (auto done = FlushOneFlashBlock(now)) {
+      now = *done;
+    }
+    return now;
+  }
+
+  // Cache-consistency invalidation: drop every copy of `key` (stale data is
+  // discarded, not written back). No time is charged — the paper's
+  // directory acts instantly with global knowledge (§3.8).
+  virtual void Invalidate(BlockKey key) = 0;
+
+  // Whether any copy of `key` is resident (union of RAM and flash).
+  virtual bool Holds(BlockKey key) const = 0;
+
+  // Number of resident blocks at each tier (unified: per medium).
+  virtual uint64_t RamResident() const = 0;
+  virtual uint64_t FlashResident() const = 0;
+  virtual uint64_t DirtyBlocks() const = 0;
+
+  // Structure audit for tests; aborts on violation.
+  virtual void CheckInvariants() const = 0;
+
+  void set_residency_listener(ResidencyListener* listener) { listener_ = listener; }
+
+  const StackConfig& config() const { return config_; }
+  const StackCounters& counters() const { return counters_; }
+
+ protected:
+  void NotifyCached(BlockKey key) {
+    if (listener_ != nullptr) {
+      listener_->OnCached(key);
+    }
+  }
+  void NotifyDropped(BlockKey key) {
+    if (listener_ != nullptr) {
+      listener_->OnDropped(key);
+    }
+  }
+
+  StackConfig config_;
+  RamDevice* ram_dev_;
+  FlashDevice* flash_dev_;
+  RemoteStore* remote_;
+  BackgroundWriter* writer_;
+  ResidencyListener* listener_ = nullptr;
+  StackCounters counters_;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_ARCH_CACHE_STACK_H_

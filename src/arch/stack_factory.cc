@@ -1,0 +1,58 @@
+#include "src/arch/stack_factory.h"
+
+#include "src/arch/subset_stack.h"
+#include "src/arch/unified_stack.h"
+
+namespace flashsim {
+
+const char* HitLevelName(HitLevel level) {
+  switch (level) {
+    case HitLevel::kRam:
+      return "ram";
+    case HitLevel::kFlash:
+      return "flash";
+    case HitLevel::kFilerFast:
+      return "filer-fast";
+    case HitLevel::kFilerSlow:
+      return "filer-slow";
+  }
+  return "?";
+}
+
+const char* ArchitectureName(Architecture arch) {
+  switch (arch) {
+    case Architecture::kNaive:
+      return "naive";
+    case Architecture::kLookaside:
+      return "lookaside";
+    case Architecture::kUnified:
+      return "unified";
+  }
+  return "?";
+}
+
+std::optional<Architecture> ParseArchitecture(const std::string& name) {
+  for (Architecture arch : kAllArchitectures) {
+    if (name == ArchitectureName(arch)) {
+      return arch;
+    }
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<CacheStack> MakeCacheStack(Architecture arch, const StackConfig& config,
+                                           RamDevice& ram_dev, FlashDevice& flash_dev,
+                                           RemoteStore& remote, BackgroundWriter& writer) {
+  switch (arch) {
+    case Architecture::kNaive:
+      return std::make_unique<NaiveStack>(config, ram_dev, flash_dev, remote, writer);
+    case Architecture::kLookaside:
+      return std::make_unique<LookasideStack>(config, ram_dev, flash_dev, remote, writer);
+    case Architecture::kUnified:
+      return std::make_unique<UnifiedStack>(config, ram_dev, flash_dev, remote, writer);
+  }
+  FLASHSIM_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,32 @@
+// Architecture selection and construction.
+#ifndef FLASHSIM_SRC_ARCH_STACK_FACTORY_H_
+#define FLASHSIM_SRC_ARCH_STACK_FACTORY_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/arch/cache_stack.h"
+
+namespace flashsim {
+
+enum class Architecture : uint8_t {
+  kNaive = 0,
+  kLookaside = 1,
+  kUnified = 2,
+};
+
+constexpr std::array<Architecture, 3> kAllArchitectures = {
+    Architecture::kNaive, Architecture::kLookaside, Architecture::kUnified};
+
+const char* ArchitectureName(Architecture arch);
+std::optional<Architecture> ParseArchitecture(const std::string& name);
+
+std::unique_ptr<CacheStack> MakeCacheStack(Architecture arch, const StackConfig& config,
+                                           RamDevice& ram_dev, FlashDevice& flash_dev,
+                                           RemoteStore& remote, BackgroundWriter& writer);
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_ARCH_STACK_FACTORY_H_

@@ -1,0 +1,294 @@
+#include "src/arch/subset_stack.h"
+
+namespace flashsim {
+
+SubsetStackBase::SubsetStackBase(const StackConfig& config, RamDevice& ram_dev,
+                                 FlashDevice& flash_dev, RemoteStore& remote,
+                                 BackgroundWriter& writer)
+    : CacheStack(config, ram_dev, flash_dev, remote, writer),
+      ram_("ram", config.ram_blocks, 0, config.replacement),
+      flash_("flash", 0, config.flash_blocks, config.replacement) {}
+
+SimTime SubsetStackBase::Read(SimTime now, BlockKey key, HitLevel* level) {
+  SimTime t = now;
+  if (HasRam()) {
+    const uint32_t slot = ram_.Lookup(key);
+    if (slot != kInvalidSlot) {
+      ram_.Touch(slot);
+      ++counters_.ram_hits;
+      *level = HitLevel::kRam;
+      return ram_dev_->Read(t);
+    }
+  }
+  if (HasFlash()) {
+    const uint32_t fslot = flash_.Lookup(key);
+    if (fslot != kInvalidSlot) {
+      flash_.Touch(fslot);
+      ++counters_.flash_hits;
+      t = flash_dev_->Read(t, key);
+      if (HasRam()) {
+        t = InstallInRam(t, key, nullptr);
+      }
+      *level = HitLevel::kFlash;
+      return t;
+    }
+  }
+  // Miss: fetch from the filer.
+  bool fast = true;
+  t = remote_->Read(t, &fast);
+  ++counters_.filer_reads;
+  if (HasFlash()) {
+    uint32_t fslot = kInvalidSlot;
+    t = EnsureFlashSlot(t, key, &fslot);
+    // Install the data into the flash asynchronously: the application gets
+    // the data as soon as it arrives; the flash write is hidden (§7.1) but
+    // occupies the device.
+    flash_dev_->Write(t, key);
+    ++counters_.flash_installs;
+  }
+  if (HasRam()) {
+    t = InstallInRam(t, key, nullptr);
+  }
+  *level = fast ? HitLevel::kFilerFast : HitLevel::kFilerSlow;
+  return t;
+}
+
+SimTime SubsetStackBase::Write(SimTime now, BlockKey key) {
+  SimTime t = now;
+  if (!HasRam()) {
+    if (!HasFlash()) {
+      // No caching at all: synchronous filer write.
+      ++counters_.filer_writebacks;
+      return remote_->Write(t);
+    }
+    return WriteWithoutRam(t, key);
+  }
+  uint32_t slot = ram_.Lookup(key);
+  if (slot == kInvalidSlot) {
+    if (HasFlash()) {
+      // Subset invariant: the block enters the flash index before RAM.
+      uint32_t fslot = kInvalidSlot;
+      t = EnsureFlashSlot(t, key, &fslot);
+    }
+    t = InstallInRam(t, key, &slot);
+  } else {
+    ram_.Touch(slot);
+    t = ram_dev_->Write(t);
+  }
+  switch (config_.ram_policy) {
+    case WritebackPolicy::kSync:
+      // Blocks the application until the tier below acknowledges.
+      t = WritebackFromRam(t, key, /*requester_waits=*/true);
+      break;
+    case WritebackPolicy::kAsync:
+      // Issued immediately; the application does not wait.
+      WritebackFromRam(t, key, /*requester_waits=*/false);
+      break;
+    default:
+      ram_.MarkDirty(slot, t);
+      break;
+  }
+  return t;
+}
+
+SimTime SubsetStackBase::EnsureFlashSlot(SimTime t, BlockKey key, uint32_t* slot_out) {
+  FLASHSIM_DCHECK(HasFlash());
+  uint32_t slot = flash_.Lookup(key);
+  if (slot != kInvalidSlot) {
+    flash_.Touch(slot);
+    *slot_out = slot;
+    return t;
+  }
+  std::optional<EvictedBlock> evicted;
+  slot = flash_.Insert(key, /*dirty=*/false, &evicted);
+  if (evicted.has_value()) {
+    // Subset maintenance: the evicted block leaves RAM too. If either copy
+    // was dirty, its newest data must reach the filer before the buffer is
+    // reused — a synchronous eviction charged to the requester.
+    bool ram_copy_dirty = false;
+    if (HasRam()) {
+      EvictedBlock ram_copy;
+      if (ram_.Remove(evicted->key, &ram_copy)) {
+        ram_copy_dirty = ram_copy.dirty;
+      }
+    }
+    if (evicted->dirty || ram_copy_dirty) {
+      ++counters_.sync_flash_evictions;
+      ++counters_.filer_writebacks;
+      t = remote_->Write(t);
+    }
+    flash_dev_->Trim(evicted->key);
+    NotifyDropped(evicted->key);
+  }
+  NotifyCached(key);
+  *slot_out = slot;
+  return t;
+}
+
+SimTime SubsetStackBase::InstallInRam(SimTime t, BlockKey key, uint32_t* slot_out) {
+  FLASHSIM_DCHECK(HasRam());
+  std::optional<EvictedBlock> evicted;
+  const uint32_t slot = ram_.Insert(key, /*dirty=*/false, &evicted);
+  if (evicted.has_value() && evicted->dirty) {
+    // Synchronous RAM eviction: the dirty victim's data must move down
+    // before its buffer is reused.
+    ++counters_.sync_ram_evictions;
+    t = WritebackFromRam(t, evicted->key, /*requester_waits=*/true);
+  }
+  if (!HasFlash()) {
+    // RAM is the union cache; track residency here.
+    if (evicted.has_value()) {
+      NotifyDropped(evicted->key);
+    }
+    NotifyCached(key);
+  }
+  if (slot_out != nullptr) {
+    *slot_out = slot;
+  }
+  return ram_dev_->Write(t);
+}
+
+SimTime SubsetStackBase::WritebackFromRam(SimTime t, BlockKey key, bool requester_waits) {
+  if (!HasFlash()) {
+    ++counters_.filer_writebacks;
+    if (requester_waits) {
+      return remote_->Write(t);
+    }
+    writer_->EnqueueFilerWrite(t, /*then_flash=*/false);
+    return t;
+  }
+  return WritebackFromRamToBelow(t, key, requester_waits);
+}
+
+std::optional<SimTime> SubsetStackBase::FlushOneRamBlock(SimTime now, SimTime dirtied_before) {
+  const uint32_t slot = ram_.OldestDirty(Medium::kRam);
+  if (slot == kInvalidSlot || ram_.dirtied_at(slot) > dirtied_before) {
+    return std::nullopt;
+  }
+  const BlockKey key = ram_.key_of(slot);
+  ram_.MarkClean(slot);
+  // The syncer thread paces itself on the writeback it just issued.
+  return WritebackFromRam(now, key, /*requester_waits=*/true);
+}
+
+void SubsetStackBase::Invalidate(BlockKey key) {
+  bool held = false;
+  if (HasRam()) {
+    held = ram_.Remove(key) || held;
+  }
+  if (HasFlash()) {
+    if (flash_.Remove(key)) {
+      flash_dev_->Trim(key);
+      held = true;
+    }
+  }
+  if (held) {
+    NotifyDropped(key);
+  }
+}
+
+bool SubsetStackBase::Holds(BlockKey key) const {
+  if (HasFlash()) {
+    return flash_.Lookup(key) != kInvalidSlot;
+  }
+  return ram_.Lookup(key) != kInvalidSlot;
+}
+
+void SubsetStackBase::CheckInvariants() const {
+  ram_.CheckInvariants();
+  flash_.CheckInvariants();
+  if (HasFlash()) {
+    // RAM must be a subset of flash (§3.3).
+    ram_.ForEach([&](BlockKey key, Medium, bool) {
+      FLASHSIM_CHECK(flash_.Lookup(key) != kInvalidSlot);
+    });
+  }
+}
+
+// ----------------------------------------------------------------------------
+// NaiveStack
+
+SimTime NaiveStack::ApplyFlashArrival(SimTime t, uint32_t slot, bool requester_waits) {
+  switch (config_.flash_policy) {
+    case WritebackPolicy::kSync:
+      ++counters_.filer_writebacks;
+      if (requester_waits) {
+        return remote_->Write(t);
+      }
+      writer_->EnqueueFilerWrite(t, /*then_flash=*/false);
+      return t;
+    case WritebackPolicy::kAsync:
+      ++counters_.filer_writebacks;
+      writer_->EnqueueFilerWrite(t, /*then_flash=*/false);
+      return t;
+    default:
+      flash_.MarkDirty(slot, t);
+      return t;
+  }
+}
+
+SimTime NaiveStack::WritebackFromRamToBelow(SimTime t, BlockKey key, bool requester_waits) {
+  // Subset invariant guarantees the flash slot exists.
+  const uint32_t slot = flash_.Lookup(key);
+  FLASHSIM_CHECK(slot != kInvalidSlot);
+  const SimTime tw = flash_dev_->Write(t, key);
+  ++counters_.flash_installs;
+  return ApplyFlashArrival(tw, slot, requester_waits);
+}
+
+SimTime NaiveStack::WriteWithoutRam(SimTime t, BlockKey key) {
+  uint32_t slot = kInvalidSlot;
+  t = EnsureFlashSlot(t, key, &slot);
+  // With no RAM buffer the application pays the flash write itself.
+  t = flash_dev_->Write(t, key);
+  ++counters_.flash_installs;
+  return ApplyFlashArrival(t, slot, /*requester_waits=*/true);
+}
+
+std::optional<SimTime> NaiveStack::FlushOneFlashBlock(SimTime now, SimTime dirtied_before) {
+  const uint32_t slot = flash_.OldestDirty(Medium::kFlash);
+  if (slot == kInvalidSlot || flash_.dirtied_at(slot) > dirtied_before) {
+    return std::nullopt;
+  }
+  flash_.MarkClean(slot);
+  ++counters_.filer_writebacks;
+  return remote_->Write(now);
+}
+
+// ----------------------------------------------------------------------------
+// LookasideStack
+
+SimTime LookasideStack::WritebackFromRamToBelow(SimTime t, BlockKey key, bool requester_waits) {
+  // Writes go directly from RAM to the filer; the flash copy is refreshed
+  // only after the filer write completes, so flash never holds dirty data.
+  ++counters_.filer_writebacks;
+  if (!requester_waits) {
+    writer_->EnqueueFilerWrite(t, /*then_flash=*/true, key);
+    ++counters_.flash_installs;
+    return t;
+  }
+  const SimTime tw = remote_->Write(t);
+  const uint32_t slot = flash_.Lookup(key);
+  if (slot != kInvalidSlot) {
+    flash_dev_->Write(tw, key);
+    ++counters_.flash_installs;
+  }
+  return tw;
+}
+
+SimTime LookasideStack::WriteWithoutRam(SimTime t, BlockKey key) {
+  ++counters_.filer_writebacks;
+  t = remote_->Write(t);
+  uint32_t slot = kInvalidSlot;
+  const SimTime after_evictions = EnsureFlashSlot(t, key, &slot);
+  flash_dev_->Write(after_evictions, key);
+  ++counters_.flash_installs;
+  return after_evictions;
+}
+
+std::optional<SimTime> LookasideStack::FlushOneFlashBlock(SimTime, SimTime) {
+  FLASHSIM_DCHECK(flash_.dirty_count() == 0);
+  return std::nullopt;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,150 @@
+#include "src/arch/unified_stack.h"
+
+namespace flashsim {
+
+UnifiedStack::UnifiedStack(const StackConfig& config, RamDevice& ram_dev,
+                           FlashDevice& flash_dev, RemoteStore& remote, BackgroundWriter& writer)
+    : CacheStack(config, ram_dev, flash_dev, remote, writer),
+      cache_("unified", config.ram_blocks, config.flash_blocks, config.replacement) {}
+
+SimTime UnifiedStack::InsertBlock(SimTime t, BlockKey key, uint32_t* slot_out) {
+  std::optional<EvictedBlock> evicted;
+  const uint32_t slot = cache_.Insert(key, /*dirty=*/false, &evicted);
+  if (slot == kInvalidSlot) {
+    // Zero-capacity cache: nothing was inserted.
+    *slot_out = slot;
+    return t;
+  }
+  if (evicted.has_value()) {
+    if (evicted->dirty) {
+      // Synchronous eviction: the victim's data must reach the filer before
+      // its buffer is reused.
+      ++counters_.sync_flash_evictions;
+      ++counters_.filer_writebacks;
+      t = remote_->Write(t);
+    }
+    flash_dev_->Trim(evicted->key);
+    NotifyDropped(evicted->key);
+  }
+  NotifyCached(key);
+  *slot_out = slot;
+  return t;
+}
+
+SimTime UnifiedStack::Read(SimTime now, BlockKey key, HitLevel* level) {
+  SimTime t = now;
+  uint32_t slot = cache_.Lookup(key);
+  if (slot != kInvalidSlot) {
+    cache_.Touch(slot);
+    if (cache_.medium_of(slot) == Medium::kRam) {
+      ++counters_.ram_hits;
+      *level = HitLevel::kRam;
+      return ram_dev_->Read(t);
+    }
+    ++counters_.flash_hits;
+    *level = HitLevel::kFlash;
+    return flash_dev_->Read(t, key);
+  }
+  bool fast = true;
+  t = remote_->Read(t, &fast);
+  ++counters_.filer_reads;
+  t = InsertBlock(t, key, &slot);
+  if (slot != kInvalidSlot) {
+    if (cache_.medium_of(slot) == Medium::kRam) {
+      t = ram_dev_->Write(t);
+    } else {
+      // Flash install is asynchronous on reads; the data has already
+      // arrived from the filer, the flash copy trails behind.
+      flash_dev_->Write(t, key);
+      ++counters_.flash_installs;
+    }
+  }
+  *level = fast ? HitLevel::kFilerFast : HitLevel::kFilerSlow;
+  return t;
+}
+
+SimTime UnifiedStack::Write(SimTime now, BlockKey key) {
+  SimTime t = now;
+  uint32_t slot = cache_.Lookup(key);
+  if (slot == kInvalidSlot) {
+    t = InsertBlock(t, key, &slot);
+    if (slot == kInvalidSlot) {
+      // Zero-capacity cache: synchronous filer write.
+      ++counters_.filer_writebacks;
+      return remote_->Write(t);
+    }
+  } else {
+    cache_.Touch(slot);
+  }
+  const Medium medium = cache_.medium_of(slot);
+  if (medium == Medium::kRam) {
+    t = ram_dev_->Write(t);
+  } else {
+    // Writes into flash buffers expose the flash write latency (§7.1: the
+    // unified architecture sees ~8/9 of the flash write time on average).
+    t = flash_dev_->Write(t, key);
+    ++counters_.flash_installs;
+  }
+  switch (PolicyFor(medium)) {
+    case WritebackPolicy::kSync:
+      ++counters_.filer_writebacks;
+      t = remote_->Write(t);
+      break;
+    case WritebackPolicy::kAsync:
+      ++counters_.filer_writebacks;
+      writer_->EnqueueFilerWrite(t, /*then_flash=*/false);
+      break;
+    default:
+      cache_.MarkDirty(slot, t);
+      break;
+  }
+  return t;
+}
+
+std::optional<SimTime> UnifiedStack::FlushOneOf(SimTime now, Medium medium,
+                                                SimTime dirtied_before) {
+  const uint32_t slot = cache_.OldestDirty(medium);
+  if (slot == kInvalidSlot || cache_.dirtied_at(slot) > dirtied_before) {
+    return std::nullopt;
+  }
+  cache_.MarkClean(slot);
+  ++counters_.filer_writebacks;
+  return remote_->Write(now);
+}
+
+std::optional<SimTime> UnifiedStack::FlushOneRamBlock(SimTime now, SimTime dirtied_before) {
+  return FlushOneOf(now, Medium::kRam, dirtied_before);
+}
+
+std::optional<SimTime> UnifiedStack::FlushOneFlashBlock(SimTime now, SimTime dirtied_before) {
+  return FlushOneOf(now, Medium::kFlash, dirtied_before);
+}
+
+void UnifiedStack::Invalidate(BlockKey key) {
+  if (cache_.Remove(key)) {
+    flash_dev_->Trim(key);
+    NotifyDropped(key);
+  }
+}
+
+uint64_t UnifiedStack::RamResident() const {
+  uint64_t count = 0;
+  cache_.ForEach([&](BlockKey, Medium medium, bool) {
+    if (medium == Medium::kRam) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+uint64_t UnifiedStack::FlashResident() const {
+  uint64_t count = 0;
+  cache_.ForEach([&](BlockKey, Medium medium, bool) {
+    if (medium == Medium::kFlash) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+}  // namespace flashsim

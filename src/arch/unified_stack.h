@@ -1,0 +1,58 @@
+// Unified architecture (§3.3): RAM and flash buffers are managed together
+// on a single LRU chain. Data blocks are placed into the least recently
+// used buffer, whether that buffer is RAM or flash, and are never migrated;
+// no attempt is made to prefer RAM. The effective cache capacity is the sum
+// of the two media — the source of its read-latency advantage in Fig 2 —
+// while writes pay the latency of whichever medium the block landed in
+// (8/9 of blocks land in flash at the baseline 8 GB + 64 GB split).
+//
+// Dirty blocks write back to the filer under the policy of their medium:
+// RAM-buffer blocks follow the RAM writeback policy, flash-buffer blocks
+// the flash policy.
+#ifndef FLASHSIM_SRC_ARCH_UNIFIED_STACK_H_
+#define FLASHSIM_SRC_ARCH_UNIFIED_STACK_H_
+
+#include "src/arch/cache_stack.h"
+#include "src/cache/lru_cache.h"
+
+namespace flashsim {
+
+class UnifiedStack : public CacheStack {
+ public:
+  UnifiedStack(const StackConfig& config, RamDevice& ram_dev, FlashDevice& flash_dev,
+               RemoteStore& remote, BackgroundWriter& writer);
+
+  SimTime Read(SimTime now, BlockKey key, HitLevel* level) override;
+  SimTime Write(SimTime now, BlockKey key) override;
+  std::optional<SimTime> FlushOneRamBlock(SimTime now,
+                                          SimTime dirtied_before = kSimTimeNever) override;
+  std::optional<SimTime> FlushOneFlashBlock(SimTime now,
+                                            SimTime dirtied_before = kSimTimeNever) override;
+  void Invalidate(BlockKey key) override;
+  bool Holds(BlockKey key) const override { return cache_.Lookup(key) != kInvalidSlot; }
+  uint64_t RamResident() const override;
+  uint64_t FlashResident() const override;
+  uint64_t DirtyBlocks() const override { return cache_.dirty_count(); }
+  void CheckInvariants() const override { cache_.CheckInvariants(); }
+
+  const LruBlockCache& cache() const { return cache_; }
+
+ protected:
+  WritebackPolicy PolicyFor(Medium medium) const {
+    return medium == Medium::kRam ? config_.ram_policy : config_.flash_policy;
+  }
+
+  // Inserts `key` into the least recently used buffer; synchronous filer
+  // writeback of an evicted dirty block is charged to `t`.
+  SimTime InsertBlock(SimTime t, BlockKey key, uint32_t* slot_out);
+
+  // Writes back the oldest dirty block held in a buffer of `medium`, if it
+  // was dirtied at or before `dirtied_before`.
+  std::optional<SimTime> FlushOneOf(SimTime now, Medium medium, SimTime dirtied_before);
+
+  LruBlockCache cache_;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_ARCH_UNIFIED_STACK_H_

@@ -1,0 +1,43 @@
+#include "src/cache/policy.h"
+
+namespace flashsim {
+
+const char* PolicyName(WritebackPolicy policy) {
+  switch (policy) {
+    case WritebackPolicy::kSync:
+      return "s";
+    case WritebackPolicy::kAsync:
+      return "a";
+    case WritebackPolicy::kPeriodic1:
+      return "p1";
+    case WritebackPolicy::kPeriodic5:
+      return "p5";
+    case WritebackPolicy::kPeriodic15:
+      return "p15";
+    case WritebackPolicy::kPeriodic30:
+      return "p30";
+    case WritebackPolicy::kNone:
+      return "n";
+    case WritebackPolicy::kTrickle:
+      return "trickle";
+    case WritebackPolicy::kDelayed1:
+      return "d1";
+  }
+  return "?";
+}
+
+std::optional<WritebackPolicy> ParsePolicy(const std::string& name) {
+  for (WritebackPolicy policy : kAllWritebackPolicies) {
+    if (name == PolicyName(policy)) {
+      return policy;
+    }
+  }
+  for (WritebackPolicy policy : {WritebackPolicy::kTrickle, WritebackPolicy::kDelayed1}) {
+    if (name == PolicyName(policy)) {
+      return policy;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace flashsim

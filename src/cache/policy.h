@@ -1,0 +1,99 @@
+// Writeback policies (§3.5–3.6).
+//
+// The same seven policies apply at both levels — RAM to the tier below it
+// and flash to the filer — giving the 7x7 = 49 combinations per
+// architecture that Fig 2 sweeps:
+//
+//   s    synchronous write-through: the requester blocks until the write
+//        reaches the next tier.
+//   a    asynchronous write-through: the write is issued immediately but
+//        the requester does not wait.
+//   p1,p5,p15,p30   periodic: dirty data stays until a syncer thread with
+//        the given period flushes it.
+//   n    none: dirty data stays until evicted for capacity, at which point
+//        the evicting requester pays for a synchronous writeback.
+#ifndef FLASHSIM_SRC_CACHE_POLICY_H_
+#define FLASHSIM_SRC_CACHE_POLICY_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/sim/sim_time.h"
+#include "src/util/units.h"
+
+namespace flashsim {
+
+enum class WritebackPolicy : uint8_t {
+  kSync = 0,
+  kAsync = 1,
+  kPeriodic1 = 2,
+  kPeriodic5 = 3,
+  kPeriodic15 = 4,
+  kPeriodic30 = 5,
+  kNone = 6,
+  // Extension policies — the "more elaborate" options §3.6 declined to try
+  // because the simple ones were indistinguishable. Implemented so that
+  // claim can be checked (bench/ext_elaborate_policies.cc); NOT part of the
+  // paper's 7x7 grid.
+  kTrickle = 7,   // a continuously-running syncer thread (trickle-flushing)
+  kDelayed1 = 8,  // write back each block ~1 s after it was dirtied
+};
+
+constexpr int kNumWritebackPolicies = 7;  // the paper's grid (s..n)
+
+// All seven, in the paper's axis order (s, a, p1, p5, p15, p30, n).
+constexpr std::array<WritebackPolicy, kNumWritebackPolicies> kAllWritebackPolicies = {
+    WritebackPolicy::kSync,       WritebackPolicy::kAsync,      WritebackPolicy::kPeriodic1,
+    WritebackPolicy::kPeriodic5,  WritebackPolicy::kPeriodic15, WritebackPolicy::kPeriodic30,
+    WritebackPolicy::kNone,
+};
+
+constexpr bool IsPeriodic(WritebackPolicy policy) {
+  return policy >= WritebackPolicy::kPeriodic1 && policy <= WritebackPolicy::kPeriodic30;
+}
+
+// Policies whose writebacks are driven by a syncer thread (as opposed to
+// write-through or eviction-only).
+constexpr bool IsSyncerDriven(WritebackPolicy policy) {
+  return IsPeriodic(policy) || policy == WritebackPolicy::kTrickle ||
+         policy == WritebackPolicy::kDelayed1;
+}
+
+// For kDelayed1: how long a block must have been dirty before the syncer
+// will write it back. Zero for every other policy.
+constexpr SimDuration PolicyDirtyAgeNs(WritebackPolicy policy) {
+  return policy == WritebackPolicy::kDelayed1 ? 1 * kSecond : 0;
+}
+
+// Syncer wake-up period; zero for policies with no syncer. Trickle wakes
+// frequently (it drains continuously once anything is dirty); delayed wakes
+// often enough to bound how stale a mature block can get.
+constexpr SimDuration PolicyPeriodNs(WritebackPolicy policy) {
+  switch (policy) {
+    case WritebackPolicy::kPeriodic1:
+      return 1 * kSecond;
+    case WritebackPolicy::kPeriodic5:
+      return 5 * kSecond;
+    case WritebackPolicy::kPeriodic15:
+      return 15 * kSecond;
+    case WritebackPolicy::kPeriodic30:
+      return 30 * kSecond;
+    case WritebackPolicy::kTrickle:
+      return 10 * kMillisecond;
+    case WritebackPolicy::kDelayed1:
+      return 100 * kMillisecond;
+    default:
+      return 0;
+  }
+}
+
+const char* PolicyName(WritebackPolicy policy);
+
+// Parses "s", "a", "p1", "p5", "p15", "p30", "n"; nullopt otherwise.
+std::optional<WritebackPolicy> ParsePolicy(const std::string& name);
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_CACHE_POLICY_H_

@@ -1,0 +1,50 @@
+#include "src/consistency/directory.h"
+
+#include <bit>
+
+namespace flashsim {
+
+void Directory::NoteCached(int host, BlockKey key) {
+  FLASHSIM_DCHECK(host >= 0 && host < num_hosts_);
+  holders_[key] |= (1ULL << host);
+}
+
+void Directory::NoteDropped(int host, BlockKey key) {
+  FLASHSIM_DCHECK(host >= 0 && host < num_hosts_);
+  uint64_t* mask = holders_.Find(key);
+  if (mask == nullptr) {
+    return;
+  }
+  *mask &= ~(1ULL << host);
+  if (*mask == 0) {
+    holders_.Erase(key);
+  }
+}
+
+uint64_t Directory::OnBlockWrite(int host, BlockKey key, bool measured) {
+  FLASHSIM_DCHECK(host >= 0 && host < num_hosts_);
+  uint64_t stale = 0;
+  if (const uint64_t* mask = holders_.Find(key); mask != nullptr) {
+    stale = *mask & ~(1ULL << host);
+  }
+  if (measured) {
+    ++measured_writes_;
+    if (stale != 0) {
+      ++invalidating_writes_;
+      invalidations_ += static_cast<uint64_t>(std::popcount(stale));
+    }
+  }
+  return stale;
+}
+
+bool Directory::IsCachedBy(int host, BlockKey key) const {
+  const uint64_t* mask = holders_.Find(key);
+  return mask != nullptr && (*mask & (1ULL << host)) != 0;
+}
+
+uint64_t Directory::holders(BlockKey key) const {
+  const uint64_t* mask = holders_.Find(key);
+  return mask == nullptr ? 0 : *mask;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,63 @@
+// Global cache-consistency directory (§3.8, §7.9).
+//
+// The paper sidesteps choosing a consistency protocol: the simulator
+// invalidates stale copies instantly using global knowledge when a new
+// version of a block is first written into any cache, and *counts* the
+// invalidations (it does not model protocol traffic). This directory is
+// that global knowledge: a map from block to the set of hosts caching it.
+//
+// The invalidation rate — the fraction of application block writes that
+// must invalidate a copy elsewhere — is the metric of Figs 11 and 12.
+#ifndef FLASHSIM_SRC_CONSISTENCY_DIRECTORY_H_
+#define FLASHSIM_SRC_CONSISTENCY_DIRECTORY_H_
+
+#include <cstdint>
+
+#include "src/trace/record.h"
+#include "src/util/assert.h"
+#include "src/util/flat_hash.h"
+
+namespace flashsim {
+
+class Directory {
+ public:
+  static constexpr int kMaxHosts = 64;
+
+  explicit Directory(int num_hosts) : num_hosts_(num_hosts) {
+    FLASHSIM_CHECK(num_hosts >= 1 && num_hosts <= kMaxHosts);
+  }
+
+  // Residency bookkeeping, driven by the cache stacks.
+  void NoteCached(int host, BlockKey key);
+  void NoteDropped(int host, BlockKey key);
+
+  // Called once per application block write by `host`. Returns the bitmask
+  // of *other* hosts whose copies are now stale and must be invalidated;
+  // the caller removes the block from those hosts' caches. Counts the write
+  // (and whether it invalidated anything) when `measured` is true.
+  uint64_t OnBlockWrite(int host, BlockKey key, bool measured);
+
+  bool IsCachedBy(int host, BlockKey key) const;
+  uint64_t holders(BlockKey key) const;
+
+  uint64_t measured_writes() const { return measured_writes_; }
+  uint64_t invalidating_writes() const { return invalidating_writes_; }
+  uint64_t invalidations() const { return invalidations_; }
+  // Figs 11/12 y-axis: % of block writes requiring invalidation.
+  double invalidation_rate() const {
+    return measured_writes_ == 0 ? 0.0
+                                 : static_cast<double>(invalidating_writes_) /
+                                       static_cast<double>(measured_writes_);
+  }
+
+ private:
+  int num_hosts_;
+  FlatHashMap<uint64_t> holders_;  // block -> host bitmask
+  uint64_t measured_writes_ = 0;
+  uint64_t invalidating_writes_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_CONSISTENCY_DIRECTORY_H_

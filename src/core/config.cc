@@ -1,0 +1,43 @@
+#include "src/core/config.h"
+
+#include <cstdio>
+
+#include "src/consistency/directory.h"
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+const char* InvalidationTrafficName(InvalidationTraffic model) {
+  switch (model) {
+    case InvalidationTraffic::kNone:
+      return "none";
+    case InvalidationTraffic::kAsync:
+      return "async";
+    case InvalidationTraffic::kBlocking:
+      return "blocking";
+  }
+  return "?";
+}
+
+void SimConfig::Validate() const {
+  FLASHSIM_CHECK(block_bytes > 0);
+  FLASHSIM_CHECK(num_hosts >= 1 && num_hosts <= Directory::kMaxHosts);
+  FLASHSIM_CHECK(threads_per_host >= 1);
+  FLASHSIM_CHECK(timing.ram_access_ns >= 0);
+  FLASHSIM_CHECK(timing.flash_read_ns >= 0 && timing.flash_write_ns >= 0);
+  FLASHSIM_CHECK(timing.filer_fast_read_rate >= 0.0 && timing.filer_fast_read_rate <= 1.0);
+  FLASHSIM_CHECK(timing.filer_concurrency >= 1);
+}
+
+std::string SimConfig::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s ram=%s flash=%s hosts=%d threads=%d ram_policy=%s "
+                "flash_policy=%s%s",
+                ArchitectureName(arch), FormatSize(ram_bytes).c_str(),
+                FormatSize(flash_bytes).c_str(), num_hosts, threads_per_host,
+                PolicyName(ram_policy), PolicyName(flash_policy),
+                timing.persistent_flash ? " persistent" : "");
+  return buf;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,64 @@
+// Top-level simulation configuration.
+//
+// Capacities are in bytes. The paper's baseline (§3.4, Table 1): 8 GB RAM,
+// 64 GB flash, 4 KB blocks, one host with eight threads, naive
+// architecture, 1-second periodic RAM writeback, asynchronous write-through
+// flash writeback (§7.1's chosen combination).
+#ifndef FLASHSIM_SRC_CORE_CONFIG_H_
+#define FLASHSIM_SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/arch/stack_factory.h"
+#include "src/cache/policy.h"
+#include "src/device/timing.h"
+#include "src/util/units.h"
+
+namespace flashsim {
+
+// How cache-consistency invalidation traffic is charged (extension; the
+// paper counts invalidations but does not model protocol traffic, §3.8).
+enum class InvalidationTraffic : uint8_t {
+  kNone = 0,      // paper behavior: instant, free invalidation
+  kAsync = 1,     // report + callback + ack packets occupy the links,
+                  // but the writer does not wait
+  kBlocking = 2,  // the writer blocks until every stale copy acknowledges
+                  // its invalidation (strong consistency)
+};
+
+const char* InvalidationTrafficName(InvalidationTraffic model);
+
+struct SimConfig {
+  uint32_t block_bytes = 4096;
+  uint64_t ram_bytes = 8 * kGiB;
+  uint64_t flash_bytes = 64 * kGiB;
+  int num_hosts = 1;
+  int threads_per_host = 8;
+
+  Architecture arch = Architecture::kNaive;
+  WritebackPolicy ram_policy = WritebackPolicy::kPeriodic1;
+  WritebackPolicy flash_policy = WritebackPolicy::kAsync;
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+
+  TimingModel timing;
+
+  InvalidationTraffic invalidation_traffic = InvalidationTraffic::kNone;
+
+  // Seeds the filer's fast/slow read draws (trace generation seeds live in
+  // the trace spec, so timing randomness and workload are independent).
+  uint64_t seed = 42;
+
+  uint64_t ram_blocks() const { return ram_bytes / block_bytes; }
+  uint64_t flash_blocks() const { return flash_bytes / block_bytes; }
+
+  // Aborts on nonsensical configurations (zero block size, too many hosts).
+  void Validate() const;
+
+  // One-line description for bench headers and logs.
+  std::string Summary() const;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_CORE_CONFIG_H_

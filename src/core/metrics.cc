@@ -1,0 +1,18 @@
+#include "src/core/metrics.h"
+
+#include <cstdio>
+
+namespace flashsim {
+
+std::string Metrics::Summary() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "read %.2fus (ram %.1f%% flash %.1f%% filer %.1f%%) write %.2fus "
+                "inval %.1f%% records=%llu",
+                mean_read_us(), 100.0 * ram_hit_rate(), 100.0 * flash_hit_rate(),
+                100.0 * filer_read_rate(), mean_write_us(), 100.0 * invalidation_rate(),
+                static_cast<unsigned long long>(trace_records));
+  return buf;
+}
+
+}  // namespace flashsim

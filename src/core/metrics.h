@@ -1,0 +1,85 @@
+// Simulation metrics.
+//
+// The governing metric is latency as experienced by the application (§7);
+// everything else (hit rates, device busy times, invalidation counts) is
+// collected to explain behavior. Warmup-flagged trace records are executed
+// but not measured (§4).
+#ifndef FLASHSIM_SRC_CORE_METRICS_H_
+#define FLASHSIM_SRC_CORE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/arch/cache_stack.h"
+#include "src/sim/sim_time.h"
+#include "src/util/stats.h"
+
+namespace flashsim {
+
+struct Metrics {
+  // Application-observed per-operation latency, measured phase only.
+  LatencyRecorder read_latency;
+  LatencyRecorder write_latency;
+
+  // Per-block read serving level, measured phase only (indexed by HitLevel).
+  std::array<uint64_t, 4> read_level_blocks{};
+  uint64_t measured_read_blocks = 0;
+  uint64_t measured_write_blocks = 0;
+  uint64_t warmup_blocks = 0;
+  uint64_t trace_records = 0;
+
+  // Cache consistency (§7.9), measured phase only.
+  uint64_t consistency_writes = 0;
+  uint64_t invalidating_writes = 0;
+  uint64_t invalidations = 0;
+  // Protocol messages charged to the network (extension; zero under the
+  // paper's free-invalidation model). Counted for the whole run.
+  uint64_t invalidation_messages = 0;
+
+  // End-of-run snapshots.
+  SimTime end_time = 0;
+  uint64_t filer_fast_reads = 0;
+  uint64_t filer_slow_reads = 0;
+  uint64_t filer_writes = 0;
+  StackCounters stack_totals;  // summed over hosts
+
+  // FTL mode only (timing.use_ftl): device-level aggregates over hosts.
+  bool ftl_enabled = false;
+  double ftl_write_amplification = 1.0;
+  uint64_t ftl_erases = 0;
+  uint64_t ftl_gc_relocations = 0;
+
+  double ram_hit_rate() const {
+    return Rate(read_level_blocks[static_cast<size_t>(HitLevel::kRam)]);
+  }
+  double flash_hit_rate() const {
+    return Rate(read_level_blocks[static_cast<size_t>(HitLevel::kFlash)]);
+  }
+  double filer_read_rate() const {
+    return Rate(read_level_blocks[static_cast<size_t>(HitLevel::kFilerFast)] +
+                read_level_blocks[static_cast<size_t>(HitLevel::kFilerSlow)]);
+  }
+  // Figs 11/12: % of application block writes requiring invalidation.
+  double invalidation_rate() const {
+    return consistency_writes == 0 ? 0.0
+                                   : static_cast<double>(invalidating_writes) /
+                                         static_cast<double>(consistency_writes);
+  }
+
+  double mean_read_us() const { return read_latency.mean_us(); }
+  double mean_write_us() const { return write_latency.mean_us(); }
+
+  std::string Summary() const;
+
+ private:
+  double Rate(uint64_t blocks) const {
+    return measured_read_blocks == 0
+               ? 0.0
+               : static_cast<double>(blocks) / static_cast<double>(measured_read_blocks);
+  }
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_CORE_METRICS_H_

@@ -1,0 +1,44 @@
+#include "src/core/recovery.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+RecoveryEstimate EstimateRecovery(const RecoveryParams& params, const TimingModel& timing) {
+  FLASHSIM_CHECK(params.flash_blocks > 0);
+  FLASHSIM_CHECK(params.occupancy >= 0.0 && params.occupancy <= 1.0);
+  FLASHSIM_CHECK(params.metadata_entry_bytes > 0);
+  FLASHSIM_CHECK(params.scan_concurrency >= 1);
+
+  RecoveryEstimate estimate;
+  estimate.resident_blocks =
+      static_cast<uint64_t>(params.occupancy * static_cast<double>(params.flash_blocks));
+
+  // Index scan: every cache block has a metadata entry, live or not — the
+  // scan must look at all of them to find the live set.
+  const uint64_t entries_per_page = params.block_bytes / params.metadata_entry_bytes;
+  estimate.metadata_pages =
+      (params.flash_blocks + entries_per_page - 1) / std::max<uint64_t>(entries_per_page, 1);
+  estimate.scan_time_ns =
+      static_cast<SimDuration>(estimate.metadata_pages) * timing.flash_read_ns /
+      params.scan_concurrency;
+
+  // Refill: each resident block costs a filer round trip; back-to-back
+  // fetches pipeline on the link, so the data packet is the bottleneck
+  // once the pipe is full.
+  const SimDuration data_packet =
+      timing.net_packet_base_ns +
+      static_cast<SimDuration>(params.block_bytes) * 8 * timing.net_per_bit_ns;
+  const double expected_read =
+      timing.filer_fast_read_rate * static_cast<double>(timing.filer_fast_read_ns) +
+      (1.0 - timing.filer_fast_read_rate) * static_cast<double>(timing.filer_slow_read_ns);
+  const SimDuration per_block = std::max(
+      data_packet, static_cast<SimDuration>(expected_read / timing.filer_concurrency));
+  estimate.refill_time_ns =
+      static_cast<SimDuration>(estimate.resident_blocks) * per_block;
+  return estimate;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,63 @@
+// Persistent-cache recovery model (extension; §7.8 notes "we did not
+// attempt to simulate the recovery phase", and §3.8 warns that a
+// recoverable cache is offline during reboot and cannot participate in
+// cache consistency until recovery completes).
+//
+// A persistent flash cache keeps its index in the flash alongside the data
+// (that is what the doubled write latency pays for, §3.7). After a crash,
+// the host must rebuild its in-RAM index by scanning the on-flash metadata
+// before the cache can serve a single hit or answer a single invalidation.
+// This model computes that recovery time and the cost of the paper's
+// alternative — rebuilding by refilling from the filer — so the §3.8
+// trade-off can be quantified:
+//
+//   recovery scan:  metadata_pages * flash_read / concurrency
+//   refill instead: resident_blocks * filer_round_trip (paced by the link)
+//
+// plus the consistency-unavailability window: writes by other hosts during
+// recovery must either stall or queue invalidations for replay; we report
+// the window length so protocol designers can size those queues.
+#ifndef FLASHSIM_SRC_CORE_RECOVERY_H_
+#define FLASHSIM_SRC_CORE_RECOVERY_H_
+
+#include <cstdint>
+
+#include "src/device/timing.h"
+#include "src/sim/sim_time.h"
+
+namespace flashsim {
+
+struct RecoveryParams {
+  uint64_t flash_blocks = 0;         // cache capacity
+  double occupancy = 1.0;            // fraction resident at crash
+  uint32_t block_bytes = 4096;
+  // On-flash index layout: per-block metadata entry size. 32 bytes holds a
+  // key, generation, and checksum comfortably.
+  uint32_t metadata_entry_bytes = 32;
+  // Parallelism of the recovery scan (device queue depth it can keep full).
+  int scan_concurrency = 16;
+};
+
+struct RecoveryEstimate {
+  // Time to rebuild the index by scanning on-flash metadata.
+  SimDuration scan_time_ns = 0;
+  uint64_t metadata_pages = 0;
+  // Time to instead re-fetch the resident working set from the filer
+  // (sequential round trips pipelined on the link — the no-persistence
+  // alternative the warming curves measure end to end).
+  SimDuration refill_time_ns = 0;
+  uint64_t resident_blocks = 0;
+
+  double speedup() const {
+    return scan_time_ns == 0 ? 0.0
+                             : static_cast<double>(refill_time_ns) /
+                                   static_cast<double>(scan_time_ns);
+  }
+};
+
+// Pure function of the parameters; see the header comment for the formulas.
+RecoveryEstimate EstimateRecovery(const RecoveryParams& params, const TimingModel& timing);
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_CORE_RECOVERY_H_

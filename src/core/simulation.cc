@@ -1,0 +1,297 @@
+#include "src/core/simulation.h"
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace flashsim {
+
+// Forwards one host's cache residency transitions into the directory.
+class Simulation::HostResidencyBridge : public ResidencyListener {
+ public:
+  HostResidencyBridge(Directory& directory, int host) : directory_(&directory), host_(host) {}
+
+  void OnCached(BlockKey key) override { directory_->NoteCached(host_, key); }
+  void OnDropped(BlockKey key) override { directory_->NoteDropped(host_, key); }
+
+ private:
+  Directory* directory_;
+  int host_;
+};
+
+struct Simulation::HostState {
+  HostState(const SimConfig& config, EventQueue& queue, Filer& filer, Directory& directory,
+            int host_id)
+      : ram_dev(config.timing),
+        flash_dev(config.timing),
+        link(config.timing, config.block_bytes, queue.clock()),
+        remote(link, filer),
+        writer(queue, remote, &flash_dev, config.timing.writeback_window),
+        bridge(directory, host_id) {
+    StackConfig stack_config;
+    stack_config.ram_blocks = config.ram_blocks();
+    stack_config.flash_blocks = config.flash_blocks();
+    stack_config.ram_policy = config.ram_policy;
+    stack_config.flash_policy = config.flash_policy;
+    stack_config.replacement = config.replacement;
+    if (config.timing.use_ftl && stack_config.flash_blocks > 0) {
+      FtlParams ftl_params;
+      ftl_params.overprovision = config.timing.ftl_overprovision;
+      ftl_params.pages_per_block = config.timing.ftl_pages_per_block;
+      ftl_params.wear_weight = config.timing.ftl_wear_weight;
+      FtlDeviceTimings ftl_timings;
+      ftl_timings.page_read_ns = config.timing.ftl_page_read_ns;
+      ftl_timings.page_program_ns = config.timing.ftl_page_program_ns;
+      ftl_timings.block_erase_ns = config.timing.ftl_block_erase_ns;
+      flash_dev.EnableFtl(stack_config.flash_blocks, ftl_params, ftl_timings);
+    }
+    stack = MakeCacheStack(config.arch, stack_config, ram_dev, flash_dev, remote, writer);
+    stack->set_residency_listener(&bridge);
+  }
+
+  RamDevice ram_dev;
+  FlashDevice flash_dev;
+  NetworkLink link;
+  RemoteStore remote;
+  BackgroundWriter writer;
+  HostResidencyBridge bridge;
+  std::unique_ptr<CacheStack> stack;
+};
+
+Simulation::Simulation(const SimConfig& config) : config_(config) {
+  config_.Validate();
+  filer_ = std::make_unique<Filer>(config_.timing, Mix64(config_.seed ^ 0xf11e5ULL));
+  directory_ = std::make_unique<Directory>(config_.num_hosts);
+  for (int h = 0; h < config_.num_hosts; ++h) {
+    hosts_.push_back(std::make_unique<HostState>(config_, queue_, *filer_, *directory_, h));
+  }
+  backlog_.resize(static_cast<size_t>(NumThreads()));
+}
+
+Simulation::~Simulation() = default;
+
+CacheStack& Simulation::stack(int host) { return *hosts_[static_cast<size_t>(host)]->stack; }
+
+NetworkLink& Simulation::link(int host) { return hosts_[static_cast<size_t>(host)]->link; }
+
+FlashDevice& Simulation::flash_device(int host) {
+  return hosts_[static_cast<size_t>(host)]->flash_dev;
+}
+
+bool Simulation::NextOpFor(int thread_index, TraceRecord* record) {
+  auto& queue = backlog_[static_cast<size_t>(thread_index)];
+  if (!queue.empty()) {
+    *record = queue.front();
+    queue.pop_front();
+    return true;
+  }
+  while (!source_exhausted_) {
+    TraceRecord next;
+    if (!source_->Next(&next)) {
+      source_exhausted_ = true;
+      break;
+    }
+    // Clamp stray host/thread ids into range rather than dropping work:
+    // imported traces may have more threads than the configuration.
+    const int host = next.host % config_.num_hosts;
+    const int thread = next.thread % config_.threads_per_host;
+    const int target = ThreadIndex(host, thread);
+    if (target == thread_index) {
+      *record = next;
+      return true;
+    }
+    backlog_[static_cast<size_t>(target)].push_back(next);
+  }
+  return false;
+}
+
+SimTime Simulation::ExecuteOp(SimTime now, const TraceRecord& record) {
+  HostState& host = *hosts_[record.host % config_.num_hosts];
+  const bool measured = !record.warmup;
+  SimTime t = now;
+  for (uint32_t i = 0; i < record.block_count; ++i) {
+    const BlockKey key = MakeBlockKey(record.file_id, record.block + i);
+    if (record.op == TraceOp::kRead) {
+      HitLevel level = HitLevel::kRam;
+      t = host.stack->Read(t, key, &level);
+      if (measured) {
+        ++metrics_.read_level_blocks[static_cast<size_t>(level)];
+        ++metrics_.measured_read_blocks;
+      }
+    } else {
+      t = host.stack->Write(t, key);
+      if (measured) {
+        ++metrics_.measured_write_blocks;
+      }
+      // A new version exists: stale copies elsewhere are invalidated
+      // instantly with global knowledge (§3.8).
+      const int host_id = record.host % config_.num_hosts;
+      const uint64_t stale = directory_->OnBlockWrite(host_id, key, measured);
+      if (stale != 0) {
+        SimTime ack_deadline = t;
+        const bool charge_traffic =
+            config_.invalidation_traffic != InvalidationTraffic::kNone;
+        SimTime report_arrival = t;
+        if (charge_traffic) {
+          // The writer reports the new version to the filer...
+          report_arrival = host.link.SendToFiler(t, /*carries_data=*/false);
+          ++metrics_.invalidation_messages;
+        }
+        for (int other = 0; other < config_.num_hosts; ++other) {
+          if (((stale >> other) & 1u) == 0) {
+            continue;
+          }
+          hosts_[static_cast<size_t>(other)]->stack->Invalidate(key);
+          if (charge_traffic) {
+            // ...which sends each stale holder a callback; the holder acks.
+            NetworkLink& peer = hosts_[static_cast<size_t>(other)]->link;
+            const SimTime callback = peer.SendToHost(report_arrival, false);
+            const SimTime ack = peer.SendToFiler(callback, false);
+            metrics_.invalidation_messages += 2;
+            ack_deadline = std::max(ack_deadline, ack);
+          }
+        }
+        if (config_.invalidation_traffic == InvalidationTraffic::kBlocking) {
+          t = ack_deadline;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+void Simulation::StartThread(int thread_index, SimTime now) {
+  TraceRecord record;
+  if (!NextOpFor(thread_index, &record)) {
+    --live_threads_;
+    return;
+  }
+  const SimTime done = ExecuteOp(now, record);
+  if (done > last_op_completion_) {
+    last_op_completion_ = done;
+  }
+  if (!record.warmup) {
+    const int64_t latency = done - now;
+    if (record.op == TraceOp::kRead) {
+      metrics_.read_latency.Record(latency);
+      if (read_series_ != nullptr) {
+        read_series_->Record(now, static_cast<double>(latency));
+      }
+    } else {
+      metrics_.write_latency.Record(latency);
+    }
+  } else {
+    metrics_.warmup_blocks += record.block_count;
+  }
+  ++metrics_.trace_records;
+  queue_.ScheduleAt(done, [this, thread_index](SimTime when) {
+    StartThread(thread_index, when);
+  });
+}
+
+void Simulation::SyncerStep(int host, bool ram_tier, SimTime now) {
+  // One syncer thread per host per tier: it writes back one block, sleeps
+  // until that write completes, and repeats until the tier is clean. A
+  // syncer that cannot keep up with dirty production simply falls behind
+  // (§7.6); it never dumps the whole dirty list into the network at once.
+  auto& busy = ram_tier ? ram_syncer_busy_ : flash_syncer_busy_;
+  CacheStack& stack = *hosts_[static_cast<size_t>(host)]->stack;
+  // kDelayed1 flushes only blocks dirty for at least the policy's age.
+  const WritebackPolicy policy = ram_tier ? config_.ram_policy : config_.flash_policy;
+  const SimDuration min_age = PolicyDirtyAgeNs(policy);
+  const SimTime dirtied_before = min_age == 0 ? kSimTimeNever : now - min_age;
+  const std::optional<SimTime> done = ram_tier
+                                          ? stack.FlushOneRamBlock(now, dirtied_before)
+                                          : stack.FlushOneFlashBlock(now, dirtied_before);
+  if (done.has_value()) {
+    busy[static_cast<size_t>(host)] = true;
+    queue_.ScheduleAt(*done,
+                      [this, host, ram_tier](SimTime when) { SyncerStep(host, ram_tier, when); });
+  } else {
+    busy[static_cast<size_t>(host)] = false;
+  }
+}
+
+void Simulation::ScheduleSyncers() {
+  ram_syncer_busy_.assign(hosts_.size(), false);
+  flash_syncer_busy_.assign(hosts_.size(), false);
+  // Each periodic policy gets one repeating wake-up that kicks every idle
+  // host syncer. Wake-ups stop once every thread has finished: remaining
+  // dirty data would be flushed at shutdown in a real system, but no
+  // application is left to observe it.
+  for (const bool ram_tier : {true, false}) {
+    const WritebackPolicy policy = ram_tier ? config_.ram_policy : config_.flash_policy;
+    if (!IsSyncerDriven(policy)) {
+      continue;
+    }
+    const SimDuration period = PolicyPeriodNs(policy);
+    auto tick = std::make_shared<std::function<void(SimTime)>>();
+    *tick = [this, period, ram_tier, tick](SimTime now) {
+      if (live_threads_ == 0) {
+        return;
+      }
+      const auto& busy = ram_tier ? ram_syncer_busy_ : flash_syncer_busy_;
+      for (int h = 0; h < static_cast<int>(hosts_.size()); ++h) {
+        if (!busy[static_cast<size_t>(h)]) {
+          SyncerStep(h, ram_tier, now);
+        }
+      }
+      queue_.ScheduleAt(now + period, *tick);
+    };
+    queue_.ScheduleAt(period, *tick);
+  }
+}
+
+Metrics Simulation::Run(TraceSource& source) {
+  FLASHSIM_CHECK(!ran_);
+  ran_ = true;
+  source_ = &source;
+  live_threads_ = NumThreads();
+  for (int t = 0; t < NumThreads(); ++t) {
+    queue_.ScheduleAt(0, [this, t](SimTime when) { StartThread(t, when); });
+  }
+  ScheduleSyncers();
+  queue_.RunToCompletion();
+  // End of run = completion of the last application operation; trailing
+  // syncer wake-ups that found nothing to do are not workload time.
+  metrics_.end_time = last_op_completion_;
+
+  metrics_.filer_fast_reads = filer_->fast_reads();
+  metrics_.filer_slow_reads = filer_->slow_reads();
+  metrics_.filer_writes = filer_->writes();
+  metrics_.consistency_writes = directory_->measured_writes();
+  metrics_.invalidating_writes = directory_->invalidating_writes();
+  metrics_.invalidations = directory_->invalidations();
+  uint64_t ftl_host_writes = 0;
+  uint64_t ftl_programs = 0;
+  for (auto& host : hosts_) {
+    if (host->flash_dev.ftl_enabled()) {
+      metrics_.ftl_enabled = true;
+      ftl_host_writes += host->flash_dev.ftl()->host_writes();
+      ftl_programs += host->flash_dev.ftl()->total_programs();
+      metrics_.ftl_erases += host->flash_dev.ftl()->total_erases();
+      metrics_.ftl_gc_relocations += host->flash_dev.ftl()->relocated_pages();
+    }
+    const StackCounters& c = host->stack->counters();
+    metrics_.stack_totals.ram_hits += c.ram_hits;
+    metrics_.stack_totals.flash_hits += c.flash_hits;
+    metrics_.stack_totals.filer_reads += c.filer_reads;
+    metrics_.stack_totals.sync_ram_evictions += c.sync_ram_evictions;
+    metrics_.stack_totals.sync_flash_evictions += c.sync_flash_evictions;
+    metrics_.stack_totals.flash_installs += c.flash_installs;
+    metrics_.stack_totals.filer_writebacks += c.filer_writebacks;
+  }
+  if (ftl_host_writes > 0) {
+    metrics_.ftl_write_amplification =
+        static_cast<double>(ftl_programs) / static_cast<double>(ftl_host_writes);
+  }
+  return metrics_;
+}
+
+void Simulation::CheckInvariants() const {
+  for (const auto& host : hosts_) {
+    host->stack->CheckInvariants();
+  }
+}
+
+}  // namespace flashsim

@@ -1,0 +1,104 @@
+// The trace-driven simulator (§5).
+//
+// Wires together, per host: a RAM cache and flash cache arranged by the
+// configured architecture, a RAM device, a flash device, and a private
+// network segment — all above one shared filer. A global consistency
+// directory invalidates stale copies instantly when any host writes (§3.8).
+//
+// Execution model: the trace is issued as fast as possible subject to each
+// application thread having at most one I/O in progress; all executions
+// fully interleave. The engine schedules one event per operation
+// completion; device and network queueing is captured by timeline
+// resources (see src/sim/resource.h). Periodic writeback policies run as
+// syncer events at their configured periods.
+#ifndef FLASHSIM_SRC_CORE_SIMULATION_H_
+#define FLASHSIM_SRC_CORE_SIMULATION_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/arch/cache_stack.h"
+#include "src/arch/stack_factory.h"
+#include "src/consistency/directory.h"
+#include "src/core/config.h"
+#include "src/core/metrics.h"
+#include "src/device/filer.h"
+#include "src/device/flash_device.h"
+#include "src/device/network_link.h"
+#include "src/device/ram_device.h"
+#include "src/device/remote_store.h"
+#include "src/sim/event_queue.h"
+#include "src/trace/source.h"
+#include "src/util/time_series.h"
+
+namespace flashsim {
+
+class Simulation {
+ public:
+  explicit Simulation(const SimConfig& config);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Runs the entire trace to completion and returns the collected metrics.
+  // May be called once per Simulation instance.
+  Metrics Run(TraceSource& source);
+
+  // Test access.
+  CacheStack& stack(int host);
+  NetworkLink& link(int host);
+  FlashDevice& flash_device(int host);
+  Filer& filer() { return *filer_; }
+  const SimConfig& config() const { return config_; }
+  const Directory& directory() const { return *directory_; }
+  uint64_t events_processed() const { return queue_.events_processed(); }
+
+  // Audits every host's cache structures; aborts on violation.
+  void CheckInvariants() const;
+
+  // Optional: record each measured read operation's latency into a
+  // time-series (warming curves). Set before Run(); not owned.
+  void set_read_latency_series(TimeSeriesRecorder* series) { read_series_ = series; }
+
+ private:
+  struct HostState;
+  class HostResidencyBridge;
+
+  int NumThreads() const { return config_.num_hosts * config_.threads_per_host; }
+  int ThreadIndex(int host, int thread) const {
+    return host * config_.threads_per_host + thread;
+  }
+
+  // Fetches the next op for the global thread index, pulling from the
+  // source and back-filling other threads' queues as needed.
+  bool NextOpFor(int thread_index, TraceRecord* record);
+
+  // Executes one operation starting at `now`; returns its completion time.
+  SimTime ExecuteOp(SimTime now, const TraceRecord& record);
+
+  void StartThread(int thread_index, SimTime now);
+  void ScheduleSyncers();
+  void SyncerStep(int host, bool ram_tier, SimTime now);
+
+  SimConfig config_;
+  EventQueue queue_;
+  std::unique_ptr<Filer> filer_;
+  std::unique_ptr<Directory> directory_;
+  std::vector<std::unique_ptr<HostState>> hosts_;
+  TraceSource* source_ = nullptr;
+  std::vector<std::deque<TraceRecord>> backlog_;  // per thread index
+  bool source_exhausted_ = false;
+  int live_threads_ = 0;
+  std::vector<bool> ram_syncer_busy_;    // per host: syncer thread mid-flush
+  std::vector<bool> flash_syncer_busy_;  // per host
+  SimTime last_op_completion_ = 0;
+  TimeSeriesRecorder* read_series_ = nullptr;
+  Metrics metrics_;
+  bool ran_ = false;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_CORE_SIMULATION_H_

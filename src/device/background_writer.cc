@@ -1,0 +1,39 @@
+#include "src/device/background_writer.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+BackgroundWriter::BackgroundWriter(EventQueue& queue, RemoteStore& remote, FlashDevice* flash,
+                                   int window)
+    : queue_(&queue), remote_(&remote), flash_(flash), window_(window) {
+  FLASHSIM_CHECK(window >= 1);
+}
+
+void BackgroundWriter::EnqueueFilerWrite(SimTime now, bool then_flash, BlockKey key) {
+  pending_.push_back(Pending{then_flash, key});
+  ++enqueued_;
+  max_pending_ = std::max(max_pending_, pending());
+  Pump(now);
+}
+
+void BackgroundWriter::Pump(SimTime now) {
+  while (active_ < window_ && !pending_.empty()) {
+    const Pending item = pending_.front();
+    pending_.pop_front();
+    ++active_;
+    const SimTime done = remote_->Write(now);
+    if (item.then_flash && flash_ != nullptr) {
+      flash_->Write(done, item.key);
+    }
+    queue_->ScheduleAt(done, [this](SimTime when) {
+      --active_;
+      ++completed_;
+      Pump(when);
+    });
+  }
+}
+
+}  // namespace flashsim

@@ -1,0 +1,69 @@
+// Shared file server ("filer") model.
+//
+// The paper deliberately does not model the filer's internals (§5): reads
+// are "fast" (its cache/read-ahead hit) with probability
+// filer_fast_read_rate and "slow" otherwise; writes land in nonvolatile
+// buffer memory and are always fast. The filer serves requests with bounded
+// concurrency; the network segments, not the filer, are the intended
+// contention point.
+#ifndef FLASHSIM_SRC_DEVICE_FILER_H_
+#define FLASHSIM_SRC_DEVICE_FILER_H_
+
+#include <cstdint>
+
+#include "src/device/timing.h"
+#include "src/sim/resource.h"
+#include "src/sim/sim_time.h"
+#include "src/util/rng.h"
+
+namespace flashsim {
+
+class Filer {
+ public:
+  Filer(const TimingModel& timing, uint64_t rng_seed)
+      : timing_(&timing), rng_(rng_seed), servers_("filer", timing.filer_concurrency) {}
+
+  // Services one block read; sets *was_fast and returns completion time.
+  SimTime Read(SimTime now, bool* was_fast) {
+    const bool fast = rng_.NextBool(timing_->filer_fast_read_rate);
+    if (was_fast != nullptr) {
+      *was_fast = fast;
+    }
+    fast ? ++fast_reads_ : ++slow_reads_;
+    const SimDuration service =
+        fast ? timing_->filer_fast_read_ns : timing_->filer_slow_read_ns;
+    return servers_.Acquire(now, service);
+  }
+
+  // Services one block write (buffered, always fast); returns completion.
+  SimTime Write(SimTime now) {
+    ++writes_;
+    return servers_.Acquire(now, timing_->filer_write_ns);
+  }
+
+  uint64_t fast_reads() const { return fast_reads_; }
+  uint64_t slow_reads() const { return slow_reads_; }
+  uint64_t reads() const { return fast_reads_ + slow_reads_; }
+  uint64_t writes() const { return writes_; }
+  SimDuration busy_time() const { return servers_.busy_time(); }
+  SimDuration wait_time() const { return servers_.wait_time(); }
+
+  void Reset() {
+    servers_.Reset();
+    fast_reads_ = 0;
+    slow_reads_ = 0;
+    writes_ = 0;
+  }
+
+ private:
+  const TimingModel* timing_;
+  Rng rng_;
+  MultiResource servers_;
+  uint64_t fast_reads_ = 0;
+  uint64_t slow_reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_DEVICE_FILER_H_

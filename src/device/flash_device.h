@@ -1,0 +1,88 @@
+// Flash cache device model.
+//
+// Default mode treats the flash as a block device behind an opaque flash
+// translation layer (§5): single average per-block read/write latencies,
+// validated in §6.2. The device services up to flash_concurrency requests
+// at once (NCQ-style); all traffic — foreground cache hits, asynchronous
+// fills, writeback flushes — shares the device, so heavy background flash
+// activity can delay foreground hits.
+//
+// FTL mode (the paper's §8 future work, see src/ftl/ftl.h) replaces the
+// average latencies with per-operation costs derived from a page-mapped
+// FTL: out-of-place writes, garbage-collection relocations, and erases.
+// Cache evictions call Trim() so a caching-aware FTL can discard dead data
+// instead of relocating it (the FlashTier idea).
+#ifndef FLASHSIM_SRC_DEVICE_FLASH_DEVICE_H_
+#define FLASHSIM_SRC_DEVICE_FLASH_DEVICE_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/device/timing.h"
+#include "src/ftl/ftl.h"
+#include "src/sim/resource.h"
+#include "src/sim/sim_time.h"
+#include "src/trace/record.h"
+#include "src/util/flat_hash.h"
+
+namespace flashsim {
+
+// Raw NAND operation timings used in FTL mode. The defaults are chosen so
+// that a GC-free device matches Table 1's averages, making average-latency
+// and FTL-backed runs directly comparable.
+struct FtlDeviceTimings {
+  SimDuration page_read_ns = 88 * kMicrosecond;
+  SimDuration page_program_ns = 21 * kMicrosecond;
+  SimDuration block_erase_ns = 2000 * kMicrosecond;
+};
+
+class FlashDevice {
+ public:
+  explicit FlashDevice(const TimingModel& timing)
+      : timing_(&timing), resource_("flash", timing.flash_concurrency) {}
+
+  // Switches to FTL mode. `logical_pages` is the cache capacity in blocks
+  // (each cached block occupies one logical page); `ftl_params.logical_pages`
+  // is overwritten with it.
+  void EnableFtl(uint64_t logical_pages, FtlParams ftl_params, const FtlDeviceTimings& timings);
+
+  // Reads one cached block; returns completion time.
+  SimTime Read(SimTime now, BlockKey key = 0);
+
+  // Writes one block (persistence doubling applies in average mode; FTL
+  // mode charges program + amortized GC work); returns completion time.
+  SimTime Write(SimTime now, BlockKey key = 0);
+
+  // Declares a block's contents dead (cache eviction/invalidation). A no-op
+  // in average mode; frees the logical page in FTL mode.
+  void Trim(BlockKey key);
+
+  bool ftl_enabled() const { return ftl_ != nullptr; }
+  const Ftl* ftl() const { return ftl_.get(); }
+
+  uint64_t reads_plus_writes() const { return resource_.requests(); }
+  SimDuration busy_time() const { return resource_.busy_time(); }
+  const MultiResource& resource() const { return resource_; }
+
+  void Reset() { resource_.Reset(); }
+
+ private:
+  // Maps a cache block key to its logical page, allocating on first write.
+  uint64_t LpnForWrite(BlockKey key);
+
+  SimDuration ServiceTime(const FtlCost& cost) const;
+
+  const TimingModel* timing_;
+  MultiResource resource_;
+
+  // FTL mode state.
+  std::unique_ptr<Ftl> ftl_;
+  FtlDeviceTimings ftl_timings_;
+  FlatHashMap<uint64_t> key_to_lpn_;
+  std::vector<uint64_t> free_lpns_;
+  std::deque<BlockKey> allocation_order_;  // fallback reclaim when full
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_DEVICE_FLASH_DEVICE_H_

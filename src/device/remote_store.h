@@ -1,0 +1,41 @@
+// End-to-end path from one host to the shared filer: network request packet,
+// filer service, network response packet. This is the composition every
+// cache stack uses for misses and writebacks.
+#ifndef FLASHSIM_SRC_DEVICE_REMOTE_STORE_H_
+#define FLASHSIM_SRC_DEVICE_REMOTE_STORE_H_
+
+#include "src/device/filer.h"
+#include "src/device/network_link.h"
+#include "src/sim/sim_time.h"
+
+namespace flashsim {
+
+class RemoteStore {
+ public:
+  RemoteStore(NetworkLink& link, Filer& filer) : link_(&link), filer_(&filer) {}
+
+  // Fetches one block: small request out, filer read, data packet back.
+  SimTime Read(SimTime now, bool* was_fast) {
+    const SimTime at_filer = link_->SendToFiler(now, /*carries_data=*/false);
+    const SimTime served = filer_->Read(at_filer, was_fast);
+    return link_->SendToHost(served, /*carries_data=*/true);
+  }
+
+  // Writes one block: data packet out, filer write, small ack back.
+  SimTime Write(SimTime now) {
+    const SimTime at_filer = link_->SendToFiler(now, /*carries_data=*/true);
+    const SimTime served = filer_->Write(at_filer);
+    return link_->SendToHost(served, /*carries_data=*/false);
+  }
+
+  NetworkLink& link() { return *link_; }
+  Filer& filer() { return *filer_; }
+
+ private:
+  NetworkLink* link_;
+  Filer* filer_;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_DEVICE_REMOTE_STORE_H_

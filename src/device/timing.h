@@ -1,0 +1,77 @@
+// Timing model parameters (paper Table 1).
+//
+// All values are per 4 KB block unless noted. The OCR of the paper prints
+// these in "ms"; the figure axes and derived results (e.g. the ~900 us
+// no-flash latency floor = 0.9 * ~141 us + 0.1 * ~8 ms) establish that the
+// units are microseconds; we store nanoseconds.
+#ifndef FLASHSIM_SRC_DEVICE_TIMING_H_
+#define FLASHSIM_SRC_DEVICE_TIMING_H_
+
+#include <cstdint>
+
+#include "src/sim/sim_time.h"
+#include "src/util/units.h"
+
+namespace flashsim {
+
+struct TimingModel {
+  // RAM cache access (read or write) per block; 400 ns ~= 10 GB/s DDR3.
+  SimDuration ram_access_ns = 400;
+
+  // Flash device, average per-block (validated in §6.2 to be a sound model).
+  SimDuration flash_read_ns = 88 * kMicrosecond;
+  SimDuration flash_write_ns = 21 * kMicrosecond;
+
+  // Network: fixed per-packet latency plus per-bit transfer time.
+  SimDuration net_packet_base_ns = 8200;  // 8.2 us
+  SimDuration net_per_bit_ns = 1;         // 1 ns/bit ~= 1 Gb/s
+
+  // Filer: cache-hit ("fast") and miss ("slow") read service, buffered write
+  // service, and the probability a read is fast (prefetch success, §7.3).
+  SimDuration filer_fast_read_ns = 92 * kMicrosecond;
+  SimDuration filer_slow_read_ns = 7952 * kMicrosecond;
+  SimDuration filer_write_ns = 92 * kMicrosecond;
+  double filer_fast_read_rate = 0.90;
+
+  // Number of requests the filer can service concurrently. High-end filers
+  // are heavily parallel; the network is the intended contention point.
+  int filer_concurrency = 64;
+
+  // Flash device queue depth. The paper models the flash with average
+  // per-block access times and no device-level queueing (its observed
+  // latencies track the device latency directly, e.g. Fig 4's ~88 us floor
+  // with eight concurrent threads), so the default is effectively
+  // "latency-only". Set to 1 to model a strictly serial device; the
+  // ablation bench sweeps this.
+  int flash_concurrency = 64;
+
+  // Maximum outstanding background write-through RPCs per host (see
+  // src/device/background_writer.h). 1 models a single write-through
+  // daemon, matching the paper's syncer-thread behavior.
+  int writeback_window = 1;
+
+  // Persistent flash cache (§7.8): every flash cache update also writes
+  // cache metadata, modeled as a doubled flash write latency.
+  bool persistent_flash = false;
+
+  // FTL mode (§8 future work, src/ftl/): derive flash service times from a
+  // page-mapped FTL (programs, GC relocations, erases) instead of the
+  // validated averages. The raw NAND timings default to Table 1's averages
+  // so a GC-free FTL device and the average model coincide.
+  bool use_ftl = false;
+  bool ftl_trim_enabled = true;  // caching-FTL TRIM on eviction (FlashTier)
+  double ftl_overprovision = 0.07;
+  uint32_t ftl_pages_per_block = 64;
+  double ftl_wear_weight = 0.0;
+  SimDuration ftl_page_read_ns = 88 * kMicrosecond;
+  SimDuration ftl_page_program_ns = 21 * kMicrosecond;
+  SimDuration ftl_block_erase_ns = 2000 * kMicrosecond;
+
+  SimDuration EffectiveFlashWrite() const {
+    return persistent_flash ? 2 * flash_write_ns : flash_write_ns;
+  }
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_DEVICE_TIMING_H_

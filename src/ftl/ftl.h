@@ -1,0 +1,133 @@
+// Page-mapped flash translation layer (the paper's §8 future work).
+//
+// The paper assumes the flash device "comes equipped with a flash
+// translation layer that handles wear leveling, erase cycles, and other
+// considerations" and validates that single average latencies model such a
+// device well (§6.2). It closes by naming a custom caching FTL (FlashTier
+// [19]) as the most interesting follow-on. This module implements that
+// substrate so the claim can be tested rather than assumed:
+//
+//   - page-mapped L2P/P2L tables over erase blocks;
+//   - out-of-place writes with an active write block;
+//   - greedy garbage collection (minimum-valid victim) with optional
+//     wear-aware victim scoring;
+//   - per-block erase counts (wear) and write-amplification accounting;
+//   - TRIM — the caching-FTL advantage: a cache can discard evicted blocks,
+//     so their pages never need to be relocated by GC.
+//
+// The FTL is deterministic and purely logical: it reports the physical
+// operations (page reads, page programs, block erases) each logical I/O
+// caused; FtlCostModel (ftl_device.h) turns those into nanoseconds.
+#ifndef FLASHSIM_SRC_FTL_FTL_H_
+#define FLASHSIM_SRC_FTL_FTL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+struct FtlParams {
+  // Logical capacity exposed to the cache, in 4 KB pages.
+  uint64_t logical_pages = 0;
+  // Raw capacity = logical * (1 + overprovision). 7% matches consumer SSDs.
+  double overprovision = 0.07;
+  uint32_t pages_per_block = 64;
+  // Free-block low watermark that triggers garbage collection.
+  uint32_t gc_low_watermark = 2;
+  // Weight of wear (erase count) in GC victim selection; 0 = pure greedy.
+  double wear_weight = 0.0;
+};
+
+// Physical operations caused by one logical operation.
+struct FtlCost {
+  uint32_t page_reads = 0;
+  uint32_t page_programs = 0;
+  uint32_t block_erases = 0;
+
+  FtlCost& operator+=(const FtlCost& other) {
+    page_reads += other.page_reads;
+    page_programs += other.page_programs;
+    block_erases += other.block_erases;
+    return *this;
+  }
+};
+
+class Ftl {
+ public:
+  explicit Ftl(const FtlParams& params);
+
+  // Reads logical page `lpn`; a page that was never written (or trimmed)
+  // still costs one page read (the device returns zeros).
+  FtlCost Read(uint64_t lpn);
+
+  // Writes logical page `lpn` out of place, invalidating any previous
+  // version; may trigger garbage collection (relocations + erases), whose
+  // physical operations are charged to this write.
+  FtlCost Write(uint64_t lpn);
+
+  // Declares `lpn`'s contents dead (cache eviction). Free for the caller;
+  // the page will not be relocated by future GC. Idempotent.
+  void Trim(uint64_t lpn);
+
+  // Accounting.
+  uint64_t host_writes() const { return host_writes_; }
+  uint64_t total_programs() const { return total_programs_; }
+  uint64_t total_erases() const { return total_erases_; }
+  uint64_t gc_runs() const { return gc_runs_; }
+  uint64_t relocated_pages() const { return relocated_pages_; }
+  // Programs per host write; 1.0 means GC never relocated anything.
+  double write_amplification() const;
+  // Wear spread: max and mean per-block erase counts.
+  uint64_t max_erase_count() const;
+  double mean_erase_count() const;
+
+  uint64_t logical_pages() const { return params_.logical_pages; }
+  uint64_t physical_blocks() const { return blocks_.size(); }
+  uint32_t free_blocks() const { return static_cast<uint32_t>(free_list_.size()); }
+
+  // Structure audit for tests; aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  struct BlockInfo {
+    uint32_t valid_pages = 0;
+    uint32_t write_pointer = 0;  // next free page slot; == pages_per_block when sealed
+    uint64_t erase_count = 0;
+  };
+
+  static constexpr uint64_t kUnmapped = UINT64_MAX;
+
+  uint64_t PhysPage(uint32_t block, uint32_t slot) const {
+    return static_cast<uint64_t>(block) * params_.pages_per_block + slot;
+  }
+
+  // Allocates the next physical page in the active block, opening a new
+  // block when full. Requires a free page to exist.
+  uint64_t AllocatePage(FtlCost* cost);
+
+  // Reclaims one victim block; relocations are charged to *cost.
+  void CollectGarbage(FtlCost* cost);
+  uint32_t PickGcVictim() const;
+
+  void InvalidatePhysical(uint64_t ppn);
+
+  FtlParams params_;
+  std::vector<uint64_t> l2p_;  // logical page -> physical page (or kUnmapped)
+  std::vector<uint64_t> p2l_;  // physical page -> logical page (or kUnmapped)
+  std::vector<BlockInfo> blocks_;
+  std::vector<uint32_t> free_list_;
+  uint32_t active_block_ = UINT32_MAX;
+  bool in_gc_ = false;
+
+  uint64_t host_writes_ = 0;
+  uint64_t total_programs_ = 0;
+  uint64_t total_erases_ = 0;
+  uint64_t gc_runs_ = 0;
+  uint64_t relocated_pages_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_FTL_FTL_H_

@@ -1,0 +1,27 @@
+#include "src/sim/event_queue.h"
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+void EventQueue::ScheduleAt(SimTime when, Callback cb) {
+  FLASHSIM_CHECK(when >= now_);
+  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+SimTime EventQueue::RunToCompletion() { return RunUntil(kSimTimeNever); }
+
+SimTime EventQueue::RunUntil(SimTime deadline) {
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    // Copy out before pop: the callback may schedule new events.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = entry.when;
+    clock_.now = entry.when;
+    ++events_processed_;
+    entry.cb(now_);
+  }
+  return now_;
+}
+
+}  // namespace flashsim

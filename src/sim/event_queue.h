@@ -1,0 +1,68 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+//
+// Events firing at equal times run in scheduling order (a monotone sequence
+// number breaks ties), which makes runs exactly deterministic regardless of
+// heap internals.
+#ifndef FLASHSIM_SRC_SIM_EVENT_QUEUE_H_
+#define FLASHSIM_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/resource.h"
+#include "src/sim/sim_time.h"
+
+namespace flashsim {
+
+// Min-heap of (time, seq) -> callback. Single-threaded.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime now)>;
+
+  // Schedules cb at absolute time `when` (must be >= current Now()).
+  void ScheduleAt(SimTime when, Callback cb);
+
+  // Schedules cb `delay` after the current time.
+  void ScheduleAfter(SimDuration delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+
+  // Runs events until the queue drains. Returns the time of the last event.
+  SimTime RunToCompletion();
+
+  // Runs events with time <= deadline; later events stay queued.
+  SimTime RunUntil(SimTime deadline);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  SimTime Now() const { return now_; }
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Monotone clock view for resources' interval pruning.
+  const SimClock* clock() const { return &clock_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  SimClock clock_;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,116 @@
+#include "src/sim/resource.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+void Resource::Prune() {
+  if (clock_ == nullptr) {
+    return;
+  }
+  // Any future Acquire's start time is >= the current event time, so
+  // intervals ending at or before it can never conflict again.
+  auto it = intervals_.begin();
+  while (it != intervals_.end() && it->second <= clock_->now) {
+    it = intervals_.erase(it);
+  }
+}
+
+SimTime Resource::FindGap(SimTime now, SimDuration service) const {
+  SimTime cursor = now;
+  auto it = intervals_.upper_bound(cursor);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > cursor) {
+      cursor = prev->second;
+    }
+  }
+  while (it != intervals_.end() && it->first < cursor + service) {
+    cursor = std::max(cursor, it->second);
+    ++it;
+  }
+  return cursor;
+}
+
+SimTime Resource::Acquire(SimTime now, SimDuration service) {
+  FLASHSIM_DCHECK(service >= 0);
+  Prune();
+  const SimTime start = FindGap(now, service);
+  const SimTime end = start + service;
+
+  // Book [start, end), merging with touching neighbors to keep the set
+  // small. Zero-length bookings still count for stats but occupy nothing.
+  if (service > 0) {
+    auto it = intervals_.upper_bound(start);
+    bool merged = false;
+    if (it != intervals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second == start) {
+        prev->second = end;
+        merged = true;
+        it = std::next(prev);
+        // Absorb a touching successor.
+        if (it != intervals_.end() && it->first == end) {
+          prev->second = it->second;
+          intervals_.erase(it);
+        }
+      }
+    }
+    if (!merged) {
+      if (it != intervals_.end() && it->first == end) {
+        // Extend the successor backwards: erase + reinsert with new start.
+        const SimTime succ_end = it->second;
+        intervals_.erase(it);
+        intervals_.emplace(start, succ_end);
+      } else {
+        intervals_.emplace(start, end);
+      }
+    }
+  }
+
+  busy_time_ += service;
+  wait_time_ += start - now;
+  ++requests_;
+  return end;
+}
+
+SimTime Resource::PeekCompletion(SimTime now, SimDuration service) const {
+  return FindGap(now, service) + service;
+}
+
+void Resource::Reset() {
+  intervals_.clear();
+  busy_time_ = 0;
+  wait_time_ = 0;
+  requests_ = 0;
+}
+
+MultiResource::MultiResource(std::string name, int servers) : name_(std::move(name)) {
+  FLASHSIM_CHECK(servers >= 1);
+  free_times_.assign(static_cast<size_t>(servers), 0);
+}
+
+SimTime MultiResource::Acquire(SimTime now, SimDuration service) {
+  FLASHSIM_DCHECK(service >= 0);
+  // free_times_ is maintained as a min-heap on next-free time.
+  std::pop_heap(free_times_.begin(), free_times_.end(), std::greater<SimTime>());
+  SimTime& slot = free_times_.back();
+  const SimTime start = std::max(now, slot);
+  slot = start + service;
+  std::push_heap(free_times_.begin(), free_times_.end(), std::greater<SimTime>());
+  busy_time_ += service;
+  wait_time_ += start - now;
+  ++requests_;
+  return start + service;
+}
+
+void MultiResource::Reset() {
+  std::fill(free_times_.begin(), free_times_.end(), 0);
+  busy_time_ = 0;
+  wait_time_ = 0;
+  requests_ = 0;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,24 @@
+// Simulated time.
+//
+// The paper's simulator worked in integer multiples of 100 ns (§7); we keep
+// int64 nanoseconds, which subsumes that granularity, and expose the Table 1
+// constants in these units.
+#ifndef FLASHSIM_SRC_SIM_SIM_TIME_H_
+#define FLASHSIM_SRC_SIM_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace flashsim {
+
+// Simulated nanoseconds since the start of the run.
+using SimTime = int64_t;
+
+// Durations share the representation; separate alias for readability.
+using SimDuration = int64_t;
+
+constexpr SimTime kSimTimeZero = 0;
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_SIM_SIM_TIME_H_

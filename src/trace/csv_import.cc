@@ -1,0 +1,134 @@
+#include "src/trace/csv_import.h"
+
+#include <cstdio>
+#include <cstring>
+#include <strings.h>
+#include <map>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+namespace {
+
+// Splits a CSV line in place; returns the number of fields found (up to
+// max_fields). Quotes are not handled — block traces don't use them.
+int SplitCsv(char* line, char* fields[], int max_fields) {
+  int count = 0;
+  char* cursor = line;
+  while (count < max_fields) {
+    fields[count++] = cursor;
+    char* comma = std::strchr(cursor, ',');
+    if (comma == nullptr) {
+      break;
+    }
+    *comma = '\0';
+    cursor = comma + 1;
+  }
+  // Trim a trailing newline from the last field.
+  char* last = fields[count - 1];
+  const size_t len = std::strlen(last);
+  if (len > 0 && (last[len - 1] == '\n' || last[len - 1] == '\r')) {
+    last[len - 1] = '\0';
+  }
+  return count;
+}
+
+bool ParseOp(const char* text, TraceOp* op) {
+  if (strncasecmp(text, "read", 4) == 0 || (text[0] == 'R' && text[1] == '\0') ||
+      (text[0] == 'r' && text[1] == '\0')) {
+    *op = TraceOp::kRead;
+    return true;
+  }
+  if (strncasecmp(text, "write", 5) == 0 || (text[0] == 'W' && text[1] == '\0') ||
+      (text[0] == 'w' && text[1] == '\0')) {
+    *op = TraceOp::kWrite;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CsvImportResult ImportBlockCsv(const std::string& csv_path, const CsvImportOptions& options,
+                               std::vector<TraceRecord>* records) {
+  FLASHSIM_CHECK(records != nullptr);
+  FLASHSIM_CHECK(options.block_bytes > 0);
+  CsvImportResult result;
+  std::FILE* file = std::fopen(csv_path.c_str(), "r");
+  if (file == nullptr) {
+    result.error = "cannot open CSV trace: " + csv_path;
+    return result;
+  }
+
+  std::map<std::string, uint16_t> host_ids;      // hostname -> host
+  std::map<std::string, uint32_t> volume_ids;    // hostname:disk -> file id
+  const size_t start_index = records->size();
+
+  char line[1024];
+  uint64_t line_number = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    ++line_number;
+    if (options.max_records != 0 && result.imported >= options.max_records) {
+      break;
+    }
+    char* fields[8];
+    const int n = SplitCsv(line, fields, 8);
+    if (n < 6) {
+      if (line_number > 1) {  // a short first line is likely the header
+        ++result.skipped;
+        if (result.first_bad_line == 0) {
+          result.first_bad_line = line_number;
+        }
+      }
+      continue;
+    }
+    TraceOp op;
+    char* end = nullptr;
+    const unsigned long long offset = std::strtoull(fields[4], &end, 10);
+    const bool offset_ok = end != fields[4];
+    const unsigned long long size = std::strtoull(fields[5], &end, 10);
+    const bool size_ok = end != fields[5] && size > 0;
+    if (!ParseOp(fields[3], &op) || !offset_ok || !size_ok) {
+      // Header lines land here too ("timestamp,hostname,...").
+      if (line_number > 1 || !offset_ok) {
+        if (line_number > 1) {
+          ++result.skipped;
+          if (result.first_bad_line == 0) {
+            result.first_bad_line = line_number;
+          }
+        }
+      }
+      continue;
+    }
+
+    const std::string hostname = fields[1];
+    const std::string volume = hostname + ":" + std::string(fields[2]);
+    auto [host_it, host_new] =
+        host_ids.emplace(hostname, static_cast<uint16_t>(host_ids.size()));
+    auto [volume_it, volume_new] =
+        volume_ids.emplace(volume, static_cast<uint32_t>(volume_ids.size()));
+
+    TraceRecord record;
+    record.op = op;
+    record.host = host_it->second;
+    record.thread = 0;  // block traces carry no thread ids
+    record.file_id = volume_it->second;
+    record.block = offset / options.block_bytes;
+    const uint64_t last_block = (offset + size - 1) / options.block_bytes;
+    record.block_count = static_cast<uint32_t>(last_block - record.block + 1);
+    records->push_back(record);
+    ++result.imported;
+  }
+  std::fclose(file);
+
+  // Flag the leading fraction as warmup.
+  const uint64_t warmup_count =
+      static_cast<uint64_t>(options.warmup_fraction * static_cast<double>(result.imported));
+  for (uint64_t i = 0; i < warmup_count; ++i) {
+    (*records)[start_index + i].warmup = true;
+  }
+  return result;
+}
+
+}  // namespace flashsim

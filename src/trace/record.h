@@ -1,0 +1,51 @@
+// Block-level trace records (§4).
+//
+// Each operation is a read or write of a range of 4 KB blocks within a file
+// and carries a host ID and thread ID. Records also carry a warmup flag:
+// the first half of each synthetic trace warms the caches and is excluded
+// from statistics (§4).
+#ifndef FLASHSIM_SRC_TRACE_RECORD_H_
+#define FLASHSIM_SRC_TRACE_RECORD_H_
+
+#include <cstdint>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+enum class TraceOp : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+// Globally unique block identity: (file_id, block index within file).
+// Packed into 64 bits for the cache indexes: 24 bits of file, 40 of block.
+using BlockKey = uint64_t;
+
+constexpr uint32_t kMaxFileId = (1u << 24) - 1;
+constexpr uint64_t kMaxBlockInFile = (1ULL << 40) - 1;
+
+inline BlockKey MakeBlockKey(uint32_t file_id, uint64_t block) {
+  FLASHSIM_DCHECK(file_id <= kMaxFileId);
+  FLASHSIM_DCHECK(block <= kMaxBlockInFile);
+  return (static_cast<uint64_t>(file_id) << 40) | block;
+}
+
+inline uint32_t FileOfKey(BlockKey key) { return static_cast<uint32_t>(key >> 40); }
+inline uint64_t BlockOfKey(BlockKey key) { return key & kMaxBlockInFile; }
+
+struct TraceRecord {
+  TraceOp op = TraceOp::kRead;
+  bool warmup = false;
+  uint16_t host = 0;
+  uint16_t thread = 0;
+  uint32_t file_id = 0;
+  uint64_t block = 0;       // first block of the range, within the file
+  uint32_t block_count = 1; // number of 4 KB blocks
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_TRACE_RECORD_H_

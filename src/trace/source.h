@@ -1,0 +1,50 @@
+// Trace sources: anything that yields a stream of TraceRecords.
+//
+// The simulator consumes traces through this interface so that file-backed
+// traces (SNIA-style conversions) and the synthetic generator are
+// interchangeable. Sources are streamed — multi-terabyte traces never need
+// to exist in memory or on disk at once.
+#ifndef FLASHSIM_SRC_TRACE_SOURCE_H_
+#define FLASHSIM_SRC_TRACE_SOURCE_H_
+
+#include <vector>
+
+#include "src/trace/record.h"
+
+namespace flashsim {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  // Produces the next record; returns false at end of trace.
+  virtual bool Next(TraceRecord* record) = 0;
+
+  // Restarts the stream from the beginning (same records again).
+  virtual void Rewind() = 0;
+};
+
+// In-memory source, mainly for tests and tiny examples.
+class VectorTraceSource : public TraceSource {
+ public:
+  explicit VectorTraceSource(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {}
+
+  bool Next(TraceRecord* record) override {
+    if (pos_ >= records_.size()) {
+      return false;
+    }
+    *record = records_[pos_++];
+    return true;
+  }
+
+  void Rewind() override { pos_ = 0; }
+
+ private:
+  std::vector<TraceRecord> records_;
+  size_t pos_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_TRACE_SOURCE_H_

@@ -1,0 +1,217 @@
+#include "src/trace/trace_file.h"
+
+#include <cstring>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+namespace {
+
+constexpr char kBinaryMagic[] = "FSIMB1\n";
+constexpr size_t kBinaryMagicLen = sizeof(kBinaryMagic) - 1;
+constexpr size_t kBinaryRecordSize = 22;
+
+void EncodeRecord(const TraceRecord& r, unsigned char out[kBinaryRecordSize]) {
+  out[0] = static_cast<unsigned char>(r.op);
+  out[1] = r.warmup ? 1 : 0;
+  out[2] = static_cast<unsigned char>(r.host & 0xff);
+  out[3] = static_cast<unsigned char>(r.host >> 8);
+  out[4] = static_cast<unsigned char>(r.thread & 0xff);
+  out[5] = static_cast<unsigned char>(r.thread >> 8);
+  for (int i = 0; i < 4; ++i) {
+    out[6 + i] = static_cast<unsigned char>((r.file_id >> (8 * i)) & 0xff);
+  }
+  for (int i = 0; i < 8; ++i) {
+    out[10 + i] = static_cast<unsigned char>((r.block >> (8 * i)) & 0xff);
+  }
+  for (int i = 0; i < 4; ++i) {
+    out[18 + i] = static_cast<unsigned char>((r.block_count >> (8 * i)) & 0xff);
+  }
+}
+
+bool DecodeRecord(const unsigned char in[kBinaryRecordSize], TraceRecord* r) {
+  if (in[0] > 1) {
+    return false;
+  }
+  r->op = static_cast<TraceOp>(in[0]);
+  r->warmup = in[1] != 0;
+  r->host = static_cast<uint16_t>(in[2] | (in[3] << 8));
+  r->thread = static_cast<uint16_t>(in[4] | (in[5] << 8));
+  r->file_id = 0;
+  for (int i = 3; i >= 0; --i) {
+    r->file_id = (r->file_id << 8) | in[6 + i];
+  }
+  r->block = 0;
+  for (int i = 7; i >= 0; --i) {
+    r->block = (r->block << 8) | in[10 + i];
+  }
+  r->block_count = 0;
+  for (int i = 3; i >= 0; --i) {
+    r->block_count = (r->block_count << 8) | in[18 + i];
+  }
+  return r->block_count > 0;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------------
+// FileTraceSource
+
+std::unique_ptr<FileTraceSource> FileTraceSource::Open(const std::string& path,
+                                                       std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open trace file: " + path;
+    }
+    return nullptr;
+  }
+  char magic[kBinaryMagicLen];
+  const size_t got = std::fread(magic, 1, kBinaryMagicLen, file);
+  TraceFormat format = TraceFormat::kText;
+  long data_offset = 0;
+  if (got == kBinaryMagicLen && std::memcmp(magic, kBinaryMagic, kBinaryMagicLen) == 0) {
+    format = TraceFormat::kBinary;
+    data_offset = static_cast<long>(kBinaryMagicLen);
+  } else {
+    std::rewind(file);
+  }
+  return std::unique_ptr<FileTraceSource>(new FileTraceSource(file, format, data_offset));
+}
+
+FileTraceSource::FileTraceSource(std::FILE* file, TraceFormat format, long data_offset)
+    : file_(file), format_(format), data_offset_(data_offset) {}
+
+FileTraceSource::~FileTraceSource() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+bool FileTraceSource::Next(TraceRecord* record) {
+  const bool ok = format_ == TraceFormat::kText ? NextText(record) : NextBinary(record);
+  if (ok) {
+    ++records_read_;
+  }
+  return ok;
+}
+
+bool FileTraceSource::NextText(TraceRecord* record) {
+  char line[256];
+  while (std::fgets(line, sizeof(line), file_) != nullptr) {
+    ++line_;
+    // Skip leading whitespace; ignore blank lines and comments.
+    char* p = line;
+    while (*p == ' ' || *p == '\t') {
+      ++p;
+    }
+    if (*p == '\0' || *p == '\n' || *p == '#') {
+      continue;
+    }
+    char op_char = 0;
+    unsigned long long host = 0;
+    unsigned long long thread = 0;
+    unsigned long long file_id = 0;
+    unsigned long long block = 0;
+    unsigned long long count = 0;
+    char warm[8] = {0};
+    const int n = std::sscanf(p, " %c %llu %llu %llu %llu %llu %7s", &op_char, &host, &thread,
+                              &file_id, &block, &count, warm);
+    const bool op_ok = op_char == 'R' || op_char == 'W' || op_char == 'r' || op_char == 'w';
+    if (n < 6 || !op_ok || count == 0 || host > 0xffff || thread > 0xffff ||
+        file_id > kMaxFileId || block > kMaxBlockInFile) {
+      if (error_line_ == 0) {
+        error_line_ = line_;
+      }
+      continue;  // Tolerate malformed lines; record where the first one was.
+    }
+    record->op = (op_char == 'W' || op_char == 'w') ? TraceOp::kWrite : TraceOp::kRead;
+    record->host = static_cast<uint16_t>(host);
+    record->thread = static_cast<uint16_t>(thread);
+    record->file_id = static_cast<uint32_t>(file_id);
+    record->block = block;
+    record->block_count = static_cast<uint32_t>(count);
+    record->warmup = n == 7 && warm[0] == 'w';
+    return true;
+  }
+  return false;
+}
+
+bool FileTraceSource::NextBinary(TraceRecord* record) {
+  unsigned char buf[kBinaryRecordSize];
+  for (;;) {
+    const size_t got = std::fread(buf, 1, kBinaryRecordSize, file_);
+    if (got != kBinaryRecordSize) {
+      return false;
+    }
+    if (DecodeRecord(buf, record)) {
+      return true;
+    }
+    if (error_line_ == 0) {
+      error_line_ = records_read_ + 1;
+    }
+  }
+}
+
+void FileTraceSource::Rewind() {
+  std::fseek(file_, data_offset_, SEEK_SET);
+  records_read_ = 0;
+  line_ = 0;
+}
+
+// ----------------------------------------------------------------------------
+// TraceFileWriter
+
+std::unique_ptr<TraceFileWriter> TraceFileWriter::Create(const std::string& path,
+                                                         TraceFormat format, std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot create trace file: " + path;
+    }
+    return nullptr;
+  }
+  if (format == TraceFormat::kBinary) {
+    std::fwrite(kBinaryMagic, 1, kBinaryMagicLen, file);
+  } else {
+    std::fputs("# fsim-text v1: <R|W> <host> <thread> <file> <block> <count> [w]\n", file);
+  }
+  return std::unique_ptr<TraceFileWriter>(new TraceFileWriter(file, format));
+}
+
+TraceFileWriter::TraceFileWriter(std::FILE* file, TraceFormat format)
+    : file_(file), format_(format) {}
+
+TraceFileWriter::~TraceFileWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void TraceFileWriter::Write(const TraceRecord& record) {
+  FLASHSIM_CHECK(file_ != nullptr);
+  if (format_ == TraceFormat::kBinary) {
+    unsigned char buf[kBinaryRecordSize];
+    EncodeRecord(record, buf);
+    std::fwrite(buf, 1, kBinaryRecordSize, file_);
+  } else {
+    std::fprintf(file_, "%c %u %u %u %llu %u%s\n",
+                 record.op == TraceOp::kWrite ? 'W' : 'R', record.host, record.thread,
+                 record.file_id, static_cast<unsigned long long>(record.block),
+                 record.block_count, record.warmup ? " w" : "");
+  }
+  ++records_written_;
+}
+
+bool TraceFileWriter::Close() {
+  if (file_ == nullptr) {
+    return true;
+  }
+  const bool ok = std::fflush(file_) == 0;
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  return ok && closed;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,66 @@
+#include "src/trace/trace_stats.h"
+
+#include <cstdio>
+
+namespace flashsim {
+
+void TraceStats::Add(const TraceRecord& record) {
+  ++num_records_;
+  if (record.op == TraceOp::kRead) {
+    ++num_reads_;
+  } else {
+    ++num_writes_;
+  }
+  if (record.warmup) {
+    ++warmup_records_;
+    warmup_blocks_ += record.block_count;
+  }
+  total_blocks_ += record.block_count;
+  io_size_blocks_.Add(static_cast<double>(record.block_count));
+  if (record.host > max_host_) {
+    max_host_ = record.host;
+  }
+  if (record.thread > max_thread_) {
+    max_thread_ = record.thread;
+  }
+  if (per_host_records_.size() <= record.host) {
+    per_host_records_.resize(record.host + 1, 0);
+  }
+  ++per_host_records_[record.host];
+  for (uint32_t i = 0; i < record.block_count; ++i) {
+    unique_blocks_[MakeBlockKey(record.file_id, record.block + i)] = 1;
+  }
+  unique_files_[record.file_id] = 1;
+}
+
+void TraceStats::AddAll(TraceSource& source) {
+  TraceRecord record;
+  while (source.Next(&record)) {
+    Add(record);
+  }
+}
+
+double TraceStats::write_fraction() const {
+  return num_records_ == 0
+             ? 0.0
+             : static_cast<double>(num_writes_) / static_cast<double>(num_records_);
+}
+
+uint64_t TraceStats::records_for_host(uint16_t host) const {
+  return host < per_host_records_.size() ? per_host_records_[host] : 0;
+}
+
+std::string TraceStats::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "records=%llu (%.1f%% writes) blocks=%llu footprint=%llu blocks "
+                "files=%llu hosts=%u warmup=%llu",
+                static_cast<unsigned long long>(num_records_), 100.0 * write_fraction(),
+                static_cast<unsigned long long>(total_blocks_),
+                static_cast<unsigned long long>(unique_blocks_.size()),
+                static_cast<unsigned long long>(unique_files_.size()), max_host_ + 1,
+                static_cast<unsigned long long>(warmup_records_));
+  return buf;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,60 @@
+// Trace summary statistics: op mix, footprint, volume, per-host spread.
+// Used to validate generated traces against their specifications and to
+// characterize imported traces.
+#ifndef FLASHSIM_SRC_TRACE_TRACE_STATS_H_
+#define FLASHSIM_SRC_TRACE_TRACE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/record.h"
+#include "src/trace/source.h"
+#include "src/util/flat_hash.h"
+#include "src/util/stats.h"
+
+namespace flashsim {
+
+class TraceStats {
+ public:
+  void Add(const TraceRecord& record);
+
+  // Drains `source` (leaving it at end) and accumulates everything.
+  void AddAll(TraceSource& source);
+
+  uint64_t num_records() const { return num_records_; }
+  uint64_t num_reads() const { return num_reads_; }
+  uint64_t num_writes() const { return num_writes_; }
+  uint64_t warmup_records() const { return warmup_records_; }
+  uint64_t total_blocks() const { return total_blocks_; }
+  uint64_t measured_blocks() const { return total_blocks_ - warmup_blocks_; }
+  uint64_t warmup_blocks() const { return warmup_blocks_; }
+  // Number of distinct (file, block) identities touched: the footprint.
+  uint64_t unique_blocks() const { return unique_blocks_.size(); }
+  uint64_t unique_files() const { return unique_files_.size(); }
+  double write_fraction() const;
+  const StreamingStats& io_size_blocks() const { return io_size_blocks_; }
+  uint16_t max_host() const { return max_host_; }
+  uint16_t max_thread() const { return max_thread_; }
+  uint64_t records_for_host(uint16_t host) const;
+
+  std::string Summary() const;
+
+ private:
+  uint64_t num_records_ = 0;
+  uint64_t num_reads_ = 0;
+  uint64_t num_writes_ = 0;
+  uint64_t warmup_records_ = 0;
+  uint64_t total_blocks_ = 0;
+  uint64_t warmup_blocks_ = 0;
+  uint16_t max_host_ = 0;
+  uint16_t max_thread_ = 0;
+  StreamingStats io_size_blocks_;
+  FlatHashMap<char> unique_blocks_;
+  FlatHashMap<char> unique_files_;
+  std::vector<uint64_t> per_host_records_;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_TRACE_TRACE_STATS_H_

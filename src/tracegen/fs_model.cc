@@ -1,0 +1,50 @@
+#include "src/tracegen/fs_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+FsModel::FsModel(const FsModelParams& params, uint64_t seed) : params_(params) {
+  FLASHSIM_CHECK(params_.total_bytes >= params_.block_bytes);
+  FLASHSIM_CHECK(params_.block_bytes > 0);
+
+  Rng rng(seed);
+  const LognormalSampler body(params_.size_mu, params_.size_sigma);
+  const ParetoSampler tail(params_.tail_scale_bytes, params_.tail_alpha);
+  const ZipfSampler popularity(params_.popularity_levels, params_.popularity_theta);
+
+  const uint64_t target_blocks = params_.total_bytes / params_.block_bytes;
+  uint64_t accumulated = 0;
+  while (accumulated < target_blocks) {
+    double size_bytes = rng.NextBool(params_.tail_fraction) ? tail.Sample(rng) : body.Sample(rng);
+    uint64_t size_blocks = static_cast<uint64_t>(
+        std::ceil(std::max(size_bytes, 1.0) / static_cast<double>(params_.block_bytes)));
+    size_blocks = std::max<uint64_t>(size_blocks, 1);
+    // Clamp the last file so the model lands on the target capacity, and
+    // clamp monsters so no single file dwarfs the filer.
+    size_blocks = std::min(size_blocks, target_blocks - accumulated + 1);
+    size_blocks = std::min(size_blocks, target_blocks / 4 + 1);
+
+    FileInfo info;
+    info.size_blocks = size_blocks;
+    // Zipf rank 0 is the most common; popularity = rank + 1 gives the
+    // "small integer popularities" of §4 (most files popularity 1).
+    info.popularity = static_cast<uint32_t>(popularity.Sample(rng)) + 1;
+    files_.push_back(info);
+    accumulated += size_blocks;
+    FLASHSIM_CHECK(files_.size() <= kMaxFileId);
+  }
+  total_blocks_ = accumulated;
+
+  std::vector<double> weights(files_.size());
+  for (size_t i = 0; i < files_.size(); ++i) {
+    weights[i] = static_cast<double>(files_[i].popularity);
+  }
+  alias_ = std::make_unique<AliasSampler>(weights);
+}
+
+}  // namespace flashsim

@@ -1,0 +1,72 @@
+// Impressions-style file server model (§4, [4]).
+//
+// The paper seeds its trace generator with a list of files and file sizes
+// from the Impressions file-system generator and assigns each file a small
+// integer popularity drawn from a Zipfian distribution. We synthesize the
+// same artifact: file sizes follow the well-established lognormal body +
+// Pareto tail shape (Agrawal et al.), scaled so the files sum to the
+// configured filer capacity (1.4 TB in the paper, divided by the scale
+// factor here).
+#ifndef FLASHSIM_SRC_TRACEGEN_FS_MODEL_H_
+#define FLASHSIM_SRC_TRACEGEN_FS_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/trace/record.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+
+namespace flashsim {
+
+struct FsModelParams {
+  uint64_t total_bytes = 0;        // target filer capacity (post-scaling)
+  uint32_t block_bytes = 4096;
+
+  // Lognormal body of the file-size distribution, in bytes.
+  double size_mu = 10.5;      // median ~ e^10.5 ~= 36 KB
+  double size_sigma = 2.3;    // heavy spread typical of real file systems
+  // A small fraction of files is resampled from a Pareto tail (large files).
+  double tail_fraction = 0.02;
+  double tail_scale_bytes = 64.0 * 1024 * 1024;
+  double tail_alpha = 1.3;
+
+  // Popularity: small integers, Zipf-distributed over a bounded range.
+  // Theta 1.8 makes popularity 1 modal (~half of files) with a small mean,
+  // matching §4's "small integer popularities".
+  uint32_t popularity_levels = 32;
+  double popularity_theta = 1.8;
+};
+
+struct FileInfo {
+  uint64_t size_blocks = 0;
+  uint32_t popularity = 1;  // small integer weight
+};
+
+// Immutable once built; sampling uses caller-provided Rngs so concurrent
+// simulations can share one model.
+class FsModel {
+ public:
+  FsModel(const FsModelParams& params, uint64_t seed);
+
+  uint32_t num_files() const { return static_cast<uint32_t>(files_.size()); }
+  const FileInfo& file(uint32_t id) const { return files_[id]; }
+  uint64_t total_blocks() const { return total_blocks_; }
+  uint32_t block_bytes() const { return params_.block_bytes; }
+  const FsModelParams& params() const { return params_; }
+
+  // Picks a file id weighted by popularity.
+  uint32_t SampleFileByPopularity(Rng& rng) const { return static_cast<uint32_t>(alias_->Sample(rng)); }
+
+ private:
+  FsModelParams params_;
+  std::vector<FileInfo> files_;
+  uint64_t total_blocks_ = 0;
+  // Built after files_; samples file ids by popularity weight.
+  std::unique_ptr<AliasSampler> alias_;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_TRACEGEN_FS_MODEL_H_

@@ -1,0 +1,64 @@
+#include "src/tracegen/generator.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+SyntheticTraceSource::SyntheticTraceSource(const FsModel& fs, const SyntheticTraceSpec& spec)
+    : fs_(&fs), spec_(spec), io_size_(spec.io_size_mean_blocks), rng_(spec.seed) {
+  FLASHSIM_CHECK(spec_.working_set_bytes > 0);
+  FLASHSIM_CHECK(spec_.num_hosts >= 1);
+  FLASHSIM_CHECK(spec_.threads_per_host >= 1);
+  FLASHSIM_CHECK(spec_.write_fraction >= 0.0 && spec_.write_fraction <= 1.0);
+  FLASHSIM_CHECK(spec_.working_set_io_fraction >= 0.0 && spec_.working_set_io_fraction <= 1.0);
+  FLASHSIM_CHECK(spec_.warmup_fraction >= 0.0 && spec_.warmup_fraction < 1.0);
+
+  ws_blocks_ = std::max<uint64_t>(spec_.working_set_bytes / fs.block_bytes(), 1);
+  const size_t num_sets = spec_.shared_working_set ? 1 : spec_.num_hosts;
+  for (size_t i = 0; i < num_sets; ++i) {
+    working_sets_.push_back(std::make_unique<WorkingSet>(
+        fs, ws_blocks_, spec_.subregion_mean_blocks,
+        Mix64(spec_.seed ^ (0x5730ULL + static_cast<uint64_t>(i)))));
+  }
+  total_blocks_target_ =
+      static_cast<uint64_t>(spec_.volume_multiplier * static_cast<double>(ws_blocks_));
+  warmup_blocks_target_ =
+      static_cast<uint64_t>(spec_.warmup_fraction * static_cast<double>(total_blocks_target_));
+}
+
+void SyntheticTraceSource::GenerateOne(TraceRecord* record) {
+  record->op = rng_.NextBool(spec_.write_fraction) ? TraceOp::kWrite : TraceOp::kRead;
+  record->host = static_cast<uint16_t>(rng_.NextBounded(spec_.num_hosts));
+  record->thread = static_cast<uint16_t>(rng_.NextBounded(spec_.threads_per_host));
+  const WorkingSet& ws = working_set(record->host);
+  if (rng_.NextBool(spec_.working_set_io_fraction)) {
+    ws.SampleIo(rng_, io_size_, &record->file_id, &record->block, &record->block_count);
+  } else {
+    SampleGlobalIo(*fs_, rng_, io_size_, &record->file_id, &record->block,
+                   &record->block_count);
+  }
+  record->warmup = emitted_blocks_ < warmup_blocks_target_;
+}
+
+bool SyntheticTraceSource::Next(TraceRecord* record) {
+  for (;;) {
+    if (emitted_blocks_ >= total_blocks_target_) {
+      return false;
+    }
+    GenerateOne(record);
+    emitted_blocks_ += record->block_count;
+    if (spec_.skip_warmup && record->warmup) {
+      continue;  // identical stream, warmup records suppressed (cold start)
+    }
+    return true;
+  }
+}
+
+void SyntheticTraceSource::Rewind() {
+  rng_.Seed(spec_.seed);
+  emitted_blocks_ = 0;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,158 @@
+#include "src/tracegen/working_set.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+namespace {
+
+// Clamped-Poisson I/O length: at least one block, at most `limit`.
+uint32_t SampleIoLength(Rng& rng, const PoissonSampler& io_size, uint64_t limit) {
+  uint64_t len = std::max<uint64_t>(io_size.Sample(rng), 1);
+  return static_cast<uint32_t>(std::min<uint64_t>(len, std::max<uint64_t>(limit, 1)));
+}
+
+}  // namespace
+
+WorkingSet::WorkingSet(const FsModel& fs, uint64_t target_blocks, double subregion_mean_blocks,
+                       uint64_t seed)
+    : fs_(&fs) {
+  FLASHSIM_CHECK(target_blocks >= 1);
+  FLASHSIM_CHECK(target_blocks <= fs.total_blocks());
+
+  Rng rng(seed);
+  const PoissonSampler subregion_len(subregion_mean_blocks);
+
+  // Per-file coverage: file -> map<start, end> of merged chosen intervals.
+  std::vector<std::map<uint64_t, uint64_t>> covered(fs.num_files());
+
+  uint64_t stuck = 0;
+  const uint64_t max_stuck = 64 * (fs.total_blocks() / std::max<uint64_t>(target_blocks, 1) + 16);
+  while (size_blocks_ < target_blocks && stuck < max_stuck) {
+    const uint32_t file_id = fs.SampleFileByPopularity(rng);
+    const FileInfo& info = fs.file(file_id);
+    uint64_t want = std::max<uint64_t>(subregion_len.Sample(rng), 1);
+    want = std::min({want, info.size_blocks, target_blocks - size_blocks_});
+    const uint64_t start =
+        info.size_blocks == want ? 0 : rng.NextBounded(info.size_blocks - want + 1);
+    uint64_t lo = start;
+    const uint64_t hi = start + want;
+
+    // Subtract existing coverage; add only new pieces so size is exact.
+    auto& ivals = covered[file_id];
+    bool added = false;
+    auto it = ivals.lower_bound(lo);
+    if (it != ivals.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > lo) {
+        lo = std::min(prev->second, hi);
+      }
+    }
+    while (lo < hi) {
+      it = ivals.lower_bound(lo);
+      const uint64_t piece_end = (it != ivals.end()) ? std::min(it->first, hi) : hi;
+      if (piece_end > lo) {
+        extents_.push_back(WsExtent{file_id, lo, piece_end - lo});
+        size_blocks_ += piece_end - lo;
+        added = true;
+      }
+      lo = (it != ivals.end()) ? std::max(piece_end, it->second) : hi;
+      if (it != ivals.end() && it->first < hi) {
+        // Skip past this existing interval.
+        lo = std::max(lo, it->second);
+      }
+    }
+    // Merge [start, hi) into the coverage map.
+    uint64_t mlo = start;
+    uint64_t mhi = hi;
+    auto first = ivals.lower_bound(mlo);
+    if (first != ivals.begin() && std::prev(first)->second >= mlo) {
+      --first;
+    }
+    auto last = first;
+    while (last != ivals.end() && last->first <= mhi) {
+      mlo = std::min(mlo, last->first);
+      mhi = std::max(mhi, last->second);
+      ++last;
+    }
+    ivals.erase(first, last);
+    ivals.emplace(mlo, mhi);
+
+    stuck = added ? 0 : stuck + 1;
+  }
+
+  // Fallback: if random sampling plateaued (tiny file systems in tests),
+  // sweep files linearly and take uncovered prefixes.
+  for (uint32_t f = 0; f < fs.num_files() && size_blocks_ < target_blocks; ++f) {
+    auto& ivals = covered[f];
+    uint64_t lo = 0;
+    const uint64_t file_end = fs.file(f).size_blocks;
+    for (auto& [istart, iend] : ivals) {
+      if (lo < istart && size_blocks_ < target_blocks) {
+        const uint64_t take = std::min(istart - lo, target_blocks - size_blocks_);
+        extents_.push_back(WsExtent{f, lo, take});
+        size_blocks_ += take;
+      }
+      lo = std::max(lo, iend);
+    }
+    if (lo < file_end && size_blocks_ < target_blocks) {
+      const uint64_t take = std::min(file_end - lo, target_blocks - size_blocks_);
+      extents_.push_back(WsExtent{f, lo, take});
+      size_blocks_ += take;
+    }
+  }
+  FLASHSIM_CHECK(size_blocks_ == target_blocks);
+  FLASHSIM_CHECK(!extents_.empty());
+
+  // Extent sampling weight: file popularity x extent length, approximating
+  // "I/Os among files weighted by popularity" with uniform offsets.
+  std::vector<double> weights(extents_.size());
+  for (size_t i = 0; i < extents_.size(); ++i) {
+    weights[i] = static_cast<double>(fs.file(extents_[i].file_id).popularity) *
+                 static_cast<double>(extents_[i].length);
+  }
+  alias_ = std::make_unique<AliasSampler>(weights);
+
+  // Flattened coverage for Contains().
+  for (uint32_t f = 0; f < fs.num_files(); ++f) {
+    for (auto& [istart, iend] : covered[f]) {
+      coverage_[{f, istart}] = iend;
+    }
+  }
+}
+
+void WorkingSet::SampleIo(Rng& rng, const PoissonSampler& io_size, uint32_t* file_id,
+                          uint64_t* block, uint32_t* count) const {
+  const WsExtent& extent = extents_[alias_->Sample(rng)];
+  const uint32_t len = SampleIoLength(rng, io_size, extent.length);
+  const uint64_t start =
+      extent.length == len ? 0 : rng.NextBounded(extent.length - len + 1);
+  *file_id = extent.file_id;
+  *block = extent.start + start;
+  *count = len;
+}
+
+bool WorkingSet::Contains(uint32_t file_id, uint64_t block) const {
+  auto it = coverage_.upper_bound({file_id, block});
+  if (it == coverage_.begin()) {
+    return false;
+  }
+  --it;
+  return it->first.first == file_id && it->first.second <= block && block < it->second;
+}
+
+void SampleGlobalIo(const FsModel& fs, Rng& rng, const PoissonSampler& io_size,
+                    uint32_t* file_id, uint64_t* block, uint32_t* count) {
+  const uint32_t f = fs.SampleFileByPopularity(rng);
+  const FileInfo& info = fs.file(f);
+  const uint32_t len = SampleIoLength(rng, io_size, info.size_blocks);
+  const uint64_t start =
+      info.size_blocks == len ? 0 : rng.NextBounded(info.size_blocks - len + 1);
+  *file_id = f;
+  *block = start;
+  *count = len;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,62 @@
+// Working sets: popularity-weighted collections of file subregions (§4).
+//
+// The generator samples the file-server model to produce a working set of
+// the requested size: files are chosen by popularity, subregion lengths are
+// Poisson, subregion starting points uniform. Overlapping picks are clipped
+// so the working set's block count is exact, which matters because every
+// experiment's x-axis is "working set size vs. cache size".
+#ifndef FLASHSIM_SRC_TRACEGEN_WORKING_SET_H_
+#define FLASHSIM_SRC_TRACEGEN_WORKING_SET_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/tracegen/fs_model.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+
+namespace flashsim {
+
+struct WsExtent {
+  uint32_t file_id = 0;
+  uint64_t start = 0;   // first block within the file
+  uint64_t length = 0;  // in blocks
+};
+
+class WorkingSet {
+ public:
+  // Builds a working set of ~target_blocks (exact except the final extent,
+  // which is trimmed to land on target) from the model.
+  WorkingSet(const FsModel& fs, uint64_t target_blocks, double subregion_mean_blocks,
+             uint64_t seed);
+
+  uint64_t size_blocks() const { return size_blocks_; }
+  const std::vector<WsExtent>& extents() const { return extents_; }
+
+  // Samples an I/O from inside the working set: extent by popularity*length,
+  // start uniform, length Poisson clamped to the extent.
+  void SampleIo(Rng& rng, const PoissonSampler& io_size, uint32_t* file_id, uint64_t* block,
+                uint32_t* count) const;
+
+  // True if (file, block) lies inside the working set; O(log n), test use.
+  bool Contains(uint32_t file_id, uint64_t block) const;
+
+ private:
+  const FsModel* fs_;
+  std::vector<WsExtent> extents_;
+  uint64_t size_blocks_ = 0;
+  std::unique_ptr<AliasSampler> alias_;
+  // Per-file merged coverage intervals [start -> end), for Contains().
+  std::map<std::pair<uint32_t, uint64_t>, uint64_t> coverage_;
+};
+
+// Samples an I/O from the whole file server (the non-working-set 20%):
+// file by popularity, start uniform, length Poisson clamped to the file.
+void SampleGlobalIo(const FsModel& fs, Rng& rng, const PoissonSampler& io_size,
+                    uint32_t* file_id, uint64_t* block, uint32_t* count);
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_TRACEGEN_WORKING_SET_H_

@@ -1,0 +1,36 @@
+// Lightweight assertion macros used throughout the simulator.
+//
+// FLASHSIM_CHECK is always on (simulation correctness depends on these
+// invariants and the cost is negligible next to the event loop); DCHECK
+// compiles out in NDEBUG builds and is reserved for hot paths.
+#ifndef FLASHSIM_SRC_UTIL_ASSERT_H_
+#define FLASHSIM_SRC_UTIL_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flashsim {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "%s:%d: CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace flashsim
+
+#define FLASHSIM_CHECK(expr)                                 \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::flashsim::CheckFailed(__FILE__, __LINE__, #expr);    \
+    }                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define FLASHSIM_DCHECK(expr) \
+  do {                        \
+  } while (0)
+#else
+#define FLASHSIM_DCHECK(expr) FLASHSIM_CHECK(expr)
+#endif
+
+#endif  // FLASHSIM_SRC_UTIL_ASSERT_H_

@@ -1,0 +1,186 @@
+#include "src/util/distributions.h"
+
+#include <cmath>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+// ----------------------------------------------------------------------------
+// ZipfSampler
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  FLASHSIM_CHECK(n >= 1);
+  FLASHSIM_CHECK(theta >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta));
+}
+
+double ZipfSampler::H(double x) const {
+  // Integral of 1/t^theta: (x^(1-theta) - 1)/(1-theta), with the log limit.
+  const double one_minus = 1.0 - theta_;
+  if (std::fabs(one_minus) < 1e-12) {
+    return std::log(x);
+  }
+  return (std::pow(x, one_minus) - 1.0) / one_minus;
+}
+
+double ZipfSampler::HInverse(double x) const {
+  const double one_minus = 1.0 - theta_;
+  if (std::fabs(one_minus) < 1e-12) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + one_minus * x, 1.0 / one_minus);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) {
+    return 0;
+  }
+  for (;;) {
+    const double u = h_x1_ + rng.NextDouble() * (h_n_ - h_x1_);
+    const double x = HInverse(u);
+    const double k = std::floor(x + 0.5);
+    if (k - x <= s_) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+    if (u >= H(k + 0.5) - std::pow(k, -theta_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+// ----------------------------------------------------------------------------
+// PoissonSampler
+
+namespace {
+constexpr double kSmallMeanCutoff = 10.0;
+}  // namespace
+
+PoissonSampler::PoissonSampler(double mean) : mean_(mean) {
+  FLASHSIM_CHECK(mean >= 0.0);
+  if (mean_ >= kSmallMeanCutoff) {
+    b_ = 0.931 + 2.53 * std::sqrt(mean_);
+    a_ = -0.059 + 0.02483 * b_;
+    inv_alpha_ = 1.1239 + 1.1328 / (b_ - 3.4);
+    v_r_ = 0.9277 - 3.6224 / (b_ - 2.0);
+  }
+}
+
+uint64_t PoissonSampler::Sample(Rng& rng) const {
+  if (mean_ == 0.0) {
+    return 0;
+  }
+  return mean_ < kSmallMeanCutoff ? SampleSmall(rng) : SampleLarge(rng);
+}
+
+uint64_t PoissonSampler::SampleSmall(Rng& rng) const {
+  // Inversion by sequential search (Devroye); exact for small means.
+  const double limit = std::exp(-mean_);
+  uint64_t k = 0;
+  double prod = rng.NextDouble();
+  while (prod > limit) {
+    prod *= rng.NextDouble();
+    ++k;
+  }
+  return k;
+}
+
+uint64_t PoissonSampler::SampleLarge(Rng& rng) const {
+  // PTRS transformed rejection (Hormann 1993).
+  for (;;) {
+    const double u = rng.NextDouble() - 0.5;
+    const double v = rng.NextDouble();
+    const double us = 0.5 - std::fabs(u);
+    const double k = std::floor((2.0 * a_ / us + b_) * u + mean_ + 0.43);
+    if (us >= 0.07 && v <= v_r_) {
+      return static_cast<uint64_t>(k);
+    }
+    if (k < 0.0 || (us < 0.013 && v > us)) {
+      continue;
+    }
+    const double log_mean = std::log(mean_);
+    if (std::log(v * inv_alpha_ / (a_ / (us * us) + b_)) <=
+        k * log_mean - mean_ - std::lgamma(k + 1.0)) {
+      return static_cast<uint64_t>(k);
+    }
+  }
+}
+
+// ----------------------------------------------------------------------------
+// Normal / lognormal / Pareto
+
+double SampleStandardNormal(Rng& rng) {
+  // Polar Box-Muller; discard the second variate to stay stateless.
+  for (;;) {
+    const double x = 2.0 * rng.NextDouble() - 1.0;
+    const double y = 2.0 * rng.NextDouble() - 1.0;
+    const double r2 = x * x + y * y;
+    if (r2 > 0.0 && r2 < 1.0) {
+      return x * std::sqrt(-2.0 * std::log(r2) / r2);
+    }
+  }
+}
+
+double LognormalSampler::Sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * SampleStandardNormal(rng));
+}
+
+double ParetoSampler::Sample(Rng& rng) const {
+  // Inverse transform: x_m / U^(1/alpha), with U in (0, 1].
+  double u = 1.0 - rng.NextDouble();
+  return x_m_ / std::pow(u, 1.0 / alpha_);
+}
+
+// ----------------------------------------------------------------------------
+// AliasSampler
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  FLASHSIM_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    FLASHSIM_CHECK(w >= 0.0);
+    total += w;
+  }
+  FLASHSIM_CHECK(total > 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers land at probability 1.
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  const size_t column = rng.NextBounded(prob_.size());
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace flashsim

@@ -1,0 +1,113 @@
+// Random-variate samplers used by the trace generator and device models.
+//
+// The paper's generator (§4) draws file popularities from a Zipfian
+// distribution, I/O sizes and working-set subregion lengths from a Poisson
+// distribution (clamped to file size), and offsets uniformly. The
+// Impressions-style file system model uses a lognormal body with a Pareto
+// tail for file sizes. The SSD profile (Fig 1) uses lognormal latency noise.
+#ifndef FLASHSIM_SRC_UTIL_DISTRIBUTIONS_H_
+#define FLASHSIM_SRC_UTIL_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace flashsim {
+
+// Samples integers in [0, n) with P(k) proportional to 1/(k+1)^theta.
+// Uses rejection-inversion (Hormann & Derflinger 1996), the same algorithm
+// as std::discrete Zipf implementations; O(1) per draw after O(1) setup.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_ = 0;
+  double theta_ = 0.0;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double s_ = 0.0;
+};
+
+// Poisson sampler. Uses inversion by sequential search for small means and
+// the PTRS transformed-rejection method for large means; exact in both
+// regimes.
+class PoissonSampler {
+ public:
+  explicit PoissonSampler(double mean);
+
+  uint64_t Sample(Rng& rng) const;
+
+  double mean() const { return mean_; }
+
+ private:
+  uint64_t SampleSmall(Rng& rng) const;
+  uint64_t SampleLarge(Rng& rng) const;
+
+  double mean_ = 0.0;
+  // Precomputed constants for the PTRS method.
+  double b_ = 0.0;
+  double a_ = 0.0;
+  double inv_alpha_ = 0.0;
+  double v_r_ = 0.0;
+};
+
+// Lognormal sampler: exp(N(mu, sigma^2)).
+class LognormalSampler {
+ public:
+  LognormalSampler(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+
+  double Sample(Rng& rng) const;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+// Pareto sampler with scale x_m and shape alpha (heavy tail for large files).
+class ParetoSampler {
+ public:
+  ParetoSampler(double x_m, double alpha) : x_m_(x_m), alpha_(alpha) {}
+
+  double Sample(Rng& rng) const;
+
+ private:
+  double x_m_;
+  double alpha_;
+};
+
+// Draws a standard normal variate via the polar Box-Muller method (no cached
+// second value, to keep samplers stateless).
+double SampleStandardNormal(Rng& rng);
+
+// Weighted discrete sampler over arbitrary non-negative weights using Walker's
+// alias method: O(n) setup, O(1) per draw. Used to pick files by popularity.
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_UTIL_DISTRIBUTIONS_H_

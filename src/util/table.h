@@ -1,0 +1,39 @@
+// Tabular output for benchmark harnesses: aligned console tables plus CSV,
+// so each figure's series can be eyeballed and re-plotted.
+#ifndef FLASHSIM_SRC_UTIL_TABLE_H_
+#define FLASHSIM_SRC_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flashsim {
+
+// Collects rows of string cells and renders them padded to column widths, or
+// as CSV. Construction order is header first, then AddRow per data row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Cell(double value, int precision = 2);
+  static std::string Cell(int64_t value);
+  static std::string Cell(uint64_t value);
+
+  void PrintAligned(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_UTIL_TABLE_H_

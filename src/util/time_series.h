@@ -1,0 +1,51 @@
+// Windowed time-series collection: mean latency per fixed window of
+// simulated time. Used to plot warming curves (how long a cold cache takes
+// to recover, Fig 10's underlying dynamics) and syncer-period effects.
+#ifndef FLASHSIM_SRC_UTIL_TIME_SERIES_H_
+#define FLASHSIM_SRC_UTIL_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+#include "src/util/assert.h"
+#include "src/util/stats.h"
+
+namespace flashsim {
+
+class TimeSeriesRecorder {
+ public:
+  explicit TimeSeriesRecorder(SimDuration window_ns) : window_ns_(window_ns) {
+    FLASHSIM_CHECK(window_ns > 0);
+  }
+
+  // Records a sample at simulated time `when`. Samples may arrive slightly
+  // out of order across threads; each lands in its own window.
+  void Record(SimTime when, double value) {
+    const size_t index = static_cast<size_t>(when / window_ns_);
+    if (index >= windows_.size()) {
+      windows_.resize(index + 1);
+    }
+    windows_[index].Add(value);
+  }
+
+  size_t num_windows() const { return windows_.size(); }
+  SimDuration window_ns() const { return window_ns_; }
+  SimTime window_start(size_t index) const {
+    return static_cast<SimTime>(index) * window_ns_;
+  }
+  const StreamingStats& window(size_t index) const { return windows_[index]; }
+
+  // Mean of window `index`, or fallback when the window holds no samples.
+  double WindowMean(size_t index, double fallback = 0.0) const {
+    return windows_[index].count() == 0 ? fallback : windows_[index].mean();
+  }
+
+ private:
+  SimDuration window_ns_;
+  std::vector<StreamingStats> windows_;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_UTIL_TIME_SERIES_H_

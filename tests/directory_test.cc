@@ -1,0 +1,86 @@
+#include "src/consistency/directory.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(Directory, TracksResidency) {
+  Directory dir(4);
+  dir.NoteCached(0, 100);
+  dir.NoteCached(2, 100);
+  EXPECT_TRUE(dir.IsCachedBy(0, 100));
+  EXPECT_FALSE(dir.IsCachedBy(1, 100));
+  EXPECT_TRUE(dir.IsCachedBy(2, 100));
+  EXPECT_EQ(dir.holders(100), 0b101u);
+  dir.NoteDropped(0, 100);
+  EXPECT_FALSE(dir.IsCachedBy(0, 100));
+  EXPECT_EQ(dir.holders(100), 0b100u);
+}
+
+TEST(Directory, DropUnknownBlockIsHarmless) {
+  Directory dir(2);
+  dir.NoteDropped(1, 42);
+  EXPECT_EQ(dir.holders(42), 0u);
+}
+
+TEST(Directory, WriteWithNoOtherHoldersNeedsNoInvalidation) {
+  Directory dir(2);
+  dir.NoteCached(0, 7);
+  EXPECT_EQ(dir.OnBlockWrite(0, 7, /*measured=*/true), 0u);
+  EXPECT_EQ(dir.measured_writes(), 1u);
+  EXPECT_EQ(dir.invalidating_writes(), 0u);
+  EXPECT_DOUBLE_EQ(dir.invalidation_rate(), 0.0);
+}
+
+TEST(Directory, WriteInvalidatesOtherHolders) {
+  Directory dir(3);
+  dir.NoteCached(0, 7);
+  dir.NoteCached(1, 7);
+  dir.NoteCached(2, 7);
+  const uint64_t stale = dir.OnBlockWrite(0, 7, /*measured=*/true);
+  EXPECT_EQ(stale, 0b110u);
+  EXPECT_EQ(dir.invalidating_writes(), 1u);
+  EXPECT_EQ(dir.invalidations(), 2u);
+  EXPECT_DOUBLE_EQ(dir.invalidation_rate(), 1.0);
+}
+
+TEST(Directory, WriteByNonHolderStillInvalidates) {
+  Directory dir(2);
+  dir.NoteCached(1, 9);
+  EXPECT_EQ(dir.OnBlockWrite(0, 9, true), 0b10u);
+}
+
+TEST(Directory, WarmupWritesNotCounted) {
+  Directory dir(2);
+  dir.NoteCached(1, 9);
+  const uint64_t stale = dir.OnBlockWrite(0, 9, /*measured=*/false);
+  EXPECT_EQ(stale, 0b10u);  // invalidation still reported for correctness
+  EXPECT_EQ(dir.measured_writes(), 0u);
+  EXPECT_EQ(dir.invalidating_writes(), 0u);
+}
+
+TEST(Directory, RateAveragesOverWrites) {
+  Directory dir(2);
+  dir.NoteCached(1, 1);
+  dir.OnBlockWrite(0, 1, true);  // invalidating
+  dir.OnBlockWrite(0, 2, true);  // not
+  dir.OnBlockWrite(0, 3, true);  // not
+  dir.OnBlockWrite(0, 4, true);  // not
+  EXPECT_DOUBLE_EQ(dir.invalidation_rate(), 0.25);
+}
+
+TEST(Directory, EmptyDirectoryHoldsNothing) {
+  Directory dir(1);
+  EXPECT_EQ(dir.holders(5), 0u);
+  EXPECT_FALSE(dir.IsCachedBy(0, 5));
+  EXPECT_DOUBLE_EQ(dir.invalidation_rate(), 0.0);
+}
+
+TEST(DirectoryDeathTest, RejectsTooManyHosts) {
+  EXPECT_DEATH(Directory dir(65), "CHECK failed");
+  EXPECT_DEATH(Directory dir(0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace flashsim

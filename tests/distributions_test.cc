@@ -1,0 +1,183 @@
+#include "src/util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace flashsim {
+namespace {
+
+TEST(Zipf, SingleElement) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 0u);
+  }
+}
+
+TEST(Zipf, StaysInRange) {
+  ZipfSampler zipf(100, 1.2);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_LT(zipf.Sample(rng), 100u);
+  }
+}
+
+TEST(Zipf, RankZeroMostFrequent) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 200000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  // Monotone-ish decay: rank 0 beats rank 1 beats rank 5 beats rank 20.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[5], counts[20]);
+}
+
+TEST(Zipf, MatchesTheoreticalHeadProbability) {
+  const double theta = 1.0;
+  const uint64_t n = 100;
+  ZipfSampler zipf(n, theta);
+  Rng rng(4);
+  const int draws = 400000;
+  int zero = 0;
+  for (int i = 0; i < draws; ++i) {
+    zero += zipf.Sample(rng) == 0 ? 1 : 0;
+  }
+  double harmonic = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    harmonic += 1.0 / static_cast<double>(k);
+  }
+  const double expected = 1.0 / harmonic;
+  EXPECT_NEAR(static_cast<double>(zero) / draws, expected, 0.01);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 50);
+  }
+}
+
+TEST(Poisson, ZeroMeanIsAlwaysZero) {
+  PoissonSampler poisson(0.0);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(poisson.Sample(rng), 0u);
+  }
+}
+
+class PoissonMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMoments, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  PoissonSampler poisson(mean);
+  Rng rng(static_cast<uint64_t>(mean * 1000) + 7);
+  const int n = 300000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(poisson.Sample(rng));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double sample_mean = sum / n;
+  const double sample_var = sum_sq / n - sample_mean * sample_mean;
+  EXPECT_NEAR(sample_mean, mean, 0.05 * mean + 0.02);
+  EXPECT_NEAR(sample_var, mean, 0.08 * mean + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLargeMeans, PoissonMoments,
+                         ::testing::Values(0.5, 1.0, 4.0, 9.9, 10.1, 40.0, 500.0));
+
+TEST(Lognormal, MedianIsExpMu) {
+  LognormalSampler lognormal(2.0, 0.7);
+  Rng rng(8);
+  const int n = 200000;
+  int below = 0;
+  const double median = std::exp(2.0);
+  for (int i = 0; i < n; ++i) {
+    below += lognormal.Sample(rng) < median ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+TEST(Pareto, NeverBelowScale) {
+  ParetoSampler pareto(5.0, 1.5);
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_GE(pareto.Sample(rng), 5.0);
+  }
+}
+
+TEST(Pareto, TailProbabilityMatches) {
+  // P(X > 2*xm) = (1/2)^alpha.
+  const double alpha = 2.0;
+  ParetoSampler pareto(1.0, alpha);
+  Rng rng(10);
+  const int n = 300000;
+  int above = 0;
+  for (int i = 0; i < n; ++i) {
+    above += pareto.Sample(rng) > 2.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / n, std::pow(0.5, alpha), 0.01);
+}
+
+TEST(StandardNormal, MomentsMatch) {
+  Rng rng(11);
+  const int n = 300000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = SampleStandardNormal(rng);
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Alias, RespectsWeights) {
+  AliasSampler alias({1.0, 2.0, 3.0, 4.0});
+  Rng rng(12);
+  std::vector<int> counts(4, 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[alias.Sample(rng)];
+  }
+  for (int k = 0; k < 4; ++k) {
+    const double expected = (k + 1) / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, expected, 0.01);
+  }
+}
+
+TEST(Alias, ZeroWeightNeverSampled) {
+  AliasSampler alias({0.0, 1.0, 0.0, 1.0});
+  Rng rng(13);
+  for (int i = 0; i < 100000; ++i) {
+    const size_t k = alias.Sample(rng);
+    ASSERT_TRUE(k == 1 || k == 3);
+  }
+}
+
+TEST(Alias, SingleElement) {
+  AliasSampler alias({42.0});
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(alias.Sample(rng), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace flashsim

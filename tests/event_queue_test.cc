@@ -1,0 +1,105 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace flashsim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(30, [&](SimTime) { order.push_back(3); });
+  queue.ScheduleAt(10, [&](SimTime) { order.push_back(1); });
+  queue.ScheduleAt(20, [&](SimTime) { order.push_back(2); });
+  queue.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesRunInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.ScheduleAt(5, [&, i](SimTime) { order.push_back(i); });
+  }
+  queue.RunToCompletion();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CallbackSeesEventTime) {
+  EventQueue queue;
+  SimTime seen = -1;
+  queue.ScheduleAt(123, [&](SimTime now) { seen = now; });
+  queue.RunToCompletion();
+  EXPECT_EQ(seen, 123);
+  EXPECT_EQ(queue.Now(), 123);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void(SimTime)> chain = [&](SimTime now) {
+    ++fired;
+    if (fired < 5) {
+      queue.ScheduleAt(now + 10, chain);
+    }
+  };
+  queue.ScheduleAt(0, chain);
+  const SimTime end = queue.RunToCompletion();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(end, 40);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue queue;
+  SimTime second_fire = -1;
+  queue.ScheduleAt(100, [&](SimTime) {
+    queue.ScheduleAfter(50, [&](SimTime now) { second_fire = now; });
+  });
+  queue.RunToCompletion();
+  EXPECT_EQ(second_fire, 150);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.ScheduleAt(10, [&](SimTime) { ++fired; });
+  queue.ScheduleAt(100, [&](SimTime) { ++fired; });
+  queue.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.size(), 1u);
+  queue.RunToCompletion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CountsProcessedEvents) {
+  EventQueue queue;
+  for (int i = 0; i < 7; ++i) {
+    queue.ScheduleAt(i, [](SimTime) {});
+  }
+  queue.RunToCompletion();
+  EXPECT_EQ(queue.events_processed(), 7u);
+}
+
+TEST(EventQueue, ClockTracksNow) {
+  EventQueue queue;
+  const SimClock* clock = queue.clock();
+  EXPECT_EQ(clock->now, 0);
+  queue.ScheduleAt(77, [&](SimTime) { EXPECT_EQ(clock->now, 77); });
+  queue.RunToCompletion();
+  EXPECT_EQ(clock->now, 77);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
+  EventQueue queue;
+  queue.ScheduleAt(100, [&](SimTime) {
+    EXPECT_DEATH(queue.ScheduleAt(50, [](SimTime) {}), "CHECK failed");
+  });
+  queue.RunToCompletion();
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,92 @@
+#include "src/core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+ExperimentParams SmallParams() {
+  // A run small enough for unit tests: paper-geometry ratios at 1/1024
+  // scale (8 GB RAM -> 8 MiB, 64 GB flash -> 64 MiB, 60 GB WS -> 60 MiB).
+  ExperimentParams params;
+  params.scale = 1024;
+  params.working_set_gib = 60.0;
+  params.filer_tib = 0.25;  // keep the memoized model small
+  params.seed = 3;
+  return params;
+}
+
+TEST(Experiment, ScalingDividesCapacitiesNotTimings) {
+  ExperimentParams params = SmallParams();
+  const SimConfig config = BuildSimConfig(params);
+  EXPECT_EQ(config.ram_bytes, 8 * kGiB / 1024);
+  EXPECT_EQ(config.flash_bytes, 64 * kGiB / 1024);
+  EXPECT_EQ(config.timing.flash_read_ns, 88 * kMicrosecond);  // unscaled
+  const SyntheticTraceSpec spec = BuildTraceSpec(params);
+  EXPECT_EQ(spec.working_set_bytes, 60 * kGiB / 1024);
+  EXPECT_DOUBLE_EQ(spec.write_fraction, 0.30);
+}
+
+TEST(Experiment, SpecCarriesWorkloadKnobs) {
+  ExperimentParams params = SmallParams();
+  params.hosts = 2;
+  params.write_fraction = 0.6;
+  params.skip_warmup = true;
+  params.shared_working_set = false;
+  const SyntheticTraceSpec spec = BuildTraceSpec(params);
+  EXPECT_EQ(spec.num_hosts, 2);
+  EXPECT_DOUBLE_EQ(spec.write_fraction, 0.6);
+  EXPECT_TRUE(spec.skip_warmup);
+  EXPECT_FALSE(spec.shared_working_set);
+}
+
+TEST(Experiment, FsModelIsMemoized) {
+  const FsModel& a = GetFsModel(64 * kMiB, 4096, 5);
+  const FsModel& b = GetFsModel(64 * kMiB, 4096, 5);
+  EXPECT_EQ(&a, &b);
+  const FsModel& c = GetFsModel(64 * kMiB, 4096, 6);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Experiment, BaselineRunProducesSaneMetrics) {
+  const ExperimentResult result = RunExperiment(SmallParams());
+  const Metrics& m = result.metrics;
+  EXPECT_GT(m.trace_records, 10000u);
+  EXPECT_GT(m.read_latency.count(), 1000u);
+  EXPECT_GT(m.write_latency.count(), 1000u);
+  // 60 GB-equivalent working set in a 64 GB-equivalent flash: most reads
+  // hit the flash, reads cost tens-to-hundreds of microseconds.
+  EXPECT_GT(m.flash_hit_rate(), 0.5);
+  EXPECT_GT(m.mean_read_us(), 50.0);
+  EXPECT_LT(m.mean_read_us(), 600.0);
+  // Writes land in RAM at periodic policy: a handful of microseconds tops.
+  EXPECT_LT(m.mean_write_us(), 25.0);
+  EXPECT_GT(m.end_time, 0);
+}
+
+TEST(Experiment, DeterministicForSameParams) {
+  const ExperimentResult a = RunExperiment(SmallParams());
+  const ExperimentResult b = RunExperiment(SmallParams());
+  EXPECT_DOUBLE_EQ(a.metrics.read_latency.mean_ns(), b.metrics.read_latency.mean_ns());
+  EXPECT_EQ(a.metrics.end_time, b.metrics.end_time);
+  EXPECT_EQ(a.metrics.filer_fast_reads, b.metrics.filer_fast_reads);
+}
+
+TEST(Experiment, BiggerFlashNeverHurtsFlashHitRate) {
+  ExperimentParams params = SmallParams();
+  params.working_set_gib = 80.0;
+  params.flash_gib = 32.0;
+  const double small_flash = RunExperiment(params).metrics.flash_hit_rate();
+  params.flash_gib = 128.0;
+  const double big_flash = RunExperiment(params).metrics.flash_hit_rate();
+  EXPECT_GT(big_flash, small_flash);
+}
+
+TEST(ExperimentDeathTest, WorkingSetMustFitTheFiler) {
+  ExperimentParams params = SmallParams();
+  params.working_set_gib = 10000.0;
+  EXPECT_DEATH(RunExperiment(params), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace flashsim

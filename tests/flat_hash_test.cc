@@ -1,0 +1,156 @@
+#include "src/util/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/util/rng.h"
+
+namespace flashsim {
+namespace {
+
+TEST(FlatHashMap, EmptyFindsNothing) {
+  FlatHashMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);
+  EXPECT_FALSE(map.Contains(0));
+}
+
+TEST(FlatHashMap, InsertAndFind) {
+  FlatHashMap<int> map;
+  map.Insert(1, 10);
+  map.Insert(2, 20);
+  ASSERT_NE(map.Find(1), nullptr);
+  EXPECT_EQ(*map.Find(1), 10);
+  EXPECT_EQ(*map.Find(2), 20);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatHashMap, InsertOverwrites) {
+  FlatHashMap<int> map;
+  map.Insert(7, 1);
+  map.Insert(7, 2);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.Find(7), 2);
+}
+
+TEST(FlatHashMap, BracketDefaultConstructs) {
+  FlatHashMap<uint64_t> map;
+  EXPECT_EQ(map[5], 0u);
+  map[5] = 99;
+  EXPECT_EQ(map[5], 99u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap, EraseRemovesAndReturnsPresence) {
+  FlatHashMap<int> map;
+  map.Insert(1, 10);
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Erase(1));
+  EXPECT_EQ(map.Find(1), nullptr);
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(FlatHashMap, GrowsBeyondInitialCapacity) {
+  FlatHashMap<uint64_t> map;
+  for (uint64_t k = 0; k < 10000; ++k) {
+    map.Insert(k * 2 + 1, k);
+  }
+  EXPECT_EQ(map.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(map.Find(k * 2 + 1), nullptr);
+    EXPECT_EQ(*map.Find(k * 2 + 1), k);
+    EXPECT_EQ(map.Find(k * 2), nullptr);
+  }
+}
+
+TEST(FlatHashMap, BackwardShiftKeepsProbeChainsIntact) {
+  // Dense keys stress probe displacement; erase every other key and verify
+  // the survivors remain reachable.
+  FlatHashMap<uint64_t> map;
+  for (uint64_t k = 0; k < 4096; ++k) {
+    map.Insert(k, k);
+  }
+  for (uint64_t k = 0; k < 4096; k += 2) {
+    EXPECT_TRUE(map.Erase(k));
+  }
+  for (uint64_t k = 1; k < 4096; k += 2) {
+    ASSERT_NE(map.Find(k), nullptr) << k;
+    EXPECT_EQ(*map.Find(k), k);
+  }
+  EXPECT_EQ(map.size(), 2048u);
+}
+
+TEST(FlatHashMap, RandomizedAgainstStdUnorderedMap) {
+  FlatHashMap<uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> reference;
+  Rng rng(99);
+  for (int step = 0; step < 200000; ++step) {
+    const uint64_t key = rng.NextBounded(500);
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const uint64_t value = rng.Next();
+        map.Insert(key, value);
+        reference[key] = value;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(map.Erase(key), reference.erase(key) > 0) << "step " << step;
+        break;
+      }
+      default: {
+        auto it = reference.find(key);
+        const uint64_t* found = map.Find(key);
+        if (it == reference.end()) {
+          ASSERT_EQ(found, nullptr) << "step " << step;
+        } else {
+          ASSERT_NE(found, nullptr) << "step " << step;
+          ASSERT_EQ(*found, it->second) << "step " << step;
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+}
+
+TEST(FlatHashMap, ForEachVisitsEveryEntryOnce) {
+  FlatHashMap<int> map;
+  for (uint64_t k = 100; k < 200; ++k) {
+    map.Insert(k, 1);
+  }
+  uint64_t sum = 0;
+  int visits = 0;
+  map.ForEach([&](uint64_t key, int& value) {
+    sum += key;
+    visits += value;
+  });
+  EXPECT_EQ(visits, 100);
+  EXPECT_EQ(sum, (100 + 199) * 100 / 2);
+}
+
+TEST(FlatHashMap, ClearEmpties) {
+  FlatHashMap<int> map;
+  map.Insert(1, 1);
+  map.Insert(2, 2);
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(1), nullptr);
+  map.Insert(3, 3);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap, ReserveDoesNotLoseEntries) {
+  FlatHashMap<int> map;
+  map.Insert(11, 1);
+  map.Reserve(100000);
+  EXPECT_EQ(*map.Find(11), 1);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    map.Insert(k + 1000, static_cast<int>(k));
+  }
+  EXPECT_EQ(map.size(), 1001u);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,122 @@
+#include "src/tracegen/fs_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/units.h"
+
+namespace flashsim {
+namespace {
+
+FsModelParams SmallParams() {
+  FsModelParams p;
+  p.total_bytes = 256 * kMiB;
+  return p;
+}
+
+TEST(FsModel, TotalBlocksReachesTarget) {
+  FsModel fs(SmallParams(), 1);
+  const uint64_t target = 256 * kMiB / 4096;
+  EXPECT_GE(fs.total_blocks(), target);
+  // Overshoot bounded by the per-file clamp.
+  EXPECT_LE(fs.total_blocks(), target + target / 4 + 2);
+}
+
+TEST(FsModel, FilesHaveNonZeroSizes) {
+  FsModel fs(SmallParams(), 2);
+  ASSERT_GT(fs.num_files(), 0u);
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < fs.num_files(); ++i) {
+    ASSERT_GE(fs.file(i).size_blocks, 1u);
+    ASSERT_GE(fs.file(i).popularity, 1u);
+    sum += fs.file(i).size_blocks;
+  }
+  EXPECT_EQ(sum, fs.total_blocks());
+}
+
+TEST(FsModel, DeterministicForSeed) {
+  FsModel a(SmallParams(), 42);
+  FsModel b(SmallParams(), 42);
+  ASSERT_EQ(a.num_files(), b.num_files());
+  for (uint32_t i = 0; i < a.num_files(); ++i) {
+    ASSERT_EQ(a.file(i).size_blocks, b.file(i).size_blocks);
+    ASSERT_EQ(a.file(i).popularity, b.file(i).popularity);
+  }
+}
+
+TEST(FsModel, DifferentSeedsDiffer) {
+  FsModel a(SmallParams(), 1);
+  FsModel b(SmallParams(), 2);
+  bool different = a.num_files() != b.num_files();
+  if (!different) {
+    for (uint32_t i = 0; i < a.num_files(); ++i) {
+      if (a.file(i).size_blocks != b.file(i).size_blocks) {
+        different = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(FsModel, PopularityIsZipfSkewed) {
+  // "Small integer popularities from a Zipfian distribution" (§4):
+  // popularity 1 is the modal value and the mean stays small.
+  FsModel fs(SmallParams(), 3);
+  std::vector<uint64_t> histogram(65, 0);
+  double sum = 0;
+  for (uint32_t i = 0; i < fs.num_files(); ++i) {
+    const uint32_t pop = fs.file(i).popularity;
+    ASSERT_GE(pop, 1u);
+    ASSERT_LE(pop, 64u);
+    ++histogram[pop];
+    sum += pop;
+  }
+  for (uint32_t p = 2; p <= 64; ++p) {
+    EXPECT_GE(histogram[1], histogram[p]) << "popularity " << p;
+  }
+  EXPECT_GE(histogram[1], fs.num_files() / 4);
+  EXPECT_LT(sum / fs.num_files(), 8.0);
+}
+
+TEST(FsModel, PopularitySamplingFavorsPopularFiles) {
+  FsModel fs(SmallParams(), 4);
+  Rng rng(5);
+  std::vector<uint64_t> draws(fs.num_files(), 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    ++draws[fs.SampleFileByPopularity(rng)];
+  }
+  // Aggregate draw share by popularity weight: files with popularity p
+  // should collect p times the share of popularity-1 files on average.
+  double pop1_total = 0;
+  uint64_t pop1_count = 0;
+  double pop_hi_total = 0;
+  uint64_t pop_hi_weight = 0;
+  for (uint32_t i = 0; i < fs.num_files(); ++i) {
+    if (fs.file(i).popularity == 1) {
+      pop1_total += static_cast<double>(draws[i]);
+      ++pop1_count;
+    } else {
+      pop_hi_total += static_cast<double>(draws[i]);
+      pop_hi_weight += fs.file(i).popularity;
+    }
+  }
+  ASSERT_GT(pop1_count, 0u);
+  ASSERT_GT(pop_hi_weight, 0u);
+  const double per_unit_1 = pop1_total / static_cast<double>(pop1_count);
+  const double per_unit_hi = pop_hi_total / static_cast<double>(pop_hi_weight);
+  EXPECT_NEAR(per_unit_hi / per_unit_1, 1.0, 0.25);
+}
+
+TEST(FsModel, LargeFilesExist) {
+  // The Pareto tail should produce some files much larger than the median.
+  FsModel fs(SmallParams(), 6);
+  uint64_t max_blocks = 0;
+  for (uint32_t i = 0; i < fs.num_files(); ++i) {
+    max_blocks = std::max(max_blocks, fs.file(i).size_blocks);
+  }
+  EXPECT_GT(max_blocks, 1000u);  // > 4 MB file in a 256 MB model
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,136 @@
+// Edge cases of the synthetic trace generator beyond the baseline shapes
+// covered in generator_test.cc.
+#include <gtest/gtest.h>
+
+#include "src/trace/trace_stats.h"
+#include "src/tracegen/generator.h"
+#include "src/util/units.h"
+
+namespace flashsim {
+namespace {
+
+const FsModel& TinyFs() {
+  static FsModel* fs = [] {
+    FsModelParams p;
+    p.total_bytes = 64 * kMiB;
+    return new FsModel(p, 31);
+  }();
+  return *fs;
+}
+
+SyntheticTraceSpec Spec(uint64_t ws_bytes = 4 * kMiB) {
+  SyntheticTraceSpec spec;
+  spec.working_set_bytes = ws_bytes;
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(GeneratorEdge, SingleThreadSingleHost) {
+  SyntheticTraceSpec spec = Spec();
+  spec.num_hosts = 1;
+  spec.threads_per_host = 1;
+  SyntheticTraceSource source(TinyFs(), spec);
+  TraceRecord r;
+  while (source.Next(&r)) {
+    ASSERT_EQ(r.host, 0);
+    ASSERT_EQ(r.thread, 0);
+  }
+}
+
+TEST(GeneratorEdge, VolumeMultiplierOne) {
+  SyntheticTraceSpec spec = Spec();
+  spec.volume_multiplier = 1.0;
+  spec.warmup_fraction = 0.0;
+  SyntheticTraceSource source(TinyFs(), spec);
+  TraceStats stats;
+  stats.AddAll(source);
+  EXPECT_GE(stats.total_blocks(), source.working_set_blocks());
+  EXPECT_EQ(stats.warmup_records(), 0u);
+}
+
+TEST(GeneratorEdge, ZeroWarmupFractionMarksNothing) {
+  SyntheticTraceSpec spec = Spec();
+  spec.warmup_fraction = 0.0;
+  SyntheticTraceSource source(TinyFs(), spec);
+  TraceRecord r;
+  while (source.Next(&r)) {
+    ASSERT_FALSE(r.warmup);
+  }
+}
+
+TEST(GeneratorEdge, HighWarmupFractionLeavesAMeasuredTail) {
+  SyntheticTraceSpec spec = Spec();
+  spec.warmup_fraction = 0.9;
+  SyntheticTraceSource source(TinyFs(), spec);
+  TraceStats stats;
+  stats.AddAll(source);
+  EXPECT_GT(stats.measured_blocks(), 0u);
+  const double warm = static_cast<double>(stats.warmup_blocks()) /
+                      static_cast<double>(stats.total_blocks());
+  EXPECT_NEAR(warm, 0.9, 0.02);
+}
+
+TEST(GeneratorEdge, AllIosFromWorkingSet) {
+  SyntheticTraceSpec spec = Spec();
+  spec.working_set_io_fraction = 1.0;
+  SyntheticTraceSource source(TinyFs(), spec);
+  const WorkingSet& ws = source.working_set(0);
+  TraceRecord r;
+  while (source.Next(&r)) {
+    ASSERT_TRUE(ws.Contains(r.file_id, r.block));
+  }
+}
+
+TEST(GeneratorEdge, NoIosFromWorkingSetStillRuns) {
+  SyntheticTraceSpec spec = Spec();
+  spec.working_set_io_fraction = 0.0;
+  SyntheticTraceSource source(TinyFs(), spec);
+  TraceStats stats;
+  stats.AddAll(source);
+  EXPECT_GT(stats.num_records(), 0u);
+}
+
+TEST(GeneratorEdge, MinimumWorkingSetOfOneBlock) {
+  SyntheticTraceSpec spec = Spec(/*ws_bytes=*/4096);
+  SyntheticTraceSource source(TinyFs(), spec);
+  EXPECT_EQ(source.working_set_blocks(), 1u);
+  TraceStats stats;
+  stats.AddAll(source);
+  EXPECT_GE(stats.total_blocks(), 4u);  // 4x volume of a 1-block set
+}
+
+TEST(GeneratorEdge, LargeIoSizesClampToBounds) {
+  SyntheticTraceSpec spec = Spec(8 * kMiB);
+  spec.io_size_mean_blocks = 64.0;
+  SyntheticTraceSource source(TinyFs(), spec);
+  TraceRecord r;
+  while (source.Next(&r)) {
+    ASSERT_GE(r.block_count, 1u);
+    ASSERT_LE(r.block + r.block_count, TinyFs().file(r.file_id).size_blocks + 0);
+  }
+}
+
+TEST(GeneratorEdge, ManyHostsSharedSetUsesOneWorkingSet) {
+  SyntheticTraceSpec spec = Spec();
+  spec.num_hosts = 8;
+  spec.shared_working_set = true;
+  SyntheticTraceSource source(TinyFs(), spec);
+  for (uint16_t h = 0; h < 8; ++h) {
+    EXPECT_EQ(&source.working_set(h), &source.working_set(0));
+  }
+}
+
+TEST(GeneratorEdgeDeathTest, RejectsNonsense) {
+  SyntheticTraceSpec spec = Spec();
+  spec.working_set_bytes = 0;
+  EXPECT_DEATH(SyntheticTraceSource(TinyFs(), spec), "CHECK failed");
+  spec = Spec();
+  spec.write_fraction = 1.5;
+  EXPECT_DEATH(SyntheticTraceSource(TinyFs(), spec), "CHECK failed");
+  spec = Spec();
+  spec.warmup_fraction = 1.0;
+  EXPECT_DEATH(SyntheticTraceSource(TinyFs(), spec), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace flashsim

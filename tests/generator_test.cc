@@ -1,0 +1,224 @@
+#include "src/tracegen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace_stats.h"
+#include "src/util/units.h"
+
+namespace flashsim {
+namespace {
+
+const FsModel& TestFs() {
+  static FsModel* fs = [] {
+    FsModelParams p;
+    p.total_bytes = 512 * kMiB;
+    return new FsModel(p, 21);
+  }();
+  return *fs;
+}
+
+// A model much larger than the working set, so the 20% global samples have
+// room to land outside it (the bench-scale geometry: WS is a few percent of
+// the filer).
+const FsModel& BigFs() {
+  static FsModel* fs = [] {
+    FsModelParams p;
+    p.total_bytes = 4 * kGiB;
+    return new FsModel(p, 22);
+  }();
+  return *fs;
+}
+
+SyntheticTraceSpec BaseSpec() {
+  SyntheticTraceSpec spec;
+  spec.working_set_bytes = 64 * kMiB;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(Generator, VolumeIsFourTimesWorkingSet) {
+  SyntheticTraceSource source(TestFs(), BaseSpec());
+  TraceStats stats;
+  stats.AddAll(source);
+  const uint64_t ws_blocks = 64 * kMiB / 4096;
+  EXPECT_EQ(source.working_set_blocks(), ws_blocks);
+  EXPECT_GE(stats.total_blocks(), 4 * ws_blocks);
+  // Overshoot at most one I/O.
+  EXPECT_LE(stats.total_blocks(), 4 * ws_blocks + 1024);
+}
+
+TEST(Generator, HalfTheVolumeIsWarmup) {
+  SyntheticTraceSource source(TestFs(), BaseSpec());
+  TraceStats stats;
+  stats.AddAll(source);
+  const double warmup_fraction =
+      static_cast<double>(stats.warmup_blocks()) / static_cast<double>(stats.total_blocks());
+  EXPECT_NEAR(warmup_fraction, 0.5, 0.01);
+  // Warmup comes strictly first.
+  source.Rewind();
+  TraceRecord r;
+  bool seen_measured = false;
+  while (source.Next(&r)) {
+    if (!r.warmup) {
+      seen_measured = true;
+    } else {
+      ASSERT_FALSE(seen_measured) << "warmup record after measured records";
+    }
+  }
+}
+
+TEST(Generator, WriteFractionMatchesSpec) {
+  SyntheticTraceSpec spec = BaseSpec();
+  spec.write_fraction = 0.30;
+  SyntheticTraceSource source(TestFs(), spec);
+  TraceStats stats;
+  stats.AddAll(source);
+  EXPECT_NEAR(stats.write_fraction(), 0.30, 0.01);
+}
+
+TEST(Generator, ZeroAndFullWriteFractions) {
+  for (double wf : {0.0, 1.0}) {
+    SyntheticTraceSpec spec = BaseSpec();
+    spec.write_fraction = wf;
+    SyntheticTraceSource source(TestFs(), spec);
+    TraceStats stats;
+    stats.AddAll(source);
+    EXPECT_DOUBLE_EQ(stats.write_fraction(), wf);
+  }
+}
+
+TEST(Generator, HostsAndThreadsAreUniform) {
+  SyntheticTraceSpec spec = BaseSpec();
+  spec.num_hosts = 4;
+  spec.threads_per_host = 8;
+  SyntheticTraceSource source(TestFs(), spec);
+  TraceStats stats;
+  stats.AddAll(source);
+  EXPECT_EQ(stats.max_host(), 3);
+  EXPECT_EQ(stats.max_thread(), 7);
+  for (uint16_t h = 0; h < 4; ++h) {
+    EXPECT_NEAR(static_cast<double>(stats.records_for_host(h)),
+                static_cast<double>(stats.num_records()) / 4.0,
+                0.05 * static_cast<double>(stats.num_records()));
+  }
+}
+
+TEST(Generator, MostIosComeFromWorkingSet) {
+  SyntheticTraceSpec spec = BaseSpec();
+  SyntheticTraceSource source(BigFs(), spec);
+  const WorkingSet& ws = source.working_set(0);
+  TraceRecord r;
+  uint64_t in_ws = 0;
+  uint64_t total = 0;
+  while (source.Next(&r)) {
+    ++total;
+    if (ws.Contains(r.file_id, r.block)) {
+      ++in_ws;
+    }
+  }
+  // 80% sampled from the WS; popular files overlap so global samples land
+  // inside occasionally too.
+  const double fraction = static_cast<double>(in_ws) / static_cast<double>(total);
+  EXPECT_GT(fraction, 0.78);
+  EXPECT_LT(fraction, 0.98);
+}
+
+TEST(Generator, GlobalIosTouchBlocksOutsideWorkingSet) {
+  // §4: the trace must "access plenty of data that both is and is not in
+  // the original fill" — the 20% global I/Os reach beyond the working set.
+  SyntheticTraceSpec spec = BaseSpec();
+  SyntheticTraceSource source(BigFs(), spec);
+  const WorkingSet& ws = source.working_set(0);
+  TraceRecord r;
+  uint64_t outside = 0;
+  while (source.Next(&r)) {
+    if (!ws.Contains(r.file_id, r.block)) {
+      ++outside;
+    }
+  }
+  EXPECT_GT(outside, 100u);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  SyntheticTraceSource a(TestFs(), BaseSpec());
+  SyntheticTraceSource b(TestFs(), BaseSpec());
+  TraceRecord ra;
+  TraceRecord rb;
+  for (int i = 0; i < 50000; ++i) {
+    const bool more_a = a.Next(&ra);
+    const bool more_b = b.Next(&rb);
+    ASSERT_EQ(more_a, more_b);
+    if (!more_a) {
+      break;
+    }
+    ASSERT_EQ(ra, rb);
+  }
+}
+
+TEST(Generator, RewindReproducesStream) {
+  SyntheticTraceSource source(TestFs(), BaseSpec());
+  std::vector<TraceRecord> first;
+  TraceRecord r;
+  for (int i = 0; i < 1000 && source.Next(&r); ++i) {
+    first.push_back(r);
+  }
+  source.Rewind();
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(source.Next(&r));
+    ASSERT_EQ(r, first[i]);
+  }
+}
+
+TEST(Generator, SkipWarmupEmitsOnlyMeasuredHalfIdentically) {
+  // Fig 10's cold-start runs: the measured records must be byte-identical
+  // to the warmed run's measured half.
+  SyntheticTraceSpec spec = BaseSpec();
+  SyntheticTraceSource warmed(TestFs(), spec);
+  spec.skip_warmup = true;
+  SyntheticTraceSource cold(TestFs(), spec);
+
+  TraceRecord r;
+  std::vector<TraceRecord> warmed_measured;
+  while (warmed.Next(&r)) {
+    if (!r.warmup) {
+      warmed_measured.push_back(r);
+    }
+  }
+  std::vector<TraceRecord> cold_records;
+  while (cold.Next(&r)) {
+    EXPECT_FALSE(r.warmup);
+    cold_records.push_back(r);
+  }
+  ASSERT_EQ(cold_records.size(), warmed_measured.size());
+  for (size_t i = 0; i < cold_records.size(); ++i) {
+    ASSERT_EQ(cold_records[i], warmed_measured[i]);
+  }
+}
+
+TEST(Generator, PerHostWorkingSetsAreDistinct) {
+  SyntheticTraceSpec spec = BaseSpec();
+  spec.num_hosts = 2;
+  spec.shared_working_set = false;
+  SyntheticTraceSource source(TestFs(), spec);
+  const WorkingSet& ws0 = source.working_set(0);
+  const WorkingSet& ws1 = source.working_set(1);
+  EXPECT_NE(&ws0, &ws1);
+  // With a shared set both hosts see the same object.
+  spec.shared_working_set = true;
+  SyntheticTraceSource shared(TestFs(), spec);
+  EXPECT_EQ(&shared.working_set(0), &shared.working_set(1));
+}
+
+TEST(Generator, IoSizesAreClampedPoisson) {
+  SyntheticTraceSpec spec = BaseSpec();
+  spec.io_size_mean_blocks = 4.0;
+  SyntheticTraceSource source(TestFs(), spec);
+  TraceStats stats;
+  stats.AddAll(source);
+  EXPECT_GE(stats.io_size_blocks().min(), 1.0);
+  // Clamping to >=1 and to extent bounds shifts the mean slightly.
+  EXPECT_NEAR(stats.io_size_blocks().mean(), 4.0, 0.6);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,112 @@
+// Extension: charging cache-consistency protocol traffic to the network
+// (the paper counts invalidations but treats them as free, §3.8).
+#include <gtest/gtest.h>
+
+#include "src/core/simulation.h"
+#include "tests/stack_test_util.h"
+
+namespace flashsim {
+namespace {
+
+SimConfig TwoHostConfig(InvalidationTraffic model) {
+  SimConfig config;
+  config.ram_bytes = 16 * 4096;
+  config.flash_bytes = 64 * 4096;
+  config.num_hosts = 2;
+  config.threads_per_host = 1;
+  config.invalidation_traffic = model;
+  config.timing.filer_fast_read_rate = 1.0;
+  return config;
+}
+
+TraceRecord Op(TraceOp op, uint16_t host, uint64_t block, bool warmup = false) {
+  TraceRecord r;
+  r.op = op;
+  r.host = host;
+  r.file_id = 1;
+  r.block = block;
+  r.warmup = warmup;
+  return r;
+}
+
+TEST(InvalidationTraffic, NoneModelChargesNothing) {
+  Simulation sim(TwoHostConfig(InvalidationTraffic::kNone));
+  VectorTraceSource source({Op(TraceOp::kRead, 0, 7), Op(TraceOp::kWrite, 1, 7)});
+  const Metrics m = sim.Run(source);
+  EXPECT_EQ(m.invalidation_messages, 0u);
+  EXPECT_EQ(static_cast<SimDuration>(m.write_latency.mean_ns()), kRam);
+}
+
+TEST(InvalidationTraffic, AsyncModelCountsMessagesWithoutBlocking) {
+  Simulation sim(TwoHostConfig(InvalidationTraffic::kAsync));
+  VectorTraceSource source({Op(TraceOp::kRead, 0, 7), Op(TraceOp::kWrite, 1, 7)});
+  const Metrics m = sim.Run(source);
+  // Report + callback + ack.
+  EXPECT_EQ(m.invalidation_messages, 3u);
+  EXPECT_EQ(static_cast<SimDuration>(m.write_latency.mean_ns()), kRam);
+}
+
+TEST(InvalidationTraffic, BlockingModelDelaysTheWriter) {
+  Simulation sim(TwoHostConfig(InvalidationTraffic::kBlocking));
+  VectorTraceSource source({Op(TraceOp::kRead, 0, 7), Op(TraceOp::kWrite, 1, 7)});
+  const Metrics m = sim.Run(source);
+  EXPECT_EQ(m.invalidation_messages, 3u);
+  // Writer waits for report (8.2us) + callback (8.2us) + ack (8.2us) after
+  // its RAM write.
+  EXPECT_EQ(static_cast<SimDuration>(m.write_latency.mean_ns()), kRam + 3 * 8200);
+}
+
+TEST(InvalidationTraffic, NonInvalidatingWritesAreFreeInAllModels) {
+  for (InvalidationTraffic model : {InvalidationTraffic::kNone, InvalidationTraffic::kAsync,
+                                    InvalidationTraffic::kBlocking}) {
+    Simulation sim(TwoHostConfig(model));
+    VectorTraceSource source({Op(TraceOp::kWrite, 1, 99)});
+    const Metrics m = sim.Run(source);
+    EXPECT_EQ(m.invalidation_messages, 0u) << InvalidationTrafficName(model);
+    EXPECT_EQ(static_cast<SimDuration>(m.write_latency.mean_ns()), kRam);
+  }
+}
+
+TEST(InvalidationTraffic, MessagesScaleWithHolders) {
+  // Three hosts cache the block; the fourth writes it: 1 report + 3
+  // callbacks + 3 acks.
+  SimConfig config = TwoHostConfig(InvalidationTraffic::kAsync);
+  config.num_hosts = 4;
+  Simulation sim(config);
+  VectorTraceSource source({
+      Op(TraceOp::kRead, 0, 7),
+      Op(TraceOp::kRead, 1, 7),
+      Op(TraceOp::kRead, 2, 7),
+      Op(TraceOp::kWrite, 3, 7),
+  });
+  const Metrics m = sim.Run(source);
+  EXPECT_EQ(m.invalidation_messages, 7u);
+  EXPECT_EQ(m.invalidations, 3u);
+}
+
+TEST(InvalidationTraffic, SharedChurnStillCompletesAndCounts) {
+  SimConfig config = TwoHostConfig(InvalidationTraffic::kBlocking);
+  config.threads_per_host = 2;
+  Simulation sim(config);
+  std::vector<TraceRecord> ops;
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    TraceRecord r;
+    r.op = rng.NextBool(0.4) ? TraceOp::kWrite : TraceOp::kRead;
+    r.host = static_cast<uint16_t>(rng.NextBounded(2));
+    r.thread = static_cast<uint16_t>(rng.NextBounded(2));
+    r.file_id = 1;
+    r.block = rng.NextBounded(64);
+    r.warmup = i < 2000;
+    ops.push_back(r);
+  }
+  VectorTraceSource source(std::move(ops));
+  const Metrics m = sim.Run(source);
+  EXPECT_GT(m.invalidation_messages, 0u);
+  sim.CheckInvariants();
+  // Blocking consistency raises write latency above pure RAM speed.
+  EXPECT_GT(m.mean_write_us(), 0.4);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,59 @@
+#include "src/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(Metrics, EmptyRatesAreZero) {
+  Metrics m;
+  EXPECT_EQ(m.ram_hit_rate(), 0.0);
+  EXPECT_EQ(m.flash_hit_rate(), 0.0);
+  EXPECT_EQ(m.filer_read_rate(), 0.0);
+  EXPECT_EQ(m.invalidation_rate(), 0.0);
+  EXPECT_EQ(m.mean_read_us(), 0.0);
+}
+
+TEST(Metrics, HitRatesPartitionReads) {
+  Metrics m;
+  m.measured_read_blocks = 100;
+  m.read_level_blocks[static_cast<size_t>(HitLevel::kRam)] = 20;
+  m.read_level_blocks[static_cast<size_t>(HitLevel::kFlash)] = 50;
+  m.read_level_blocks[static_cast<size_t>(HitLevel::kFilerFast)] = 27;
+  m.read_level_blocks[static_cast<size_t>(HitLevel::kFilerSlow)] = 3;
+  EXPECT_DOUBLE_EQ(m.ram_hit_rate(), 0.20);
+  EXPECT_DOUBLE_EQ(m.flash_hit_rate(), 0.50);
+  EXPECT_DOUBLE_EQ(m.filer_read_rate(), 0.30);
+  EXPECT_DOUBLE_EQ(m.ram_hit_rate() + m.flash_hit_rate() + m.filer_read_rate(), 1.0);
+}
+
+TEST(Metrics, InvalidationRate) {
+  Metrics m;
+  m.consistency_writes = 200;
+  m.invalidating_writes = 50;
+  EXPECT_DOUBLE_EQ(m.invalidation_rate(), 0.25);
+}
+
+TEST(Metrics, LatencyMeansInMicroseconds) {
+  Metrics m;
+  m.read_latency.Record(100000);  // 100 us
+  m.read_latency.Record(300000);  // 300 us
+  m.write_latency.Record(400);
+  EXPECT_DOUBLE_EQ(m.mean_read_us(), 200.0);
+  EXPECT_DOUBLE_EQ(m.mean_write_us(), 0.4);
+}
+
+TEST(Metrics, SummaryContainsKeyNumbers) {
+  Metrics m;
+  m.read_latency.Record(100000);
+  m.measured_read_blocks = 1;
+  m.read_level_blocks[static_cast<size_t>(HitLevel::kRam)] = 1;
+  m.trace_records = 1;
+  const std::string summary = m.Summary();
+  EXPECT_NE(summary.find("read 100.00us"), std::string::npos);
+  EXPECT_NE(summary.find("ram 100.0%"), std::string::npos);
+  EXPECT_NE(summary.find("records=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flashsim

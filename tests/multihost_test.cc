@@ -1,0 +1,111 @@
+// Multi-host behavior beyond consistency: per-host isolation, fairness of
+// the shared filer, and scaling of the host count.
+#include <gtest/gtest.h>
+
+#include "src/core/simulation.h"
+#include "tests/stack_test_util.h"
+
+namespace flashsim {
+namespace {
+
+SimConfig Config(int hosts, int threads = 1) {
+  SimConfig config;
+  config.ram_bytes = 16 * 4096;
+  config.flash_bytes = 64 * 4096;
+  config.num_hosts = hosts;
+  config.threads_per_host = threads;
+  config.timing.filer_fast_read_rate = 1.0;
+  return config;
+}
+
+TraceRecord Op(TraceOp op, uint16_t host, uint16_t thread, uint32_t file, uint64_t block) {
+  TraceRecord r;
+  r.op = op;
+  r.host = host;
+  r.thread = thread;
+  r.file_id = file;
+  r.block = block;
+  return r;
+}
+
+TEST(MultiHost, CachesAreIsolated) {
+  Simulation sim(Config(2));
+  VectorTraceSource source({Op(TraceOp::kRead, 0, 0, 1, 1), Op(TraceOp::kRead, 1, 0, 1, 2)});
+  sim.Run(source);
+  EXPECT_TRUE(sim.stack(0).Holds(MakeBlockKey(1, 1)));
+  EXPECT_FALSE(sim.stack(0).Holds(MakeBlockKey(1, 2)));
+  EXPECT_TRUE(sim.stack(1).Holds(MakeBlockKey(1, 2)));
+  EXPECT_FALSE(sim.stack(1).Holds(MakeBlockKey(1, 1)));
+}
+
+TEST(MultiHost, PrivateLinksDoNotContend) {
+  // Two hosts issuing simultaneous misses use their own segments; only the
+  // filer is shared (and it is far from saturated here), so both finish in
+  // one round trip.
+  Simulation sim(Config(2));
+  VectorTraceSource source({Op(TraceOp::kRead, 0, 0, 1, 1), Op(TraceOp::kRead, 1, 0, 1, 2)});
+  const Metrics m = sim.Run(source);
+  EXPECT_EQ(m.end_time, kRemoteRead + kRam);
+  EXPECT_EQ(static_cast<SimDuration>(m.read_latency.mean_ns()), kRemoteRead + kRam);
+}
+
+TEST(MultiHost, SameHostThreadsShareTheirLink) {
+  // The same two misses on ONE host serialize on its return segment.
+  Simulation sim(Config(1, 2));
+  VectorTraceSource source({Op(TraceOp::kRead, 0, 0, 1, 1), Op(TraceOp::kRead, 0, 1, 1, 2)});
+  const Metrics m = sim.Run(source);
+  EXPECT_GT(m.end_time, kRemoteRead + kRam);
+}
+
+TEST(MultiHost, ReadOnlySharingNeedsNoInvalidations) {
+  Simulation sim(Config(4, 2));
+  std::vector<TraceRecord> ops;
+  Rng rng(3);
+  for (int i = 0; i < 8000; ++i) {
+    ops.push_back(Op(TraceOp::kRead, static_cast<uint16_t>(rng.NextBounded(4)),
+                     static_cast<uint16_t>(rng.NextBounded(2)), 1, rng.NextBounded(50)));
+  }
+  VectorTraceSource source(std::move(ops));
+  const Metrics m = sim.Run(source);
+  EXPECT_EQ(m.invalidations, 0u);
+  // Every host ends up caching the hot shared blocks.
+  for (int h = 0; h < 4; ++h) {
+    EXPECT_GT(sim.stack(h).FlashResident(), 0u) << h;
+  }
+  sim.CheckInvariants();
+}
+
+TEST(MultiHost, ThroughputScalesWithHosts) {
+  // The same total uncached work spread over more hosts (more private
+  // links) finishes sooner, up to the shared filer's limits.
+  auto run = [](int hosts) {
+    SimConfig config = Config(hosts, 1);
+    config.ram_bytes = 0;
+    config.flash_bytes = 0;
+    Simulation sim(config);
+    std::vector<TraceRecord> ops;
+    for (int i = 0; i < 2000; ++i) {
+      ops.push_back(Op(TraceOp::kRead, static_cast<uint16_t>(i % hosts), 0, 1,
+                       static_cast<uint64_t>(i)));
+    }
+    VectorTraceSource source(std::move(ops));
+    return sim.Run(source).end_time;
+  };
+  const SimTime one = run(1);
+  const SimTime four = run(4);
+  EXPECT_LT(four, one / 3);  // near-linear speedup at low filer load
+}
+
+TEST(MultiHost, DirectoryCountsDistinctHoldersExactly) {
+  Simulation sim(Config(3));
+  VectorTraceSource source({
+      Op(TraceOp::kRead, 0, 0, 1, 7),
+      Op(TraceOp::kRead, 1, 0, 1, 7),
+      Op(TraceOp::kRead, 2, 0, 1, 7),
+  });
+  sim.Run(source);
+  EXPECT_EQ(sim.directory().holders(MakeBlockKey(1, 7)), 0b111u);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "tests/stack_test_util.h"
+
+namespace flashsim {
+namespace {
+
+TEST(NaiveStack, ColdMissPaysRemoteReadPlusRamInstall) {
+  StackHarness h(Architecture::kNaive, 8, 16, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kAsync);
+  HitLevel level;
+  const SimTime done = h.Read(0, 1, &level);
+  EXPECT_EQ(level, HitLevel::kFilerFast);
+  // Remote fast read + RAM copy; the flash install is off the latency path.
+  EXPECT_EQ(done, kRemoteRead + kRam);
+  EXPECT_TRUE(h.stack().Holds(1));
+  EXPECT_EQ(h.stack().RamResident(), 1u);
+  EXPECT_EQ(h.stack().FlashResident(), 1u);
+}
+
+TEST(NaiveStack, RamHitIsRamSpeed) {
+  StackHarness h(Architecture::kNaive, 8, 16, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kAsync);
+  const SimTime t1 = h.Load(0, 1);
+  HitLevel level;
+  const SimTime done = h.Read(t1, 1, &level);
+  EXPECT_EQ(level, HitLevel::kRam);
+  EXPECT_EQ(done - t1, kRam);
+}
+
+TEST(NaiveStack, FlashHitAfterRamEviction) {
+  // RAM of one block: loading a second block evicts the first from RAM but
+  // it stays in flash (subset property).
+  StackHarness h(Architecture::kNaive, 1, 16, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kAsync);
+  SimTime t = h.Load(0, 1);
+  t = h.Load(t, 2);
+  HitLevel level;
+  const SimTime start = t;
+  t = h.Read(t, 1, &level);
+  EXPECT_EQ(level, HitLevel::kFlash);
+  // Flash read + RAM reinstall.
+  EXPECT_EQ(t - start, kFlashRead + kRam);
+}
+
+TEST(NaiveStack, WriteWithPeriodicPolicyIsRamSpeedAndDirty) {
+  StackHarness h(Architecture::kNaive, 8, 16, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kAsync);
+  const SimTime done = h.Write(0, 5);
+  EXPECT_EQ(done, kRam);
+  EXPECT_EQ(h.stack().DirtyBlocks(), 1u);
+  // Subset invariant: the write allocated a flash slot too.
+  EXPECT_EQ(h.stack().FlashResident(), 1u);
+  h.stack().CheckInvariants();
+}
+
+TEST(NaiveStack, SyncRamPolicyBlocksToFlash) {
+  StackHarness h(Architecture::kNaive, 8, 16, WritebackPolicy::kSync,
+                 WritebackPolicy::kPeriodic1);
+  const SimTime done = h.Write(0, 5);
+  // RAM copy + synchronous flash write; flash now dirty, RAM clean.
+  EXPECT_EQ(done, kRam + kFlashWrite);
+  EXPECT_EQ(h.stack().DirtyBlocks(), 1u);
+}
+
+TEST(NaiveStack, SyncSyncPolicyBlocksAllTheWayToFiler) {
+  StackHarness h(Architecture::kNaive, 8, 16, WritebackPolicy::kSync, WritebackPolicy::kSync);
+  const SimTime done = h.Write(0, 5);
+  EXPECT_EQ(done, kRam + kFlashWrite + kRemoteWrite);
+  EXPECT_EQ(h.stack().DirtyBlocks(), 0u);
+  EXPECT_EQ(h.filer().writes(), 1u);
+}
+
+TEST(NaiveStack, AsyncRamPolicyHidesFlashWrite) {
+  StackHarness h(Architecture::kNaive, 8, 16, WritebackPolicy::kAsync,
+                 WritebackPolicy::kPeriodic1);
+  const SimTime done = h.Write(0, 5);
+  EXPECT_EQ(done, kRam);
+  // The flash write happened on the device regardless.
+  EXPECT_GE(h.flash_dev().busy_time(), kFlashWrite);
+  EXPECT_EQ(h.stack().DirtyBlocks(), 1u);  // dirty in flash now
+}
+
+TEST(NaiveStack, AsyncAsyncDrainsThroughWriterToFiler) {
+  StackHarness h(Architecture::kNaive, 8, 16, WritebackPolicy::kAsync, WritebackPolicy::kAsync);
+  h.Write(0, 5);
+  h.queue().RunToCompletion();  // drain the background writer
+  EXPECT_EQ(h.filer().writes(), 1u);
+  EXPECT_EQ(h.stack().DirtyBlocks(), 0u);
+}
+
+TEST(NaiveStack, RamSyncerFlushesOldestDirtyToFlash) {
+  StackHarness h(Architecture::kNaive, 8, 16, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic1);
+  h.Write(0, 1);
+  h.Write(kRam, 2);
+  auto done = h.stack().FlushOneRamBlock(10000);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done - 10000, kFlashWrite);
+  // One block moved to the flash tier (dirty there now).
+  EXPECT_EQ(h.stack().DirtyBlocks(), 2u);  // block2 dirty in RAM, block1 dirty in flash
+  auto done2 = h.stack().FlushOneRamBlock(*done);
+  ASSERT_TRUE(done2.has_value());
+  auto done3 = h.stack().FlushOneRamBlock(*done2);
+  EXPECT_FALSE(done3.has_value());
+}
+
+TEST(NaiveStack, FlashSyncerWritesToFiler) {
+  StackHarness h(Architecture::kNaive, 8, 16, WritebackPolicy::kSync,
+                 WritebackPolicy::kPeriodic1);
+  h.Write(0, 1);  // sync to flash; flash dirty
+  auto done = h.stack().FlushOneFlashBlock(50000);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done - 50000, kRemoteWrite);
+  EXPECT_EQ(h.stack().DirtyBlocks(), 0u);
+  EXPECT_FALSE(h.stack().FlushOneFlashBlock(*done).has_value());
+}
+
+TEST(NaiveStack, DirtyRamEvictionChargesRequester) {
+  // Policy none: dirty blocks linger; filling RAM forces a synchronous
+  // writeback to flash on eviction.
+  StackHarness h(Architecture::kNaive, 2, 16, WritebackPolicy::kNone, WritebackPolicy::kNone);
+  SimTime t = h.Write(0, 1);
+  t = h.Write(t, 2);
+  EXPECT_EQ(t, 2 * kRam);
+  // Loading a third block evicts dirty block 1: flash write charged.
+  const SimTime start = t;
+  t = h.Load(t, 3);
+  EXPECT_EQ(t - start, kRemoteRead + kFlashWrite + kRam);
+  EXPECT_EQ(h.stack().counters().sync_ram_evictions, 1u);
+}
+
+TEST(NaiveStack, DirtyFlashEvictionConvoysToFiler) {
+  // Flash full of dirty blocks under policy n: allocating a new flash slot
+  // costs a synchronous filer write (the §7.1 convoy).
+  StackHarness h(Architecture::kNaive, 1, 2, WritebackPolicy::kSync, WritebackPolicy::kNone);
+  SimTime t = h.Write(0, 1);   // dirty in flash (ram policy sync)
+  t = h.Write(t, 2);           // dirty in flash
+  const SimTime start = t;
+  t = h.Write(t, 3);           // needs a flash slot: evict dirty LRU -> filer write
+  EXPECT_GE(t - start, kRemoteWrite);
+  EXPECT_EQ(h.stack().counters().sync_flash_evictions, 1u);
+  h.stack().CheckInvariants();
+}
+
+TEST(NaiveStack, FlashEvictionRemovesRamCopy) {
+  // Subset invariant maintenance: evicting a block from flash must drop its
+  // RAM copy too.
+  StackHarness h(Architecture::kNaive, 4, 2, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kAsync);
+  SimTime t = h.Load(0, 1);
+  t = h.Load(t, 2);
+  EXPECT_EQ(h.stack().RamResident(), 2u);
+  t = h.Load(t, 3);  // flash (capacity 2) evicts block 1
+  EXPECT_FALSE(h.stack().Holds(1));
+  EXPECT_EQ(h.stack().RamResident(), 2u);  // blocks 2 and 3
+  h.stack().CheckInvariants();
+}
+
+TEST(NaiveStack, NoRamWritesPayFlashLatency) {
+  StackHarness h(Architecture::kNaive, 0, 16, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic1);
+  const SimTime done = h.Write(0, 1);
+  EXPECT_EQ(done, kFlashWrite);
+  EXPECT_EQ(h.stack().RamResident(), 0u);
+  EXPECT_EQ(h.stack().FlashResident(), 1u);
+}
+
+TEST(NaiveStack, NoRamReadsServeFromFlash) {
+  StackHarness h(Architecture::kNaive, 0, 16, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kAsync);
+  SimTime t = h.Load(0, 1);
+  EXPECT_EQ(t, kRemoteRead);  // no RAM install
+  HitLevel level;
+  const SimTime start = t;
+  t = h.Read(t, 1, &level);
+  EXPECT_EQ(level, HitLevel::kFlash);
+  EXPECT_EQ(t - start, kFlashRead);
+}
+
+TEST(NaiveStack, NoFlashDegeneratesToRamOverFiler) {
+  StackHarness h(Architecture::kNaive, 2, 0, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kAsync);
+  HitLevel level;
+  SimTime t = h.Read(0, 1, &level);
+  EXPECT_EQ(level, HitLevel::kFilerFast);
+  EXPECT_EQ(t, kRemoteRead + kRam);
+  // Dirty eviction goes straight to the filer.
+  t = h.Write(t, 2);
+  t = h.Write(t, 3);  // evicts block 1 (clean) — no, RAM cap 2: evicts 1
+  const SimTime start = t;
+  t = h.Load(t, 4);  // evicts dirty block 2 -> synchronous filer write
+  EXPECT_EQ(t - start, kRemoteRead + kRemoteWrite + kRam);
+}
+
+TEST(NaiveStack, NoCachesAtAllIsSynchronousFiler) {
+  StackHarness h(Architecture::kNaive, 0, 0, WritebackPolicy::kSync, WritebackPolicy::kSync);
+  HitLevel level;
+  const SimTime t = h.Read(0, 1, &level);
+  EXPECT_EQ(t, kRemoteRead);
+  EXPECT_EQ(level, HitLevel::kFilerFast);
+  EXPECT_EQ(h.Write(t, 1) - t, kRemoteWrite);
+  EXPECT_FALSE(h.stack().Holds(1));
+}
+
+TEST(NaiveStack, InvalidateDropsBothCopies) {
+  StackHarness h(Architecture::kNaive, 4, 8, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kAsync);
+  h.Load(0, 1);
+  ASSERT_TRUE(h.stack().Holds(1));
+  h.stack().Invalidate(1);
+  EXPECT_FALSE(h.stack().Holds(1));
+  EXPECT_EQ(h.stack().RamResident(), 0u);
+  EXPECT_EQ(h.stack().FlashResident(), 0u);
+  h.stack().CheckInvariants();
+}
+
+TEST(NaiveStack, RereadAfterInvalidateGoesToFiler) {
+  StackHarness h(Architecture::kNaive, 4, 8, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kAsync);
+  SimTime t = h.Load(0, 1);
+  h.stack().Invalidate(1);
+  HitLevel level;
+  h.Read(t, 1, &level);
+  EXPECT_EQ(level, HitLevel::kFilerFast);
+}
+
+TEST(NaiveStack, SubsetInvariantHoldsUnderChurn) {
+  StackHarness h(Architecture::kNaive, 4, 8, WritebackPolicy::kPeriodic5,
+                 WritebackPolicy::kPeriodic5);
+  Rng rng(3);
+  SimTime t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const BlockKey key = rng.NextBounded(40);
+    if (rng.NextBool(0.3)) {
+      t = h.Write(t, key);
+    } else {
+      t = h.Read(t, key);
+    }
+    if (i % 100 == 0) {
+      h.stack().CheckInvariants();
+      h.stack().FlushOneRamBlock(t);
+    }
+  }
+  h.stack().CheckInvariants();
+  EXPECT_LE(h.stack().RamResident(), 4u);
+  EXPECT_LE(h.stack().FlashResident(), 8u);
+}
+
+}  // namespace
+}  // namespace flashsim

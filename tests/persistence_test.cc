@@ -1,0 +1,70 @@
+// Cache persistence (§3.7, §7.8): making the flash cache recoverable is
+// modeled as a doubled flash write latency (data + metadata), and its
+// benefit as starting the measured phase with a warm cache.
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+
+namespace flashsim {
+namespace {
+
+ExperimentParams BaseParams() {
+  ExperimentParams params;
+  params.scale = 1024;
+  params.working_set_gib = 60.0;
+  params.filer_tib = 0.25;
+  params.seed = 11;
+  return params;
+}
+
+TEST(Persistence, DoubledFlashWriteIsInvisibleToApplications) {
+  // §7.8: "the increased flash write latency associated with persistence is
+  // invisible to the application." Under write-through policies no dirty
+  // data lingers in RAM, so applications never wait on a flash write at all
+  // (at test scale, the 1-second syncer period does not shrink with the
+  // scaled-down caches, which makes periodic policies accumulate dirty
+  // blocks they would not at full scale).
+  ExperimentParams params = BaseParams();
+  params.ram_policy = WritebackPolicy::kAsync;
+  const Metrics plain = RunExperiment(params).metrics;
+  params.timing.persistent_flash = true;
+  const Metrics persistent = RunExperiment(params).metrics;
+  EXPECT_NEAR(persistent.mean_write_us(), plain.mean_write_us(),
+              0.15 * plain.mean_write_us() + 0.5);
+  EXPECT_NEAR(persistent.mean_read_us(), plain.mean_read_us(), 0.10 * plain.mean_read_us());
+}
+
+TEST(Persistence, ColdStartHurtsReads) {
+  // §7.8 / Fig 10: losing the cache contents (skip_warmup) costs real read
+  // performance against a recovered (warmed) cache.
+  ExperimentParams params = BaseParams();
+  const Metrics warm = RunExperiment(params).metrics;
+  params.skip_warmup = true;
+  const Metrics cold = RunExperiment(params).metrics;
+  EXPECT_GT(cold.mean_read_us(), 1.3 * warm.mean_read_us());
+  EXPECT_LT(cold.flash_hit_rate(), warm.flash_hit_rate());
+}
+
+TEST(Persistence, ColdStartRunsTheSameMeasuredWorkload) {
+  // The cold run executes exactly the measured half of the warmed run's
+  // trace — same operation count, same block mix.
+  ExperimentParams params = BaseParams();
+  const Metrics warm = RunExperiment(params).metrics;
+  params.skip_warmup = true;
+  const Metrics cold = RunExperiment(params).metrics;
+  EXPECT_EQ(cold.measured_read_blocks + cold.measured_write_blocks,
+            warm.measured_read_blocks + warm.measured_write_blocks);
+  EXPECT_EQ(cold.warmup_blocks, 0u);
+  EXPECT_GT(warm.warmup_blocks, 0u);
+}
+
+TEST(Persistence, PersistentFlashConsumesMoreDeviceTime) {
+  // The cost is real — it lands on the flash device, not the application.
+  TimingModel timing;
+  EXPECT_EQ(timing.EffectiveFlashWrite(), timing.flash_write_ns);
+  timing.persistent_flash = true;
+  EXPECT_EQ(timing.EffectiveFlashWrite(), 2 * timing.flash_write_ns);
+}
+
+}  // namespace
+}  // namespace flashsim

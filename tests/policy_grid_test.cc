@@ -1,0 +1,105 @@
+// Property sweep over the paper's full design grid: 3 architectures x 7 RAM
+// policies x 7 flash policies = 147 configurations (Fig 2's axes). Every
+// combination must run a mixed workload to completion with consistent cache
+// structures, conserved operation counts, and physically sane latencies.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/simulation.h"
+#include "tests/stack_test_util.h"
+
+namespace flashsim {
+namespace {
+
+using GridParam = std::tuple<Architecture, WritebackPolicy, WritebackPolicy>;
+
+class PolicyGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(PolicyGridTest, MixedWorkloadRunsClean) {
+  const auto [arch, ram_policy, flash_policy] = GetParam();
+  SimConfig config;
+  config.ram_bytes = 16 * 4096;
+  config.flash_bytes = 64 * 4096;
+  config.arch = arch;
+  config.ram_policy = ram_policy;
+  config.flash_policy = flash_policy;
+  config.threads_per_host = 4;
+  Simulation sim(config);
+
+  std::vector<TraceRecord> ops;
+  Rng rng(99);
+  uint64_t expected_read_blocks = 0;
+  uint64_t expected_write_blocks = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    TraceRecord r;
+    r.op = rng.NextBool(0.3) ? TraceOp::kWrite : TraceOp::kRead;
+    r.thread = static_cast<uint16_t>(rng.NextBounded(4));
+    r.file_id = 1;
+    r.block = rng.NextBounded(160);  // working set 2.5x the flash
+    r.block_count = static_cast<uint32_t>(rng.NextBounded(3)) + 1;
+    r.warmup = i < n / 2;
+    if (!r.warmup) {
+      (r.op == TraceOp::kRead ? expected_read_blocks : expected_write_blocks) += r.block_count;
+    }
+    ops.push_back(r);
+  }
+  VectorTraceSource source(std::move(ops));
+  const Metrics m = sim.Run(source);
+
+  // Conservation: every measured block is accounted for, and read blocks
+  // partition across the serving levels.
+  EXPECT_EQ(m.measured_read_blocks, expected_read_blocks);
+  EXPECT_EQ(m.measured_write_blocks, expected_write_blocks);
+  uint64_t level_sum = 0;
+  for (uint64_t count : m.read_level_blocks) {
+    level_sum += count;
+  }
+  EXPECT_EQ(level_sum, m.measured_read_blocks);
+  EXPECT_EQ(m.trace_records, static_cast<uint64_t>(n));
+
+  // Structure invariants survive the full grid.
+  sim.CheckInvariants();
+
+  // Physical sanity: nothing completes faster than a RAM access; nothing
+  // slower than a handful of worst-case filer round trips per block.
+  if (m.read_latency.count() > 0) {
+    EXPECT_GE(m.read_latency.quantile_ns(0.0), 400);
+    EXPECT_LE(m.read_latency.max_ns(), 64 * 8001168);
+  }
+  if (m.write_latency.count() > 0) {
+    EXPECT_GE(m.write_latency.quantile_ns(0.0), 400);
+  }
+
+  // Policy semantics: write-through tiers hold no dirty data at the end.
+  if ((ram_policy == WritebackPolicy::kSync || ram_policy == WritebackPolicy::kAsync) &&
+      (flash_policy == WritebackPolicy::kSync || flash_policy == WritebackPolicy::kAsync)) {
+    EXPECT_EQ(sim.stack(0).DirtyBlocks(), 0u);
+  }
+  // The lookaside flash never holds dirty data under any policy.
+  if (arch == Architecture::kLookaside) {
+    const auto& stack = static_cast<const SubsetStackBase&>(sim.stack(0));
+    EXPECT_EQ(stack.flash_cache().dirty_count(), 0u);
+  }
+}
+
+std::string GridName(const ::testing::TestParamInfo<GridParam>& info) {
+  const auto [arch, ram_policy, flash_policy] = info.param;
+  std::string name = ArchitectureName(arch);
+  name += "_ram_";
+  name += PolicyName(ram_policy);
+  name += "_flash_";
+  name += PolicyName(flash_policy);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, PolicyGridTest,
+    ::testing::Combine(::testing::ValuesIn(kAllArchitectures),
+                       ::testing::ValuesIn(kAllWritebackPolicies),
+                       ::testing::ValuesIn(kAllWritebackPolicies)),
+    GridName);
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,62 @@
+#include "src/cache/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(Policy, NamesMatchPaperAxis) {
+  EXPECT_STREQ(PolicyName(WritebackPolicy::kSync), "s");
+  EXPECT_STREQ(PolicyName(WritebackPolicy::kAsync), "a");
+  EXPECT_STREQ(PolicyName(WritebackPolicy::kPeriodic1), "p1");
+  EXPECT_STREQ(PolicyName(WritebackPolicy::kPeriodic5), "p5");
+  EXPECT_STREQ(PolicyName(WritebackPolicy::kPeriodic15), "p15");
+  EXPECT_STREQ(PolicyName(WritebackPolicy::kPeriodic30), "p30");
+  EXPECT_STREQ(PolicyName(WritebackPolicy::kNone), "n");
+}
+
+TEST(Policy, ParseRoundTrips) {
+  for (WritebackPolicy policy : kAllWritebackPolicies) {
+    const auto parsed = ParsePolicy(PolicyName(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(ParsePolicy("bogus").has_value());
+  EXPECT_FALSE(ParsePolicy("").has_value());
+  EXPECT_FALSE(ParsePolicy("p2").has_value());
+}
+
+TEST(Policy, PeriodsMatchSeconds) {
+  EXPECT_EQ(PolicyPeriodNs(WritebackPolicy::kPeriodic1), 1 * kSecond);
+  EXPECT_EQ(PolicyPeriodNs(WritebackPolicy::kPeriodic5), 5 * kSecond);
+  EXPECT_EQ(PolicyPeriodNs(WritebackPolicy::kPeriodic15), 15 * kSecond);
+  EXPECT_EQ(PolicyPeriodNs(WritebackPolicy::kPeriodic30), 30 * kSecond);
+  EXPECT_EQ(PolicyPeriodNs(WritebackPolicy::kSync), 0);
+  EXPECT_EQ(PolicyPeriodNs(WritebackPolicy::kAsync), 0);
+  EXPECT_EQ(PolicyPeriodNs(WritebackPolicy::kNone), 0);
+}
+
+TEST(Policy, IsPeriodicClassification) {
+  EXPECT_FALSE(IsPeriodic(WritebackPolicy::kSync));
+  EXPECT_FALSE(IsPeriodic(WritebackPolicy::kAsync));
+  EXPECT_TRUE(IsPeriodic(WritebackPolicy::kPeriodic1));
+  EXPECT_TRUE(IsPeriodic(WritebackPolicy::kPeriodic30));
+  EXPECT_FALSE(IsPeriodic(WritebackPolicy::kNone));
+}
+
+TEST(Policy, SevenPoliciesSevenSquaredCombinations) {
+  // Fig 2 sweeps 49 policy combinations per architecture.
+  EXPECT_EQ(kAllWritebackPolicies.size(), 7u);
+  int combos = 0;
+  for (WritebackPolicy ram : kAllWritebackPolicies) {
+    for (WritebackPolicy flash : kAllWritebackPolicies) {
+      (void)ram;
+      (void)flash;
+      ++combos;
+    }
+  }
+  EXPECT_EQ(combos, 49);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,79 @@
+#include "src/core/recovery.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+RecoveryParams BaselineParams() {
+  RecoveryParams params;
+  params.flash_blocks = 64ULL * 1024 * 1024 * 1024 / 4096;  // 64 GB cache
+  return params;
+}
+
+TEST(Recovery, ScanTimeMatchesHandComputation) {
+  RecoveryParams params = BaselineParams();
+  TimingModel timing;
+  const RecoveryEstimate estimate = EstimateRecovery(params, timing);
+  // 16M blocks * 32 B = 512 MiB of metadata = 128k pages of 4 KiB;
+  // at 88 us per page read, 16-deep: 128Ki * 88us / 16 = 720.9 ms.
+  EXPECT_EQ(estimate.metadata_pages, (64ULL << 30) / 4096 / 128);
+  EXPECT_EQ(estimate.scan_time_ns,
+            static_cast<SimDuration>(estimate.metadata_pages) * 88000 / 16);
+  EXPECT_LT(estimate.scan_time_ns, 2 * kSecond);  // sub-2s recovery at 64 GB
+}
+
+TEST(Recovery, RefillIsOrdersOfMagnitudeSlower) {
+  // The §7.8 trade: scanning metadata beats re-fetching the working set
+  // from the filer by a wide margin — that is the value of persistence.
+  const RecoveryEstimate estimate = EstimateRecovery(BaselineParams(), TimingModel{});
+  EXPECT_GT(estimate.speedup(), 50.0);
+  EXPECT_GT(estimate.refill_time_ns, 60 * kSecond);
+}
+
+TEST(Recovery, OccupancyScalesRefillNotScan) {
+  RecoveryParams params = BaselineParams();
+  TimingModel timing;
+  const RecoveryEstimate full = EstimateRecovery(params, timing);
+  params.occupancy = 0.5;
+  const RecoveryEstimate half = EstimateRecovery(params, timing);
+  EXPECT_EQ(half.scan_time_ns, full.scan_time_ns);  // scan reads all entries
+  EXPECT_NEAR(static_cast<double>(half.refill_time_ns),
+              0.5 * static_cast<double>(full.refill_time_ns),
+              0.01 * static_cast<double>(full.refill_time_ns));
+}
+
+TEST(Recovery, ScanScalesLinearlyWithCacheSize) {
+  RecoveryParams params = BaselineParams();
+  TimingModel timing;
+  const RecoveryEstimate base = EstimateRecovery(params, timing);
+  params.flash_blocks *= 2;
+  const RecoveryEstimate doubled = EstimateRecovery(params, timing);
+  EXPECT_NEAR(static_cast<double>(doubled.scan_time_ns),
+              2.0 * static_cast<double>(base.scan_time_ns),
+              0.01 * static_cast<double>(doubled.scan_time_ns));
+}
+
+TEST(Recovery, ConcurrencySpeedsTheScan) {
+  RecoveryParams params = BaselineParams();
+  TimingModel timing;
+  params.scan_concurrency = 1;
+  const RecoveryEstimate serial = EstimateRecovery(params, timing);
+  params.scan_concurrency = 32;
+  const RecoveryEstimate parallel = EstimateRecovery(params, timing);
+  EXPECT_NEAR(static_cast<double>(serial.scan_time_ns),
+              32.0 * static_cast<double>(parallel.scan_time_ns),
+              0.05 * static_cast<double>(serial.scan_time_ns));
+}
+
+TEST(RecoveryDeathTest, RejectsBadParams) {
+  TimingModel timing;
+  RecoveryParams params;  // flash_blocks == 0
+  EXPECT_DEATH(EstimateRecovery(params, timing), "CHECK failed");
+  params = BaselineParams();
+  params.occupancy = 1.5;
+  EXPECT_DEATH(EstimateRecovery(params, timing), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace flashsim

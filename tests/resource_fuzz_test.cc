@@ -1,0 +1,124 @@
+// Fuzz: the gap-aware Resource against a brute-force reference.
+//
+// The reference keeps every booked interval forever and finds the first
+// fitting gap by linear scan; Resource must produce identical placements
+// (with pruning disabled) and identical placements relative to a monotone
+// clock (with pruning enabled).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/resource.h"
+#include "src/util/rng.h"
+
+namespace flashsim {
+namespace {
+
+// O(n^2) reference: intervals sorted by start; first-fit gap search.
+class ReferenceResource {
+ public:
+  SimTime Acquire(SimTime now, SimDuration service) {
+    SimTime cursor = now;
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const auto& [start, end] : intervals_) {
+        if (start < cursor + service && end > cursor) {
+          cursor = end;
+          moved = true;
+        }
+      }
+    }
+    if (service > 0) {
+      intervals_.emplace_back(cursor, cursor + service);
+    }
+    return cursor + service;
+  }
+
+ private:
+  std::vector<std::pair<SimTime, SimTime>> intervals_;
+};
+
+TEST(ResourceFuzz, MatchesBruteForceWithoutPruning) {
+  Rng rng(42);
+  for (int round = 0; round < 50; ++round) {
+    Resource resource("fuzz");  // no clock: nothing is ever pruned
+    ReferenceResource reference;
+    SimTime base = 0;
+    for (int i = 0; i < 400; ++i) {
+      // Request times wander forward with occasional far-future bookings.
+      base += static_cast<SimTime>(rng.NextBounded(50));
+      const SimTime request =
+          base + (rng.NextBool(0.2) ? static_cast<SimTime>(rng.NextBounded(5000)) : 0);
+      // Positive services only: a zero-length booking at the boundary of
+      // two merged intervals is ambiguous (both placements are idle).
+      const SimDuration service = static_cast<SimDuration>(rng.NextBounded(120)) + 1;
+      const SimTime got = resource.Acquire(request, service);
+      const SimTime expected = reference.Acquire(request, service);
+      ASSERT_EQ(got, expected) << "round " << round << " op " << i << " request " << request
+                               << " service " << service;
+    }
+  }
+}
+
+TEST(ResourceFuzz, PruningNeverChangesPlacements) {
+  // Run the same request stream through a pruned and an unpruned resource;
+  // since the clock never exceeds any future request time, placements must
+  // be identical.
+  Rng rng(43);
+  for (int round = 0; round < 20; ++round) {
+    SimClock clock;
+    Resource pruned("pruned", &clock);
+    Resource unpruned("unpruned");
+    SimTime now = 0;
+    for (int i = 0; i < 1000; ++i) {
+      now += static_cast<SimTime>(rng.NextBounded(100));
+      clock.now = now;  // monotone event clock
+      const SimTime request = now + static_cast<SimTime>(rng.NextBounded(2000));
+      const SimDuration service = static_cast<SimDuration>(rng.NextBounded(80)) + 1;
+      ASSERT_EQ(pruned.Acquire(request, service), unpruned.Acquire(request, service))
+          << "round " << round << " op " << i;
+    }
+    // Pruning must actually bound the interval set.
+    EXPECT_LT(pruned.booked_intervals(), unpruned.booked_intervals() + 1);
+  }
+}
+
+TEST(ResourceFuzz, BusyTimeEqualsSumOfServices) {
+  Rng rng(44);
+  Resource resource("fuzz");
+  SimDuration total = 0;
+  SimTime now = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now += static_cast<SimTime>(rng.NextBounded(30));
+    const SimDuration service = static_cast<SimDuration>(rng.NextBounded(50));
+    resource.Acquire(now, service);
+    total += service;
+  }
+  EXPECT_EQ(resource.busy_time(), total);
+  EXPECT_EQ(resource.requests(), 5000u);
+}
+
+TEST(ResourceFuzz, CompletionsNeverOverlap) {
+  // Collect placements and verify pairwise disjointness directly.
+  Rng rng(45);
+  Resource resource("fuzz");
+  std::vector<std::pair<SimTime, SimTime>> placements;
+  SimTime now = 0;
+  for (int i = 0; i < 600; ++i) {
+    now += static_cast<SimTime>(rng.NextBounded(40));
+    const SimDuration service = static_cast<SimDuration>(rng.NextBounded(60)) + 1;
+    const SimTime end = resource.Acquire(now, service);
+    placements.emplace_back(end - service, end);
+    ASSERT_GE(end - service, now);
+  }
+  std::sort(placements.begin(), placements.end());
+  for (size_t i = 1; i < placements.size(); ++i) {
+    ASSERT_LE(placements[i - 1].second, placements[i].first)
+        << "overlap between bookings " << i - 1 << " and " << i;
+  }
+}
+
+}  // namespace
+}  // namespace flashsim

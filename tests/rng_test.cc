@@ -1,0 +1,125 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace flashsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(77);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 16; ++i) {
+    first.push_back(a.Next());
+  }
+  a.Seed(77);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.Next(), first[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBoundedZeroAndOneReturnZero) {
+  Rng rng(8);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Rng, NextBoundedUniformity) {
+  Rng rng(9);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.NextBounded(bound)];
+  }
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], n / static_cast<int>(bound), n / 100);
+  }
+}
+
+TEST(Rng, NextRangeInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextRange(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(11);
+  int yes = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    yes += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(yes) / n, 0.3, 0.01);
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  std::set<uint64_t> values;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    values.insert(Mix64(i));
+  }
+  EXPECT_EQ(values.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,109 @@
+#include "src/device/ssd_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace flashsim {
+namespace {
+
+SsdProfileParams TestParams() {
+  SsdProfileParams p;
+  p.capacity_blocks = 100000;
+  return p;
+}
+
+// §6.2 finding 2: a single stable average write latency from beginning to
+// end, across workloads.
+TEST(SsdProfile, WriteLatencyMeanIsStableOverTime) {
+  SsdProfile ssd(TestParams(), 1);
+  StreamingStats early;
+  StreamingStats late;
+  for (int i = 0; i < 50000; ++i) {
+    early.Add(static_cast<double>(ssd.WriteLatency()));
+    ssd.NoteFill();
+  }
+  for (int i = 0; i < 250000; ++i) {
+    ssd.WriteLatency();
+  }
+  for (int i = 0; i < 50000; ++i) {
+    late.Add(static_cast<double>(ssd.WriteLatency()));
+  }
+  EXPECT_NEAR(late.mean() / early.mean(), 1.0, 0.02);
+  EXPECT_NEAR(early.mean(), 21000.0, 0.03 * 21000.0);
+}
+
+// §6.2 finding 3 / weak relationship: read latency degrades as the device
+// fills and write volume accumulates.
+TEST(SsdProfile, ReadLatencyDegradesWithFillAndWrites) {
+  SsdProfile ssd(TestParams(), 2);
+  StreamingStats fresh;
+  for (int i = 0; i < 50000; ++i) {
+    fresh.Add(static_cast<double>(ssd.ReadLatency()));
+  }
+  // Fill the device and push plenty of write volume through it.
+  for (uint64_t i = 0; i < 100000; ++i) {
+    ssd.NoteFill();
+    ssd.WriteLatency();
+  }
+  StreamingStats aged;
+  for (int i = 0; i < 50000; ++i) {
+    aged.Add(static_cast<double>(ssd.ReadLatency()));
+  }
+  EXPECT_GT(aged.mean(), 1.3 * fresh.mean());
+}
+
+// §6.2 finding 1: high short-term variance that averages out across
+// 10k-block groups.
+TEST(SsdProfile, GroupAveragesAreStableDespiteNoise) {
+  SsdProfile ssd(TestParams(), 3);
+  std::vector<double> group_means;
+  for (int g = 0; g < 10; ++g) {
+    StreamingStats group;
+    for (int i = 0; i < 10000; ++i) {
+      group.Add(static_cast<double>(ssd.ReadLatency()));
+    }
+    group_means.push_back(group.mean());
+    // Per-sample noise is large...
+    EXPECT_GT(group.stddev(), 0.2 * group.mean());
+  }
+  // ...but group means vary little (device state barely changed).
+  StreamingStats of_means;
+  for (double m : group_means) {
+    of_means.Add(m);
+  }
+  EXPECT_LT(of_means.stddev(), 0.02 * of_means.mean());
+}
+
+TEST(SsdProfile, FillFractionSaturatesAtOne) {
+  SsdProfileParams p;
+  p.capacity_blocks = 10;
+  SsdProfile ssd(p, 4);
+  for (int i = 0; i < 25; ++i) {
+    ssd.NoteFill();
+  }
+  EXPECT_DOUBLE_EQ(ssd.FillFraction(), 1.0);
+}
+
+TEST(SsdProfile, DeterministicForSeed) {
+  SsdProfile a(TestParams(), 9);
+  SsdProfile b(TestParams(), 9);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.ReadLatency(), b.ReadLatency());
+    ASSERT_EQ(a.WriteLatency(), b.WriteLatency());
+  }
+}
+
+TEST(SsdProfile, CountsIos) {
+  SsdProfile ssd(TestParams(), 5);
+  ssd.ReadLatency();
+  ssd.ReadLatency();
+  ssd.WriteLatency();
+  EXPECT_EQ(ssd.total_reads(), 2u);
+  EXPECT_EQ(ssd.total_writes(), 1u);
+}
+
+}  // namespace
+}  // namespace flashsim

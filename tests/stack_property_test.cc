@@ -1,0 +1,118 @@
+// Property-based churn over every architecture: cache structures stay
+// consistent, residency respects capacity, Holds() agrees with hit levels,
+// and time never runs backwards.
+#include <gtest/gtest.h>
+
+#include "tests/stack_test_util.h"
+
+namespace flashsim {
+namespace {
+
+struct PropertyCase {
+  Architecture arch;
+  uint64_t ram_blocks;
+  uint64_t flash_blocks;
+  WritebackPolicy ram_policy;
+  WritebackPolicy flash_policy;
+};
+
+class StackPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(StackPropertyTest, RandomChurnPreservesInvariants) {
+  const PropertyCase& c = GetParam();
+  StackHarness h(c.arch, c.ram_blocks, c.flash_blocks, c.ram_policy, c.flash_policy);
+  Rng rng(0xfeedULL + static_cast<uint64_t>(c.arch) * 131 + c.ram_blocks);
+  SimTime t = 0;
+  uint64_t reads = 0;
+  uint64_t hits = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const BlockKey key = rng.NextBounded(3 * (c.ram_blocks + c.flash_blocks) + 8);
+    const SimTime before = t;
+    const int action = static_cast<int>(rng.NextBounded(10));
+    if (action < 4) {
+      HitLevel level;
+      const bool held = h.stack().Holds(key);
+      t = h.Read(t, key, &level);
+      ++reads;
+      // A block the union cache holds must never be served by the filer.
+      if (held) {
+        ASSERT_NE(level, HitLevel::kFilerFast) << "i=" << i;
+        ASSERT_NE(level, HitLevel::kFilerSlow) << "i=" << i;
+        ++hits;
+      }
+      // After a read the block is resident (if there is any cache at all).
+      if (c.ram_blocks + c.flash_blocks > 0) {
+        ASSERT_TRUE(h.stack().Holds(key));
+      }
+    } else if (action < 7) {
+      t = h.Write(t, key);
+    } else if (action == 7) {
+      h.stack().Invalidate(key);
+      ASSERT_FALSE(h.stack().Holds(key));
+    } else if (action == 8) {
+      if (auto done = h.stack().FlushOneRamBlock(t)) {
+        ASSERT_GE(*done, t);
+      }
+    } else {
+      if (auto done = h.stack().FlushOneFlashBlock(t)) {
+        ASSERT_GE(*done, t);
+      }
+    }
+    ASSERT_GE(t, before) << "time ran backwards at op " << i;
+    ASSERT_LE(h.stack().RamResident(), c.ram_blocks + c.flash_blocks);
+    ASSERT_LE(h.stack().FlashResident(), c.flash_blocks == 0 && c.arch != Architecture::kUnified
+                                             ? 0
+                                             : c.ram_blocks + c.flash_blocks);
+    if (i % 500 == 0) {
+      h.stack().CheckInvariants();
+    }
+  }
+  h.stack().CheckInvariants();
+  h.queue().RunToCompletion();
+  if (c.ram_blocks + c.flash_blocks > 8) {
+    EXPECT_GT(hits, 0u) << "cache never hit in " << reads << " reads";
+  }
+  // Dirty data is bounded by total capacity.
+  EXPECT_LE(h.stack().DirtyBlocks(), c.ram_blocks + c.flash_blocks);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& c = info.param;
+  std::string name = ArchitectureName(c.arch);
+  name += "_r" + std::to_string(c.ram_blocks) + "_f" + std::to_string(c.flash_blocks);
+  name += "_";
+  name += PolicyName(c.ram_policy);
+  name += "_";
+  name += PolicyName(c.flash_policy);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StackPropertyTest,
+    ::testing::Values(
+        PropertyCase{Architecture::kNaive, 8, 64, WritebackPolicy::kPeriodic1,
+                     WritebackPolicy::kAsync},
+        PropertyCase{Architecture::kNaive, 1, 4, WritebackPolicy::kNone, WritebackPolicy::kNone},
+        PropertyCase{Architecture::kNaive, 0, 32, WritebackPolicy::kAsync,
+                     WritebackPolicy::kPeriodic5},
+        PropertyCase{Architecture::kNaive, 16, 0, WritebackPolicy::kPeriodic1,
+                     WritebackPolicy::kAsync},
+        PropertyCase{Architecture::kNaive, 4, 4, WritebackPolicy::kSync, WritebackPolicy::kSync},
+        PropertyCase{Architecture::kLookaside, 8, 64, WritebackPolicy::kPeriodic1,
+                     WritebackPolicy::kAsync},
+        PropertyCase{Architecture::kLookaside, 2, 8, WritebackPolicy::kNone,
+                     WritebackPolicy::kNone},
+        PropertyCase{Architecture::kLookaside, 0, 16, WritebackPolicy::kAsync,
+                     WritebackPolicy::kAsync},
+        PropertyCase{Architecture::kUnified, 8, 64, WritebackPolicy::kPeriodic1,
+                     WritebackPolicy::kAsync},
+        PropertyCase{Architecture::kUnified, 1, 8, WritebackPolicy::kNone,
+                     WritebackPolicy::kNone},
+        PropertyCase{Architecture::kUnified, 0, 16, WritebackPolicy::kSync,
+                     WritebackPolicy::kPeriodic15},
+        PropertyCase{Architecture::kUnified, 16, 0, WritebackPolicy::kPeriodic1,
+                     WritebackPolicy::kPeriodic1}),
+    CaseName);
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,54 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flashsim {
+namespace {
+
+TEST(Table, CsvOutput) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"x", "y"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(Table, AlignedOutputPadsColumns) {
+  Table table({"name", "v"});
+  table.AddRow({"x", "123456"});
+  std::ostringstream os;
+  table.PrintAligned(os);
+  const std::string out = os.str();
+  // Header line, separator, one data row.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  // The "x" cell is padded to the width of "name" plus the two-space gap.
+  EXPECT_NE(out.find("x     123456"), std::string::npos);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::Cell(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Cell(1.5, 0), "2");
+  EXPECT_EQ(Table::Cell(static_cast<int64_t>(-7)), "-7");
+  EXPECT_EQ(Table::Cell(static_cast<uint64_t>(12345)), "12345");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table table({"a", "b", "c"});
+  EXPECT_EQ(table.num_columns(), 3u);
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1", "2", "3"});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableDeathTest, MismatchedRowAborts) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace flashsim

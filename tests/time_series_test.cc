@@ -1,0 +1,58 @@
+#include "src/util/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(TimeSeries, BucketsByWindow) {
+  TimeSeriesRecorder series(1000);
+  series.Record(0, 10.0);
+  series.Record(999, 20.0);
+  series.Record(1000, 30.0);
+  series.Record(2500, 40.0);
+  ASSERT_EQ(series.num_windows(), 3u);
+  EXPECT_DOUBLE_EQ(series.WindowMean(0), 15.0);
+  EXPECT_DOUBLE_EQ(series.WindowMean(1), 30.0);
+  EXPECT_DOUBLE_EQ(series.WindowMean(2), 40.0);
+}
+
+TEST(TimeSeries, EmptyWindowUsesFallback) {
+  TimeSeriesRecorder series(100);
+  series.Record(250, 5.0);  // windows 0 and 1 stay empty
+  EXPECT_EQ(series.num_windows(), 3u);
+  EXPECT_DOUBLE_EQ(series.WindowMean(0, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(series.WindowMean(2), 5.0);
+}
+
+TEST(TimeSeries, WindowStartTimes) {
+  TimeSeriesRecorder series(250);
+  series.Record(600, 1.0);
+  EXPECT_EQ(series.window_start(0), 0);
+  EXPECT_EQ(series.window_start(2), 500);
+  EXPECT_EQ(series.window_ns(), 250);
+}
+
+TEST(TimeSeries, OutOfOrderSamplesLandCorrectly) {
+  TimeSeriesRecorder series(10);
+  series.Record(95, 1.0);
+  series.Record(5, 2.0);  // earlier window, recorded later
+  EXPECT_DOUBLE_EQ(series.WindowMean(0), 2.0);
+  EXPECT_DOUBLE_EQ(series.WindowMean(9), 1.0);
+}
+
+TEST(TimeSeries, AccumulatesFullStatsPerWindow) {
+  TimeSeriesRecorder series(100);
+  series.Record(10, 1.0);
+  series.Record(20, 3.0);
+  EXPECT_EQ(series.window(0).count(), 2u);
+  EXPECT_DOUBLE_EQ(series.window(0).min(), 1.0);
+  EXPECT_DOUBLE_EQ(series.window(0).max(), 3.0);
+}
+
+TEST(TimeSeriesDeathTest, ZeroWindowAborts) {
+  EXPECT_DEATH(TimeSeriesRecorder series(0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace flashsim

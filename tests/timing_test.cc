@@ -1,0 +1,30 @@
+#include "src/device/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+// Table 1 defaults, in nanoseconds.
+TEST(TimingModel, Table1Defaults) {
+  TimingModel t;
+  EXPECT_EQ(t.ram_access_ns, 400);
+  EXPECT_EQ(t.flash_read_ns, 88 * kMicrosecond);
+  EXPECT_EQ(t.flash_write_ns, 21 * kMicrosecond);
+  EXPECT_EQ(t.net_packet_base_ns, 8200);
+  EXPECT_EQ(t.net_per_bit_ns, 1);
+  EXPECT_EQ(t.filer_fast_read_ns, 92 * kMicrosecond);
+  EXPECT_EQ(t.filer_slow_read_ns, 7952 * kMicrosecond);
+  EXPECT_EQ(t.filer_write_ns, 92 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(t.filer_fast_read_rate, 0.90);
+}
+
+TEST(TimingModel, PersistenceDoublesFlashWrite) {
+  TimingModel t;
+  EXPECT_EQ(t.EffectiveFlashWrite(), 21 * kMicrosecond);
+  t.persistent_flash = true;
+  EXPECT_EQ(t.EffectiveFlashWrite(), 42 * kMicrosecond);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,52 @@
+#include "src/trace/record.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(BlockKey, PacksAndUnpacks) {
+  const BlockKey key = MakeBlockKey(12345, 987654321);
+  EXPECT_EQ(FileOfKey(key), 12345u);
+  EXPECT_EQ(BlockOfKey(key), 987654321u);
+}
+
+TEST(BlockKey, ExtremesSurvive) {
+  const BlockKey key = MakeBlockKey(kMaxFileId, kMaxBlockInFile);
+  EXPECT_EQ(FileOfKey(key), kMaxFileId);
+  EXPECT_EQ(BlockOfKey(key), kMaxBlockInFile);
+  const BlockKey zero = MakeBlockKey(0, 0);
+  EXPECT_EQ(FileOfKey(zero), 0u);
+  EXPECT_EQ(BlockOfKey(zero), 0u);
+}
+
+TEST(BlockKey, DistinctFilesDistinctKeys) {
+  EXPECT_NE(MakeBlockKey(1, 0), MakeBlockKey(0, 1ull << 40 >> 1));
+  EXPECT_NE(MakeBlockKey(1, 5), MakeBlockKey(2, 5));
+  EXPECT_NE(MakeBlockKey(1, 5), MakeBlockKey(1, 6));
+}
+
+TEST(TraceRecord, EqualityComparesAllFields) {
+  TraceRecord a;
+  a.op = TraceOp::kWrite;
+  a.host = 1;
+  a.thread = 2;
+  a.file_id = 3;
+  a.block = 4;
+  a.block_count = 5;
+  a.warmup = true;
+  TraceRecord b = a;
+  EXPECT_EQ(a, b);
+  b.block = 9;
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceRecord, DefaultsAreSingleBlockRead) {
+  TraceRecord r;
+  EXPECT_EQ(r.op, TraceOp::kRead);
+  EXPECT_EQ(r.block_count, 1u);
+  EXPECT_FALSE(r.warmup);
+}
+
+}  // namespace
+}  // namespace flashsim

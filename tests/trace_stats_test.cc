@@ -1,0 +1,94 @@
+#include "src/trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TraceRecord Make(TraceOp op, uint16_t host, uint32_t file, uint64_t block, uint32_t count,
+                 bool warmup = false) {
+  TraceRecord r;
+  r.op = op;
+  r.host = host;
+  r.file_id = file;
+  r.block = block;
+  r.block_count = count;
+  r.warmup = warmup;
+  return r;
+}
+
+TEST(TraceStats, CountsOpsAndBlocks) {
+  TraceStats stats;
+  stats.Add(Make(TraceOp::kRead, 0, 1, 0, 4));
+  stats.Add(Make(TraceOp::kWrite, 0, 1, 4, 2));
+  EXPECT_EQ(stats.num_records(), 2u);
+  EXPECT_EQ(stats.num_reads(), 1u);
+  EXPECT_EQ(stats.num_writes(), 1u);
+  EXPECT_EQ(stats.total_blocks(), 6u);
+  EXPECT_DOUBLE_EQ(stats.write_fraction(), 0.5);
+}
+
+TEST(TraceStats, FootprintDeduplicatesOverlaps) {
+  TraceStats stats;
+  stats.Add(Make(TraceOp::kRead, 0, 1, 0, 4));   // blocks 0-3
+  stats.Add(Make(TraceOp::kWrite, 0, 1, 2, 4));  // blocks 2-5 (2 new)
+  stats.Add(Make(TraceOp::kRead, 0, 2, 0, 1));   // different file
+  EXPECT_EQ(stats.unique_blocks(), 7u);
+  EXPECT_EQ(stats.unique_files(), 2u);
+}
+
+TEST(TraceStats, WarmupTracking) {
+  TraceStats stats;
+  stats.Add(Make(TraceOp::kRead, 0, 1, 0, 3, /*warmup=*/true));
+  stats.Add(Make(TraceOp::kRead, 0, 1, 3, 2, /*warmup=*/false));
+  EXPECT_EQ(stats.warmup_records(), 1u);
+  EXPECT_EQ(stats.warmup_blocks(), 3u);
+  EXPECT_EQ(stats.measured_blocks(), 2u);
+}
+
+TEST(TraceStats, PerHostSpread) {
+  TraceStats stats;
+  stats.Add(Make(TraceOp::kRead, 0, 1, 0, 1));
+  stats.Add(Make(TraceOp::kRead, 2, 1, 1, 1));
+  stats.Add(Make(TraceOp::kRead, 2, 1, 2, 1));
+  EXPECT_EQ(stats.max_host(), 2);
+  EXPECT_EQ(stats.records_for_host(0), 1u);
+  EXPECT_EQ(stats.records_for_host(1), 0u);
+  EXPECT_EQ(stats.records_for_host(2), 2u);
+  EXPECT_EQ(stats.records_for_host(9), 0u);
+}
+
+TEST(TraceStats, IoSizeMoments) {
+  TraceStats stats;
+  stats.Add(Make(TraceOp::kRead, 0, 1, 0, 2));
+  stats.Add(Make(TraceOp::kRead, 0, 1, 0, 6));
+  EXPECT_DOUBLE_EQ(stats.io_size_blocks().mean(), 4.0);
+  EXPECT_EQ(stats.io_size_blocks().max(), 6.0);
+}
+
+TEST(TraceStats, AddAllDrainsSource) {
+  std::vector<TraceRecord> records = {Make(TraceOp::kRead, 0, 1, 0, 1),
+                                      Make(TraceOp::kWrite, 0, 1, 1, 1)};
+  VectorTraceSource source(std::move(records));
+  TraceStats stats;
+  stats.AddAll(source);
+  EXPECT_EQ(stats.num_records(), 2u);
+  TraceRecord r;
+  EXPECT_FALSE(source.Next(&r));
+}
+
+TEST(TraceStats, SummaryIsInformative) {
+  TraceStats stats;
+  stats.Add(Make(TraceOp::kWrite, 0, 1, 0, 1));
+  const std::string summary = stats.Summary();
+  EXPECT_NE(summary.find("records=1"), std::string::npos);
+  EXPECT_NE(summary.find("100.0% writes"), std::string::npos);
+}
+
+TEST(TraceStats, EmptyWriteFractionIsZero) {
+  TraceStats stats;
+  EXPECT_EQ(stats.write_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "tests/stack_test_util.h"
+
+namespace flashsim {
+namespace {
+
+TEST(UnifiedStack, FillsRamSlotsFirstThenFlash) {
+  StackHarness h(Architecture::kUnified, 2, 4, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic1);
+  SimTime t = 0;
+  for (BlockKey key = 1; key <= 6; ++key) {
+    t = h.Load(t, key);
+  }
+  EXPECT_EQ(h.stack().RamResident(), 2u);
+  EXPECT_EQ(h.stack().FlashResident(), 4u);
+  h.stack().CheckInvariants();
+}
+
+TEST(UnifiedStack, ReadHitCostDependsOnMedium) {
+  StackHarness h(Architecture::kUnified, 1, 1, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic1);
+  SimTime t = h.Load(0, 1);  // lands in the RAM slot
+  t = h.Load(t, 2);          // lands in the flash slot
+  HitLevel level;
+  SimTime start = t;
+  t = h.Read(t, 1, &level);
+  EXPECT_EQ(level, HitLevel::kRam);
+  EXPECT_EQ(t - start, kRam);
+  start = t;
+  t = h.Read(t, 2, &level);
+  EXPECT_EQ(level, HitLevel::kFlash);
+  EXPECT_EQ(t - start, kFlashRead);
+}
+
+TEST(UnifiedStack, BlocksNeverMigrate) {
+  // §3.3: "and are never migrated" — a block's medium is fixed while
+  // resident, no matter how hot it gets.
+  StackHarness h(Architecture::kUnified, 1, 1, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic1);
+  SimTime t = h.Load(0, 1);
+  t = h.Load(t, 2);  // flash slot
+  HitLevel level;
+  for (int i = 0; i < 10; ++i) {
+    t = h.Read(t, 2, &level);
+    ASSERT_EQ(level, HitLevel::kFlash) << "block migrated to RAM on access " << i;
+  }
+}
+
+TEST(UnifiedStack, WriteToFlashBufferPaysFlashLatency) {
+  // §7.1: the unified architecture exposes the flash write latency; with a
+  // 1:8 RAM:flash split, ~8/9 of writes land in flash buffers.
+  StackHarness h(Architecture::kUnified, 1, 1, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic1);
+  SimTime t = h.Load(0, 1);  // RAM slot
+  t = h.Load(t, 2);          // flash slot
+  SimTime start = t;
+  t = h.Write(t, 1);
+  EXPECT_EQ(t - start, kRam);
+  start = t;
+  t = h.Write(t, 2);
+  EXPECT_EQ(t - start, kFlashWrite);
+  EXPECT_EQ(h.stack().DirtyBlocks(), 2u);
+}
+
+TEST(UnifiedStack, PerMediumPolicies) {
+  // RAM-buffer blocks follow the RAM policy (sync); flash-buffer blocks the
+  // flash policy (periodic).
+  StackHarness h(Architecture::kUnified, 1, 1, WritebackPolicy::kSync,
+                 WritebackPolicy::kPeriodic1);
+  SimTime t = h.Load(0, 1);  // RAM slot
+  t = h.Load(t, 2);          // flash slot
+  SimTime start = t;
+  t = h.Write(t, 1);  // sync: blocks to the filer
+  EXPECT_EQ(t - start, kRam + kRemoteWrite);
+  start = t;
+  t = h.Write(t, 2);  // periodic: flash write only, left dirty
+  EXPECT_EQ(t - start, kFlashWrite);
+  EXPECT_EQ(h.stack().DirtyBlocks(), 1u);
+}
+
+TEST(UnifiedStack, EffectiveCapacityIsSumOfMedia) {
+  // 2 RAM + 4 flash buffers hold six blocks with no evictions.
+  StackHarness h(Architecture::kUnified, 2, 4, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic1);
+  SimTime t = 0;
+  for (BlockKey key = 1; key <= 6; ++key) {
+    t = h.Load(t, key);
+  }
+  for (BlockKey key = 1; key <= 6; ++key) {
+    EXPECT_TRUE(h.stack().Holds(key)) << key;
+  }
+  t = h.Load(t, 7);
+  EXPECT_FALSE(h.stack().Holds(1));  // LRU evicted
+}
+
+TEST(UnifiedStack, MissFillIntoFlashBufferIsAsync) {
+  // Fill the RAM buffer first; the next miss lands in flash and its install
+  // does not appear in the application latency.
+  StackHarness h(Architecture::kUnified, 1, 1, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic1);
+  SimTime t = h.Load(0, 1);
+  const SimTime start = t;
+  t = h.Load(t, 2);
+  EXPECT_EQ(t - start, kRemoteRead);  // no flash write on the latency path
+  EXPECT_GE(h.flash_dev().busy_time(), kFlashWrite);
+}
+
+TEST(UnifiedStack, DirtyEvictionChargesRequester) {
+  StackHarness h(Architecture::kUnified, 1, 1, WritebackPolicy::kNone, WritebackPolicy::kNone);
+  SimTime t = h.Write(0, 1);
+  t = h.Write(t, 2);
+  const SimTime start = t;
+  t = h.Load(t, 3);  // evicts dirty LRU block 1 -> synchronous filer write
+  EXPECT_GE(t - start, kRemoteRead + kRemoteWrite);
+  EXPECT_EQ(h.stack().counters().sync_flash_evictions, 1u);
+}
+
+TEST(UnifiedStack, SyncersFlushOwnMediumOnly) {
+  StackHarness h(Architecture::kUnified, 1, 1, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic5);
+  SimTime t = h.Write(0, 1);  // RAM slot, dirty
+  t = h.Write(t, 2);          // flash slot, dirty
+  // The RAM syncer must not flush the flash-buffer block.
+  auto done = h.stack().FlushOneRamBlock(t);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(h.stack().DirtyBlocks(), 1u);
+  EXPECT_FALSE(h.stack().FlushOneRamBlock(*done).has_value());
+  auto fdone = h.stack().FlushOneFlashBlock(*done);
+  ASSERT_TRUE(fdone.has_value());
+  EXPECT_EQ(h.stack().DirtyBlocks(), 0u);
+}
+
+TEST(UnifiedStack, AsyncPolicyUsesBackgroundWriter) {
+  StackHarness h(Architecture::kUnified, 1, 1, WritebackPolicy::kAsync, WritebackPolicy::kAsync);
+  const SimTime done = h.Write(0, 1);  // RAM slot
+  EXPECT_EQ(done, kRam);
+  h.queue().RunToCompletion();
+  EXPECT_EQ(h.filer().writes(), 1u);
+  EXPECT_EQ(h.stack().DirtyBlocks(), 0u);
+}
+
+TEST(UnifiedStack, InvalidateDropsBlock) {
+  StackHarness h(Architecture::kUnified, 2, 2, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic1);
+  h.Load(0, 1);
+  ASSERT_TRUE(h.stack().Holds(1));
+  h.stack().Invalidate(1);
+  EXPECT_FALSE(h.stack().Holds(1));
+  h.stack().CheckInvariants();
+}
+
+TEST(UnifiedStack, ZeroRamAllFlash) {
+  StackHarness h(Architecture::kUnified, 0, 4, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic1);
+  const SimTime done = h.Write(0, 1);
+  EXPECT_EQ(done, kFlashWrite);
+  EXPECT_EQ(h.stack().RamResident(), 0u);
+  EXPECT_EQ(h.stack().FlashResident(), 1u);
+}
+
+TEST(UnifiedStack, ZeroCapacityFallsThroughToFiler) {
+  StackHarness h(Architecture::kUnified, 0, 0, WritebackPolicy::kSync, WritebackPolicy::kSync);
+  const SimTime t = h.Write(0, 1);
+  EXPECT_EQ(t, kRemoteWrite);
+  HitLevel level;
+  EXPECT_EQ(h.Read(t, 2, &level) - t, kRemoteRead);
+  EXPECT_EQ(level, HitLevel::kFilerFast);
+}
+
+TEST(UnifiedStack, ChurnKeepsStructureConsistent) {
+  StackHarness h(Architecture::kUnified, 2, 14, WritebackPolicy::kPeriodic1,
+                 WritebackPolicy::kPeriodic5);
+  Rng rng(5);
+  SimTime t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const BlockKey key = rng.NextBounded(50);
+    t = rng.NextBool(0.3) ? h.Write(t, key) : h.Read(t, key);
+    if (i % 200 == 0) {
+      h.stack().CheckInvariants();
+      h.stack().FlushOneFlashBlock(t);
+    }
+  }
+  h.queue().RunToCompletion();
+  h.stack().CheckInvariants();
+  EXPECT_EQ(h.stack().RamResident() + h.stack().FlashResident(), 16u);
+}
+
+}  // namespace
+}  // namespace flashsim

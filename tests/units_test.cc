@@ -1,0 +1,33 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(Units, Constants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(kTiB, 1024ull * kGiB);
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kSecond, 1000000000);
+}
+
+TEST(Units, FormatSize) {
+  EXPECT_EQ(FormatSize(512), "512B");
+  EXPECT_EQ(FormatSize(2 * kKiB), "2.0K");
+  EXPECT_EQ(FormatSize(64 * kMiB), "64.0M");
+  EXPECT_EQ(FormatSize(8 * kGiB), "8.0G");
+  EXPECT_EQ(FormatSize(kTiB + kTiB / 2), "1.5T");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(FormatDuration(400), "400ns");
+  EXPECT_EQ(FormatDuration(88 * kMicrosecond), "88.00us");
+  EXPECT_EQ(FormatDuration(7952 * kMicrosecond), "7.952ms");
+  EXPECT_EQ(FormatDuration(2 * kSecond), "2.000s");
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,178 @@
+// Simulator validation (DESIGN.md substitution for §6.1).
+//
+// The paper validated its simulator against NetApp's Mercury hardware by
+// matching throughput, latency, and hit-rate statistics within 10%. The
+// hardware and its traces are unavailable, so we validate the same property
+// the Mercury comparison established — that the simulator composes stage
+// timings into correct end-to-end latencies — against closed-form
+// expectations for workloads where every quantity can be computed by hand.
+#include <gtest/gtest.h>
+
+#include "src/core/simulation.h"
+#include "tests/stack_test_util.h"
+
+namespace flashsim {
+namespace {
+
+constexpr SimDuration kRemoteReadSlow = 8200 + 7952000 + 40968;  // 8001168 ns
+
+SimConfig BareConfig() {
+  SimConfig config;
+  config.ram_bytes = 0;
+  config.flash_bytes = 0;
+  config.num_hosts = 1;
+  config.threads_per_host = 1;
+  config.ram_policy = WritebackPolicy::kSync;
+  config.flash_policy = WritebackPolicy::kSync;
+  return config;
+}
+
+std::vector<TraceRecord> DistinctReads(int n) {
+  std::vector<TraceRecord> ops;
+  for (int i = 0; i < n; ++i) {
+    TraceRecord r;
+    r.file_id = 1;
+    r.block = static_cast<uint64_t>(i);
+    ops.push_back(r);
+  }
+  return ops;
+}
+
+TEST(Validation, UncachedFastReadsMatchClosedForm) {
+  SimConfig config = BareConfig();
+  config.timing.filer_fast_read_rate = 1.0;
+  Simulation sim(config);
+  VectorTraceSource source(DistinctReads(100));
+  const Metrics m = sim.Run(source);
+  EXPECT_EQ(static_cast<SimDuration>(m.read_latency.mean_ns()), kRemoteRead);
+  EXPECT_EQ(m.end_time, 100 * kRemoteRead);
+}
+
+TEST(Validation, UncachedSlowReadsMatchClosedForm) {
+  SimConfig config = BareConfig();
+  config.timing.filer_fast_read_rate = 0.0;
+  Simulation sim(config);
+  VectorTraceSource source(DistinctReads(50));
+  const Metrics m = sim.Run(source);
+  EXPECT_EQ(static_cast<SimDuration>(m.read_latency.mean_ns()), kRemoteReadSlow);
+}
+
+TEST(Validation, MixedReadLatencyMatchesExpectation) {
+  // E[latency] = r*fast + (1-r)*slow; single thread, no queueing.
+  SimConfig config = BareConfig();
+  config.timing.filer_fast_read_rate = 0.9;
+  Simulation sim(config);
+  VectorTraceSource source(DistinctReads(20000));
+  const Metrics m = sim.Run(source);
+  const double expected = 0.9 * static_cast<double>(kRemoteRead) +
+                          0.1 * static_cast<double>(kRemoteReadSlow);
+  EXPECT_NEAR(m.read_latency.mean_ns(), expected, 0.03 * expected);
+  // The fast/slow split itself is within binomial noise.
+  const double fast_rate = static_cast<double>(m.filer_fast_reads) /
+                           static_cast<double>(m.filer_fast_reads + m.filer_slow_reads);
+  EXPECT_NEAR(fast_rate, 0.9, 0.01);
+}
+
+TEST(Validation, UncachedWritesMatchClosedForm) {
+  SimConfig config = BareConfig();
+  Simulation sim(config);
+  std::vector<TraceRecord> ops = DistinctReads(10);
+  for (auto& op : ops) {
+    op.op = TraceOp::kWrite;
+  }
+  VectorTraceSource source(std::move(ops));
+  const Metrics m = sim.Run(source);
+  EXPECT_EQ(static_cast<SimDuration>(m.write_latency.mean_ns()), kRemoteWrite);
+}
+
+TEST(Validation, HotBlockReadsAtRamSpeed) {
+  SimConfig config = BareConfig();
+  config.ram_bytes = 8 * 4096;
+  config.flash_bytes = 16 * 4096;
+  config.ram_policy = WritebackPolicy::kPeriodic1;
+  config.flash_policy = WritebackPolicy::kAsync;
+  config.timing.filer_fast_read_rate = 1.0;
+  Simulation sim(config);
+  std::vector<TraceRecord> ops;
+  TraceRecord r;
+  r.file_id = 1;
+  r.block = 0;
+  r.warmup = true;
+  ops.push_back(r);  // warmup fill
+  r.warmup = false;
+  for (int i = 0; i < 100; ++i) {
+    ops.push_back(r);
+  }
+  VectorTraceSource source(std::move(ops));
+  const Metrics m = sim.Run(source);
+  EXPECT_EQ(static_cast<SimDuration>(m.read_latency.mean_ns()), kRam);
+  EXPECT_DOUBLE_EQ(m.ram_hit_rate(), 1.0);
+}
+
+TEST(Validation, FlashResidentWorkingSetReadsAtFlashSpeed) {
+  // RAM of 1 block, flash of 16: alternating between two blocks always
+  // misses RAM and hits flash: exactly flash read + RAM install each time.
+  SimConfig config = BareConfig();
+  config.ram_bytes = 1 * 4096;
+  config.flash_bytes = 16 * 4096;
+  config.ram_policy = WritebackPolicy::kPeriodic1;
+  config.flash_policy = WritebackPolicy::kAsync;
+  config.timing.filer_fast_read_rate = 1.0;
+  Simulation sim(config);
+  std::vector<TraceRecord> ops;
+  for (int i = 0; i < 2; ++i) {
+    TraceRecord r;
+    r.file_id = 1;
+    r.block = static_cast<uint64_t>(i);
+    r.warmup = true;
+    ops.push_back(r);
+  }
+  for (int i = 0; i < 200; ++i) {
+    TraceRecord r;
+    r.file_id = 1;
+    r.block = static_cast<uint64_t>(i % 2);
+    ops.push_back(r);
+  }
+  VectorTraceSource source(std::move(ops));
+  const Metrics m = sim.Run(source);
+  EXPECT_EQ(static_cast<SimDuration>(m.read_latency.mean_ns()), kFlashRead + kRam);
+  EXPECT_DOUBLE_EQ(m.flash_hit_rate(), 1.0);
+}
+
+TEST(Validation, NetworkSaturationBoundsThroughput) {
+  // 8 threads of uncached reads: the return link carries one 40.968 us data
+  // packet per read, so simulated time can never beat N * packet time.
+  SimConfig config = BareConfig();
+  config.threads_per_host = 8;
+  config.timing.filer_fast_read_rate = 1.0;
+  Simulation sim(config);
+  const int n = 4000;
+  std::vector<TraceRecord> ops = DistinctReads(n);
+  for (int i = 0; i < n; ++i) {
+    ops[static_cast<size_t>(i)].thread = static_cast<uint16_t>(i % 8);
+  }
+  VectorTraceSource source(std::move(ops));
+  const Metrics m = sim.Run(source);
+  const SimDuration data_packet = 40968;
+  EXPECT_GE(m.end_time, n * data_packet);
+  // And with 8-way overlap it beats the single-thread serial time.
+  EXPECT_LT(m.end_time, static_cast<SimDuration>(n) * kRemoteRead / 2);
+}
+
+TEST(Validation, LatencyNeverBelowPhysicalMinimum) {
+  // Whatever the contention, no read completes faster than a RAM access and
+  // no uncached read faster than the network+filer minimum.
+  SimConfig config = BareConfig();
+  config.threads_per_host = 8;
+  Simulation sim(config);
+  std::vector<TraceRecord> ops = DistinctReads(5000);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    ops[i].thread = static_cast<uint16_t>(i % 8);
+  }
+  VectorTraceSource source(std::move(ops));
+  const Metrics m = sim.Run(source);
+  EXPECT_GE(static_cast<SimDuration>(m.read_latency.stats().min()), kRemoteRead);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,103 @@
+#include "src/tracegen/working_set.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/units.h"
+
+namespace flashsim {
+namespace {
+
+const FsModel& TestFs() {
+  static FsModel* fs = [] {
+    FsModelParams p;
+    p.total_bytes = 256 * kMiB;
+    return new FsModel(p, 11);
+  }();
+  return *fs;
+}
+
+TEST(WorkingSet, SizeIsExact) {
+  for (uint64_t target : {100ull, 5000ull, 20000ull}) {
+    WorkingSet ws(TestFs(), target, 256, 1);
+    EXPECT_EQ(ws.size_blocks(), target);
+  }
+}
+
+TEST(WorkingSet, ExtentsAreDisjointAndSumToSize) {
+  WorkingSet ws(TestFs(), 10000, 256, 2);
+  uint64_t sum = 0;
+  for (const WsExtent& e : ws.extents()) {
+    ASSERT_GE(e.length, 1u);
+    ASSERT_LT(e.file_id, TestFs().num_files());
+    ASSERT_LE(e.start + e.length, TestFs().file(e.file_id).size_blocks);
+    sum += e.length;
+  }
+  EXPECT_EQ(sum, ws.size_blocks());
+  // Disjointness: every extent block must be Contains()-covered exactly once;
+  // overlapping extents would make the sum exceed the deduplicated size.
+}
+
+TEST(WorkingSet, ContainsCoversExactlyTheExtents) {
+  WorkingSet ws(TestFs(), 5000, 128, 3);
+  for (const WsExtent& e : ws.extents()) {
+    EXPECT_TRUE(ws.Contains(e.file_id, e.start));
+    EXPECT_TRUE(ws.Contains(e.file_id, e.start + e.length - 1));
+  }
+  // A block beyond every file is never contained.
+  EXPECT_FALSE(ws.Contains(TestFs().num_files() - 1,
+                           TestFs().file(TestFs().num_files() - 1).size_blocks + 10));
+}
+
+TEST(WorkingSet, SampledIosLandInsideWorkingSet) {
+  WorkingSet ws(TestFs(), 20000, 512, 4);
+  Rng rng(5);
+  PoissonSampler io_size(2.0);
+  for (int i = 0; i < 20000; ++i) {
+    uint32_t file = 0;
+    uint64_t block = 0;
+    uint32_t count = 0;
+    ws.SampleIo(rng, io_size, &file, &block, &count);
+    ASSERT_GE(count, 1u);
+    ASSERT_TRUE(ws.Contains(file, block)) << i;
+    ASSERT_TRUE(ws.Contains(file, block + count - 1)) << i;
+  }
+}
+
+TEST(WorkingSet, DeterministicForSeed) {
+  WorkingSet a(TestFs(), 5000, 256, 9);
+  WorkingSet b(TestFs(), 5000, 256, 9);
+  ASSERT_EQ(a.extents().size(), b.extents().size());
+  for (size_t i = 0; i < a.extents().size(); ++i) {
+    EXPECT_EQ(a.extents()[i].file_id, b.extents()[i].file_id);
+    EXPECT_EQ(a.extents()[i].start, b.extents()[i].start);
+    EXPECT_EQ(a.extents()[i].length, b.extents()[i].length);
+  }
+}
+
+TEST(WorkingSet, NearlyWholeFileSystem) {
+  // The fallback path must complete when the target is close to the model.
+  const uint64_t target = TestFs().total_blocks() - 16;
+  WorkingSet ws(TestFs(), target, 4096, 6);
+  EXPECT_EQ(ws.size_blocks(), target);
+}
+
+TEST(GlobalIo, StaysInsideFiles) {
+  Rng rng(7);
+  PoissonSampler io_size(4.0);
+  for (int i = 0; i < 20000; ++i) {
+    uint32_t file = 0;
+    uint64_t block = 0;
+    uint32_t count = 0;
+    SampleGlobalIo(TestFs(), rng, io_size, &file, &block, &count);
+    ASSERT_LT(file, TestFs().num_files());
+    ASSERT_GE(count, 1u);
+    ASSERT_LE(block + count, TestFs().file(file).size_blocks);
+  }
+}
+
+TEST(WorkingSetDeathTest, TargetLargerThanFsAborts) {
+  EXPECT_DEATH(WorkingSet(TestFs(), TestFs().total_blocks() + 1, 256, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace flashsim
