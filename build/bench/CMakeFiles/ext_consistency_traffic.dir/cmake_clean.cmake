@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_consistency_traffic.dir/ext_consistency_traffic.cc.o"
+  "CMakeFiles/ext_consistency_traffic.dir/ext_consistency_traffic.cc.o.d"
+  "ext_consistency_traffic"
+  "ext_consistency_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_consistency_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_elaborate_policies.dir/ext_elaborate_policies.cc.o"
+  "CMakeFiles/ext_elaborate_policies.dir/ext_elaborate_policies.cc.o.d"
+  "ext_elaborate_policies"
+  "ext_elaborate_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_elaborate_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

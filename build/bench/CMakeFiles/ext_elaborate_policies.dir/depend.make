@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_elaborate_policies.
+# This may be replaced when dependencies are built.

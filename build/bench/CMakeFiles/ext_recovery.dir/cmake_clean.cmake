@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_recovery.dir/ext_recovery.cc.o"
+  "CMakeFiles/ext_recovery.dir/ext_recovery.cc.o.d"
+  "ext_recovery"
+  "ext_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

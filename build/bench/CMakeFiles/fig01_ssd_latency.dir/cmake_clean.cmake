@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_ssd_latency.dir/fig01_ssd_latency.cc.o"
+  "CMakeFiles/fig01_ssd_latency.dir/fig01_ssd_latency.cc.o.d"
+  "fig01_ssd_latency"
+  "fig01_ssd_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_ssd_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_policy_grid.dir/fig02_policy_grid.cc.o"
+  "CMakeFiles/fig02_policy_grid.dir/fig02_policy_grid.cc.o.d"
+  "fig02_policy_grid"
+  "fig02_policy_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_policy_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

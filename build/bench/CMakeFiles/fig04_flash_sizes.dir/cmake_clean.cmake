@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_flash_sizes.dir/fig04_flash_sizes.cc.o"
+  "CMakeFiles/fig04_flash_sizes.dir/fig04_flash_sizes.cc.o.d"
+  "fig04_flash_sizes"
+  "fig04_flash_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_flash_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04b_flash_size_sweep.dir/fig04b_flash_size_sweep.cc.o"
+  "CMakeFiles/fig04b_flash_size_sweep.dir/fig04b_flash_size_sweep.cc.o.d"
+  "fig04b_flash_size_sweep"
+  "fig04b_flash_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04b_flash_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

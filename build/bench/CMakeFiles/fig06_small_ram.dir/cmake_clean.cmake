@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_small_ram.dir/fig06_small_ram.cc.o"
+  "CMakeFiles/fig06_small_ram.dir/fig06_small_ram.cc.o.d"
+  "fig06_small_ram"
+  "fig06_small_ram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_small_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

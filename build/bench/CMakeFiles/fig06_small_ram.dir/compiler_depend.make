@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_small_ram.
+# This may be replaced when dependencies are built.

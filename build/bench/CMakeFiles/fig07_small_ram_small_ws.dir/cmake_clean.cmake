@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_small_ram_small_ws.dir/fig07_small_ram_small_ws.cc.o"
+  "CMakeFiles/fig07_small_ram_small_ws.dir/fig07_small_ram_small_ws.cc.o.d"
+  "fig07_small_ram_small_ws"
+  "fig07_small_ram_small_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_small_ram_small_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_small_ram_small_ws.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_write_ratio.dir/fig08_write_ratio.cc.o"
+  "CMakeFiles/fig08_write_ratio.dir/fig08_write_ratio.cc.o.d"
+  "fig08_write_ratio"
+  "fig08_write_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_write_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_flash_timing.dir/fig09_flash_timing.cc.o"
+  "CMakeFiles/fig09_flash_timing.dir/fig09_flash_timing.cc.o.d"
+  "fig09_flash_timing"
+  "fig09_flash_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_flash_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

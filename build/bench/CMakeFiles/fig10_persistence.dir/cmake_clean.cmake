@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_persistence.dir/fig10_persistence.cc.o"
+  "CMakeFiles/fig10_persistence.dir/fig10_persistence.cc.o.d"
+  "fig10_persistence"
+  "fig10_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

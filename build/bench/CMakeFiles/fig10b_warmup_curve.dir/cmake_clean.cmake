@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_warmup_curve.dir/fig10b_warmup_curve.cc.o"
+  "CMakeFiles/fig10b_warmup_curve.dir/fig10b_warmup_curve.cc.o.d"
+  "fig10b_warmup_curve"
+  "fig10b_warmup_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_warmup_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

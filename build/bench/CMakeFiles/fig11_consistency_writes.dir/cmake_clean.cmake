@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_consistency_writes.dir/fig11_consistency_writes.cc.o"
+  "CMakeFiles/fig11_consistency_writes.dir/fig11_consistency_writes.cc.o.d"
+  "fig11_consistency_writes"
+  "fig11_consistency_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_consistency_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_consistency_wss.dir/fig12_consistency_wss.cc.o"
+  "CMakeFiles/fig12_consistency_wss.dir/fig12_consistency_wss.cc.o.d"
+  "fig12_consistency_wss"
+  "fig12_consistency_wss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_consistency_wss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_farm_tiny_ram.dir/render_farm_tiny_ram.cpp.o"
+  "CMakeFiles/render_farm_tiny_ram.dir/render_farm_tiny_ram.cpp.o.d"
+  "render_farm_tiny_ram"
+  "render_farm_tiny_ram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_farm_tiny_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for render_farm_tiny_ram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_disk_images.dir/shared_disk_images.cpp.o"
+  "CMakeFiles/shared_disk_images.dir/shared_disk_images.cpp.o.d"
+  "shared_disk_images"
+  "shared_disk_images.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_disk_images.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

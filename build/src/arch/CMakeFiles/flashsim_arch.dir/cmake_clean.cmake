@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_arch.dir/stack_factory.cc.o"
+  "CMakeFiles/flashsim_arch.dir/stack_factory.cc.o.d"
+  "CMakeFiles/flashsim_arch.dir/subset_stack.cc.o"
+  "CMakeFiles/flashsim_arch.dir/subset_stack.cc.o.d"
+  "CMakeFiles/flashsim_arch.dir/unified_stack.cc.o"
+  "CMakeFiles/flashsim_arch.dir/unified_stack.cc.o.d"
+  "libflashsim_arch.a"
+  "libflashsim_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/lru_cache.cc" "src/cache/CMakeFiles/flashsim_cache.dir/lru_cache.cc.o" "gcc" "src/cache/CMakeFiles/flashsim_cache.dir/lru_cache.cc.o.d"
+  "/root/repo/src/cache/policy.cc" "src/cache/CMakeFiles/flashsim_cache.dir/policy.cc.o" "gcc" "src/cache/CMakeFiles/flashsim_cache.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/flashsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flashsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flashsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_cache.dir/lru_cache.cc.o"
+  "CMakeFiles/flashsim_cache.dir/lru_cache.cc.o.d"
+  "CMakeFiles/flashsim_cache.dir/policy.cc.o"
+  "CMakeFiles/flashsim_cache.dir/policy.cc.o.d"
+  "libflashsim_cache.a"
+  "libflashsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

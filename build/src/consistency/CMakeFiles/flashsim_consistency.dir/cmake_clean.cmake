@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_consistency.dir/directory.cc.o"
+  "CMakeFiles/flashsim_consistency.dir/directory.cc.o.d"
+  "libflashsim_consistency.a"
+  "libflashsim_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_core.dir/config.cc.o"
+  "CMakeFiles/flashsim_core.dir/config.cc.o.d"
+  "CMakeFiles/flashsim_core.dir/experiment.cc.o"
+  "CMakeFiles/flashsim_core.dir/experiment.cc.o.d"
+  "CMakeFiles/flashsim_core.dir/metrics.cc.o"
+  "CMakeFiles/flashsim_core.dir/metrics.cc.o.d"
+  "CMakeFiles/flashsim_core.dir/recovery.cc.o"
+  "CMakeFiles/flashsim_core.dir/recovery.cc.o.d"
+  "CMakeFiles/flashsim_core.dir/simulation.cc.o"
+  "CMakeFiles/flashsim_core.dir/simulation.cc.o.d"
+  "libflashsim_core.a"
+  "libflashsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/background_writer.cc" "src/device/CMakeFiles/flashsim_device.dir/background_writer.cc.o" "gcc" "src/device/CMakeFiles/flashsim_device.dir/background_writer.cc.o.d"
+  "/root/repo/src/device/flash_device.cc" "src/device/CMakeFiles/flashsim_device.dir/flash_device.cc.o" "gcc" "src/device/CMakeFiles/flashsim_device.dir/flash_device.cc.o.d"
+  "/root/repo/src/device/ssd_profile.cc" "src/device/CMakeFiles/flashsim_device.dir/ssd_profile.cc.o" "gcc" "src/device/CMakeFiles/flashsim_device.dir/ssd_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftl/CMakeFiles/flashsim_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flashsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/flashsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flashsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

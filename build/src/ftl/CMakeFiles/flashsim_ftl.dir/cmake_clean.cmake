@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_ftl.dir/ftl.cc.o"
+  "CMakeFiles/flashsim_ftl.dir/ftl.cc.o.d"
+  "libflashsim_ftl.a"
+  "libflashsim_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/flashsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/flashsim_sim.dir/resource.cc.o"
+  "CMakeFiles/flashsim_sim.dir/resource.cc.o.d"
+  "libflashsim_sim.a"
+  "libflashsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

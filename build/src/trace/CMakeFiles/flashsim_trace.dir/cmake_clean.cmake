@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_trace.dir/csv_import.cc.o"
+  "CMakeFiles/flashsim_trace.dir/csv_import.cc.o.d"
+  "CMakeFiles/flashsim_trace.dir/trace_file.cc.o"
+  "CMakeFiles/flashsim_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/flashsim_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/flashsim_trace.dir/trace_stats.cc.o.d"
+  "libflashsim_trace.a"
+  "libflashsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_tracegen.dir/fs_model.cc.o"
+  "CMakeFiles/flashsim_tracegen.dir/fs_model.cc.o.d"
+  "CMakeFiles/flashsim_tracegen.dir/generator.cc.o"
+  "CMakeFiles/flashsim_tracegen.dir/generator.cc.o.d"
+  "CMakeFiles/flashsim_tracegen.dir/working_set.cc.o"
+  "CMakeFiles/flashsim_tracegen.dir/working_set.cc.o.d"
+  "libflashsim_tracegen.a"
+  "libflashsim_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_util.dir/distributions.cc.o"
+  "CMakeFiles/flashsim_util.dir/distributions.cc.o.d"
+  "CMakeFiles/flashsim_util.dir/stats.cc.o"
+  "CMakeFiles/flashsim_util.dir/stats.cc.o.d"
+  "CMakeFiles/flashsim_util.dir/table.cc.o"
+  "CMakeFiles/flashsim_util.dir/table.cc.o.d"
+  "CMakeFiles/flashsim_util.dir/units.cc.o"
+  "CMakeFiles/flashsim_util.dir/units.cc.o.d"
+  "libflashsim_util.a"
+  "libflashsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

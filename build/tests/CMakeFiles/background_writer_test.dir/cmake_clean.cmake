@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_writer_test.dir/background_writer_test.cc.o"
+  "CMakeFiles/background_writer_test.dir/background_writer_test.cc.o.d"
+  "background_writer_test"
+  "background_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributions_test.dir/distributions_test.cc.o"
+  "CMakeFiles/distributions_test.dir/distributions_test.cc.o.d"
+  "distributions_test"
+  "distributions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

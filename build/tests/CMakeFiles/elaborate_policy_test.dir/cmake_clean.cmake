@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elaborate_policy_test.dir/elaborate_policy_test.cc.o"
+  "CMakeFiles/elaborate_policy_test.dir/elaborate_policy_test.cc.o.d"
+  "elaborate_policy_test"
+  "elaborate_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elaborate_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_hash_test.dir/flat_hash_test.cc.o"
+  "CMakeFiles/flat_hash_test.dir/flat_hash_test.cc.o.d"
+  "flat_hash_test"
+  "flat_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_device_test.dir/ftl_device_test.cc.o"
+  "CMakeFiles/ftl_device_test.dir/ftl_device_test.cc.o.d"
+  "ftl_device_test"
+  "ftl_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

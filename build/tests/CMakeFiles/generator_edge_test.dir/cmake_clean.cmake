@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_edge_test.dir/generator_edge_test.cc.o"
+  "CMakeFiles/generator_edge_test.dir/generator_edge_test.cc.o.d"
+  "generator_edge_test"
+  "generator_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalidation_traffic_test.dir/invalidation_traffic_test.cc.o"
+  "CMakeFiles/invalidation_traffic_test.dir/invalidation_traffic_test.cc.o.d"
+  "invalidation_traffic_test"
+  "invalidation_traffic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalidation_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_stack_test.dir/lookaside_stack_test.cc.o"
+  "CMakeFiles/lookaside_stack_test.dir/lookaside_stack_test.cc.o.d"
+  "lookaside_stack_test"
+  "lookaside_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihost_test.dir/multihost_test.cc.o"
+  "CMakeFiles/multihost_test.dir/multihost_test.cc.o.d"
+  "multihost_test"
+  "multihost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

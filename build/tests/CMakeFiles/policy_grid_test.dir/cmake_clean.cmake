@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_grid_test.dir/policy_grid_test.cc.o"
+  "CMakeFiles/policy_grid_test.dir/policy_grid_test.cc.o.d"
+  "policy_grid_test"
+  "policy_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

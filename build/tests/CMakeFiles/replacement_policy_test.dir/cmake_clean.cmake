@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replacement_policy_test.dir/replacement_policy_test.cc.o"
+  "CMakeFiles/replacement_policy_test.dir/replacement_policy_test.cc.o.d"
+  "replacement_policy_test"
+  "replacement_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replacement_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_profile_test.dir/ssd_profile_test.cc.o"
+  "CMakeFiles/ssd_profile_test.dir/ssd_profile_test.cc.o.d"
+  "ssd_profile_test"
+  "ssd_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/stats_test.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flashsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/flashsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/flashsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/flashsim_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/flashsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/flashsim_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flashsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/flashsim_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/flashsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flashsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

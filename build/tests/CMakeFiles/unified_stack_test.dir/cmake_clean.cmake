@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unified_stack_test.dir/unified_stack_test.cc.o"
+  "CMakeFiles/unified_stack_test.dir/unified_stack_test.cc.o.d"
+  "unified_stack_test"
+  "unified_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unified_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
