@@ -21,20 +21,30 @@ void EndToEndComparison(const BenchOptions& options) {
   // state. Part 2 isolates the regime where stale data lingers and TRIM's
   // advantage is dramatic.
   std::printf("\n--- 1. average-latency model vs. FTL-backed device (60 GB WS) ---\n");
-  Table table({"flash_model", "read_us", "write_us", "flash_hit_pct", "write_amp", "erases"});
+  ExperimentParams base = BaselineParams(options);
+  base.working_set_gib = 60.0;
+  std::vector<Sweep::AxisValue> model_axis;
   for (int mode = 0; mode < 3; ++mode) {
-    ExperimentParams params = BaselineParams(options);
-    params.working_set_gib = 60.0;
-    params.timing.use_ftl = mode > 0;
-    params.timing.ftl_trim_enabled = mode != 2;
-    const ExperimentResult result = RunExperiment(params);
-    const Metrics& m = result.metrics;
     const char* name = mode == 0 ? "averages" : (mode == 1 ? "ftl_trim" : "ftl_no_trim");
-    table.AddRow({name, Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2),
-                  Table::Cell(100.0 * m.flash_hit_rate(), 1),
-                  m.ftl_enabled ? Table::Cell(m.ftl_write_amplification, 3) : "n/a",
-                  m.ftl_enabled ? Table::Cell(m.ftl_erases) : "n/a"});
+    model_axis.push_back({name, [mode](ExperimentParams& p) {
+                            p.timing.use_ftl = mode > 0;
+                            p.timing.ftl_trim_enabled = mode != 2;
+                          }});
   }
+  Sweep sweep(base);
+  sweep.AddAxis("flash_model", std::move(model_axis));
+
+  Table table({"flash_model", "read_us", "write_us", "flash_hit_pct", "write_amp", "erases"});
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), Table::Cell(m.mean_read_us(), 2),
+                          Table::Cell(m.mean_write_us(), 2),
+                          Table::Cell(100.0 * m.flash_hit_rate(), 1),
+                          m.ftl_enabled ? Table::Cell(m.ftl_write_amplification, 3) : "n/a",
+                          m.ftl_enabled ? Table::Cell(m.ftl_erases) : "n/a"};
+                    });
   PrintTable(table, options);
 }
 

@@ -19,21 +19,31 @@ int main(int argc, char** argv) {
   base.working_set_gib = 60.0;  // fits flash: hits dominate
   PrintExperimentHeader("Ablation: flash concurrency and writeback window", base);
 
-  Table table({"flash_concurrency", "writeback_window", "read_us", "write_us"});
+  // Two one-dimensional slices through the knob space, not a product: the
+  // concurrency sweep at the default window, then the window sweep at the
+  // default concurrency — appended points preserve the original row order.
+  Sweep sweep(base);
   for (int concurrency : {1, 2, 4, 8, 16, 64}) {
     ExperimentParams params = base;
     params.timing.flash_concurrency = concurrency;
-    const Metrics m = RunExperiment(params).metrics;
-    table.AddRow({Table::Cell(static_cast<int64_t>(concurrency)), Table::Cell(int64_t{1}),
-                  Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2)});
+    sweep.AppendPoint({Table::Cell(static_cast<int64_t>(concurrency)), Table::Cell(int64_t{1})},
+                      params);
   }
   for (int window : {1, 2, 4, 16}) {
     ExperimentParams params = base;
     params.timing.writeback_window = window;
-    const Metrics m = RunExperiment(params).metrics;
-    table.AddRow({Table::Cell(int64_t{64}), Table::Cell(static_cast<int64_t>(window)),
-                  Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2)});
+    sweep.AppendPoint({Table::Cell(int64_t{64}), Table::Cell(static_cast<int64_t>(window))},
+                      params);
   }
+
+  Table table({"flash_concurrency", "writeback_window", "read_us", "write_us"});
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), Table::Cell(m.mean_read_us(), 2),
+                          Table::Cell(m.mean_write_us(), 2)};
+                    });
   PrintTable(table, options);
   return 0;
 }

@@ -16,20 +16,28 @@ int main(int argc, char** argv) {
   ExperimentParams base = BaselineParams(options);
   PrintExperimentHeader("Ablation: LRU vs FIFO vs CLOCK replacement", base);
 
-  const ReplacementPolicy policies[] = {ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
-                                        ReplacementPolicy::kClock};
-  Table table({"ws_gib", "replacement", "read_us", "ram_hit_pct", "flash_hit_pct"});
-  for (double ws : {40.0, 60.0, 80.0, 120.0, 160.0}) {
-    for (ReplacementPolicy replacement : policies) {
-      ExperimentParams params = base;
-      params.working_set_gib = ws;
-      params.replacement = replacement;
-      const Metrics m = RunExperiment(params).metrics;
-      table.AddRow({Table::Cell(ws, 0), ReplacementPolicyName(replacement),
-                    Table::Cell(m.mean_read_us(), 2), Table::Cell(100.0 * m.ram_hit_rate(), 1),
-                    Table::Cell(100.0 * m.flash_hit_rate(), 1)});
-    }
+  std::vector<Sweep::AxisValue> replacement_axis;
+  for (ReplacementPolicy replacement : {ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
+                                        ReplacementPolicy::kClock}) {
+    replacement_axis.push_back({ReplacementPolicyName(replacement),
+                                [replacement](ExperimentParams& p) {
+                                  p.replacement = replacement;
+                                }});
   }
+
+  Sweep sweep(base);
+  sweep.AddAxis("ws_gib", WorkingSetAxis({40.0, 60.0, 80.0, 120.0, 160.0}))
+      .AddAxis("replacement", std::move(replacement_axis));
+
+  Table table({"ws_gib", "replacement", "read_us", "ram_hit_pct", "flash_hit_pct"});
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), Table::Cell(m.mean_read_us(), 2),
+                          Table::Cell(100.0 * m.ram_hit_rate(), 1),
+                          Table::Cell(100.0 * m.flash_hit_rate(), 1)};
+                    });
   PrintTable(table, options);
   return 0;
 }

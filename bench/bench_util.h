@@ -1,20 +1,32 @@
-// Shared helpers for the figure-reproduction benches.
+// Shared helpers for the figure-reproduction benches, built on the sweep
+// harness (src/harness/).
 //
 // Every bench prints the Table 1 timing parameters and its scale factor,
-// then one aligned table (and optionally CSV) with the same series the
-// paper's figure plots. Scale can be overridden with --scale=N; larger N is
-// faster and coarser. Timings never scale (DESIGN.md §5).
+// then one aligned table (or CSV / JSON with --csv / --out=FMT) with the
+// same series the paper's figure plots. Scale can be overridden with
+// --scale=N; larger N is faster and coarser. Timings never scale
+// (DESIGN.md §5). Sweeps run on --jobs=N worker threads (default:
+// hardware concurrency) with output identical to --jobs=1.
+//
+// Benches with their own knobs register them on BenchFlags before parsing:
+//
+//   BenchFlags flags;
+//   flags.parser().AddDouble("ws", "working set GiB", &ws_gib);
+//   const BenchOptions options = flags.ParseOrExit(argc, argv);
+//
+// Unknown flags exit with status 2 (the old ParseBenchOptions printed a
+// usage line and kept going).
 #ifndef FLASHSIM_BENCH_BENCH_UTIL_H_
 #define FLASHSIM_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/core/experiment.h"
+#include "src/harness/harness.h"
 #include "src/util/table.h"
 
 namespace flashsim {
@@ -25,32 +37,56 @@ constexpr uint64_t kDefaultBenchScale = 128;
 
 struct BenchOptions {
   uint64_t scale = kDefaultBenchScale;
-  bool csv = false;
+  int jobs = 0;  // 0 = hardware concurrency
+  OutputFormat out = OutputFormat::kAligned;
+
+  ParallelRunner MakeRunner() const { return ParallelRunner(jobs); }
+};
+
+// The standard bench flags (--scale, --jobs, --csv, --out) plus whatever
+// the individual bench registers via parser().
+class BenchFlags {
+ public:
+  BenchFlags() {
+    parser_.AddUint64("scale", "capacity scale divisor (timings unchanged)", &options_.scale);
+    parser_.AddInt("jobs", "worker threads (default: hardware concurrency)", &options_.jobs);
+    parser_.AddBool("csv", "shorthand for --out=csv", &csv_);
+    parser_.AddCustom("out", "table|csv|json", "output format", [this](const std::string& v) {
+      const auto format = ParseOutputFormat(v);
+      if (!format) {
+        return false;
+      }
+      options_.out = *format;
+      return true;
+    });
+  }
+
+  FlagParser& parser() { return parser_; }
+
+  BenchOptions ParseOrExit(int argc, char** argv) {
+    parser_.ParseOrExit(argc, argv);
+    if (csv_) {
+      options_.out = OutputFormat::kCsv;
+    }
+    if (options_.scale == 0) {
+      options_.scale = 1;
+    }
+    return options_;
+  }
+
+ private:
+  FlagParser parser_;
+  BenchOptions options_;
+  bool csv_ = false;
 };
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
-  BenchOptions options;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
-      options.scale = std::strtoull(argv[i] + 8, nullptr, 10);
-      if (options.scale == 0) {
-        options.scale = 1;
-      }
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
-      options.csv = true;
-    } else {
-      std::fprintf(stderr, "usage: %s [--scale=N] [--csv]\n", argv[0]);
-    }
-  }
-  return options;
+  BenchFlags flags;
+  return flags.ParseOrExit(argc, argv);
 }
 
 inline void PrintTable(const Table& table, const BenchOptions& options) {
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.PrintAligned(std::cout);
-  }
+  EmitTable(table, options.out, std::cout);
 }
 
 // The working-set sizes (paper GB units) used by the WSS-sweep figures.
@@ -62,6 +98,78 @@ inline ExperimentParams BaselineParams(const BenchOptions& options) {
   ExperimentParams params;
   params.scale = options.scale;
   return params;
+}
+
+// Axis helpers shared across the figure benches.
+
+inline std::vector<Sweep::AxisValue> WorkingSetAxis(const std::vector<double>& sizes) {
+  std::vector<Sweep::AxisValue> values;
+  values.reserve(sizes.size());
+  for (double ws : sizes) {
+    values.push_back({Table::Cell(ws, 0),
+                      [ws](ExperimentParams& p) { p.working_set_gib = ws; }});
+  }
+  return values;
+}
+
+inline std::vector<Sweep::AxisValue> FlashSizeAxis(const std::vector<double>& sizes) {
+  std::vector<Sweep::AxisValue> values;
+  values.reserve(sizes.size());
+  for (double flash : sizes) {
+    values.push_back({Table::Cell(flash, 0),
+                      [flash](ExperimentParams& p) { p.flash_gib = flash; }});
+  }
+  return values;
+}
+
+inline std::vector<Sweep::AxisValue> ArchitectureAxis() {
+  std::vector<Sweep::AxisValue> values;
+  for (Architecture arch : kAllArchitectures) {
+    values.push_back({ArchitectureName(arch), [arch](ExperimentParams& p) { p.arch = arch; }});
+  }
+  return values;
+}
+
+inline std::vector<Sweep::AxisValue> RamPolicyAxis(
+    const std::vector<WritebackPolicy>& policies) {
+  std::vector<Sweep::AxisValue> values;
+  values.reserve(policies.size());
+  for (WritebackPolicy policy : policies) {
+    values.push_back({PolicyName(policy), [policy](ExperimentParams& p) {
+                        p.ram_policy = policy;
+                      }});
+  }
+  return values;
+}
+
+inline std::vector<Sweep::AxisValue> FlashPolicyAxis(
+    const std::vector<WritebackPolicy>& policies) {
+  std::vector<Sweep::AxisValue> values;
+  values.reserve(policies.size());
+  for (WritebackPolicy policy : policies) {
+    values.push_back({PolicyName(policy), [policy](ExperimentParams& p) {
+                        p.flash_policy = policy;
+                      }});
+  }
+  return values;
+}
+
+inline std::vector<WritebackPolicy> AllWritebackPolicies() {
+  return std::vector<WritebackPolicy>(kAllWritebackPolicies.begin(),
+                                      kAllWritebackPolicies.end());
+}
+
+// Runs the sweep on options.jobs workers and adds one row per point, in
+// sweep order, as results complete (deterministic regardless of jobs).
+template <typename RowFn>
+void RunSweepIntoTable(const Sweep& sweep, const BenchOptions& options, Table* table,
+                       RowFn row) {
+  options.MakeRunner().RunOrdered(
+      sweep.Expand(),
+      [](const SweepPoint& point) { return RunExperiment(point.params); },
+      [table, &row](const SweepPoint& point, const ExperimentResult& result) {
+        table->AddRow(row(point, result));
+      });
 }
 
 }  // namespace flashsim

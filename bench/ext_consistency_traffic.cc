@@ -23,23 +23,36 @@ int main(int argc, char** argv) {
   base.working_set_gib = 60.0;
   PrintExperimentHeader("Extension: consistency protocol traffic (2 hosts, shared set)", base);
 
-  const InvalidationTraffic models[] = {InvalidationTraffic::kNone, InvalidationTraffic::kAsync,
-                                        InvalidationTraffic::kBlocking};
+  std::vector<Sweep::AxisValue> write_axis;
+  for (int write_pct : {10, 30, 60, 90}) {
+    write_axis.push_back({Table::Cell(static_cast<int64_t>(write_pct)),
+                          [write_pct](ExperimentParams& p) {
+                            p.write_fraction = write_pct / 100.0;
+                          }});
+  }
+  std::vector<Sweep::AxisValue> traffic_axis;
+  for (InvalidationTraffic model : {InvalidationTraffic::kNone, InvalidationTraffic::kAsync,
+                                    InvalidationTraffic::kBlocking}) {
+    traffic_axis.push_back({InvalidationTrafficName(model), [model](ExperimentParams& p) {
+                              p.invalidation_traffic = model;
+                            }});
+  }
+
+  Sweep sweep(base);
+  sweep.AddAxis("write_pct", std::move(write_axis))
+      .AddAxis("traffic_model", std::move(traffic_axis));
+
   Table table({"write_pct", "traffic_model", "write_us", "read_us", "invalidation_pct",
                "messages"});
-  for (int write_pct : {10, 30, 60, 90}) {
-    for (InvalidationTraffic model : models) {
-      ExperimentParams params = base;
-      params.write_fraction = write_pct / 100.0;
-      params.invalidation_traffic = model;
-      const Metrics m = RunExperiment(params).metrics;
-      table.AddRow({Table::Cell(static_cast<int64_t>(write_pct)),
-                    InvalidationTrafficName(model), Table::Cell(m.mean_write_us(), 2),
-                    Table::Cell(m.mean_read_us(), 2),
-                    Table::Cell(100.0 * m.invalidation_rate(), 1),
-                    Table::Cell(m.invalidation_messages)});
-    }
-  }
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), Table::Cell(m.mean_write_us(), 2),
+                          Table::Cell(m.mean_read_us(), 2),
+                          Table::Cell(100.0 * m.invalidation_rate(), 1),
+                          Table::Cell(m.invalidation_messages)};
+                    });
   PrintTable(table, options);
   return 0;
 }

@@ -20,20 +20,21 @@ int main(int argc, char** argv) {
   PrintExperimentHeader("Extension: trickle and delayed writeback (§3.6's road not taken)",
                         base);
 
-  const WritebackPolicy ram_policies[] = {WritebackPolicy::kAsync, WritebackPolicy::kPeriodic1,
-                                          WritebackPolicy::kTrickle, WritebackPolicy::kDelayed1};
+  Sweep sweep(base);
+  sweep.AddAxis("ws_gib", WorkingSetAxis({60.0, 80.0}))
+      .AddAxis("ram_policy",
+               RamPolicyAxis({WritebackPolicy::kAsync, WritebackPolicy::kPeriodic1,
+                              WritebackPolicy::kTrickle, WritebackPolicy::kDelayed1}));
+
   Table table({"ws_gib", "ram_policy", "read_us", "write_us", "sync_ram_evictions"});
-  for (double ws : {60.0, 80.0}) {
-    for (WritebackPolicy ram_policy : ram_policies) {
-      ExperimentParams params = base;
-      params.working_set_gib = ws;
-      params.ram_policy = ram_policy;
-      const Metrics m = RunExperiment(params).metrics;
-      table.AddRow({Table::Cell(ws, 0), PolicyName(ram_policy),
-                    Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2),
-                    Table::Cell(m.stack_totals.sync_ram_evictions)});
-    }
-  }
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), Table::Cell(m.mean_read_us(), 2),
+                          Table::Cell(m.mean_write_us(), 2),
+                          Table::Cell(m.stack_totals.sync_ram_evictions)};
+                    });
   PrintTable(table, options);
   return 0;
 }

@@ -4,6 +4,10 @@
 // flash, 30% writes). Pass --ws=60 for the 60 GB companion (the paper notes
 // its graphs are nearly identical).
 //
+// 147 independent simulations — the repo's biggest sweep, and the reason
+// the harness exists: --jobs=N runs them on N threads with byte-identical
+// output to --jobs=1.
+//
 // Expected shape (§7.1):
 //   - Write latency explodes only where synchronous filer writes reach the
 //     application: RAM policy "s" columns, and the "n"/"n" corners once the
@@ -11,44 +15,39 @@
 //   - The unified architecture has the best read latency (larger effective
 //     capacity) but exposes ~8/9 of the flash write latency on writes;
 //     naive and lookaside write at RAM speed.
-#include <cstring>
-
 #include "bench/bench_util.h"
 
 using namespace flashsim;
 
 int main(int argc, char** argv) {
-  BenchOptions options = ParseBenchOptions(argc, argv);
+  BenchFlags flags;
   double ws_gib = 80.0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--ws=60") == 0) {
-      ws_gib = 60.0;
-    }
-  }
+  flags.parser().AddDouble("ws", "working set GiB (80, or 60 for the companion)", &ws_gib);
+  const BenchOptions options = flags.ParseOrExit(argc, argv);
+
   ExperimentParams base = BaselineParams(options);
   base.working_set_gib = ws_gib;
   PrintExperimentHeader("Fig 2: architecture x writeback-policy grid (" +
                             std::to_string(static_cast<int>(ws_gib)) + " GB working set)",
                         base);
 
+  Sweep sweep(base);
+  sweep.AddAxis("arch", ArchitectureAxis())
+      .AddAxis("ram_policy", RamPolicyAxis(AllWritebackPolicies()))
+      .AddAxis("flash_policy", FlashPolicyAxis(AllWritebackPolicies()));
+
   Table table({"arch", "ram_policy", "flash_policy", "read_us", "write_us", "flash_hit_pct",
                "sync_evictions"});
-  for (Architecture arch : kAllArchitectures) {
-    for (WritebackPolicy ram_policy : kAllWritebackPolicies) {
-      for (WritebackPolicy flash_policy : kAllWritebackPolicies) {
-        ExperimentParams params = base;
-        params.arch = arch;
-        params.ram_policy = ram_policy;
-        params.flash_policy = flash_policy;
-        const Metrics m = RunExperiment(params).metrics;
-        table.AddRow({ArchitectureName(arch), PolicyName(ram_policy), PolicyName(flash_policy),
-                      Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2),
-                      Table::Cell(100.0 * m.flash_hit_rate(), 1),
-                      Table::Cell(m.stack_totals.sync_ram_evictions +
-                                  m.stack_totals.sync_flash_evictions)});
-      }
-    }
-  }
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), point.label(2),
+                          Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2),
+                          Table::Cell(100.0 * m.flash_hit_rate(), 1),
+                          Table::Cell(m.stack_totals.sync_ram_evictions +
+                                      m.stack_totals.sync_flash_evictions)};
+                    });
   PrintTable(table, options);
   return 0;
 }

@@ -31,25 +31,32 @@ int main(int argc, char** argv) {
       {"8G_ram_64G_ramflash_naive", Architecture::kNaive, 8, 64, true},
       {"8G_ram_56G_ramflash_unified", Architecture::kUnified, 8, 56, true},
   };
+  std::vector<Sweep::AxisValue> line_axis;
+  for (const Line& line : lines) {
+    line_axis.push_back({line.name, [line](ExperimentParams& p) {
+                           p.arch = line.arch;
+                           p.ram_gib = line.ram_gib;
+                           p.flash_gib = line.flash_gib;
+                           if (line.flash_at_ram_speed) {
+                             p.timing.flash_read_ns = p.timing.ram_access_ns;
+                             p.timing.flash_write_ns = p.timing.ram_access_ns;
+                           }
+                         }});
+  }
+
+  Sweep sweep(base);
+  sweep.AddAxis("ws_gib", WorkingSetAxis(WorkingSetSweepGib()))
+      .AddAxis("config", std::move(line_axis));
 
   Table table({"ws_gib", "config", "read_us", "ram_hit_pct", "flash_hit_pct"});
-  for (double ws : WorkingSetSweepGib()) {
-    for (const Line& line : lines) {
-      ExperimentParams params = base;
-      params.working_set_gib = ws;
-      params.arch = line.arch;
-      params.ram_gib = line.ram_gib;
-      params.flash_gib = line.flash_gib;
-      if (line.flash_at_ram_speed) {
-        params.timing.flash_read_ns = params.timing.ram_access_ns;
-        params.timing.flash_write_ns = params.timing.ram_access_ns;
-      }
-      const Metrics m = RunExperiment(params).metrics;
-      table.AddRow({Table::Cell(ws, 0), line.name, Table::Cell(m.mean_read_us(), 2),
-                    Table::Cell(100.0 * m.ram_hit_rate(), 1),
-                    Table::Cell(100.0 * m.flash_hit_rate(), 1)});
-    }
-  }
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), Table::Cell(m.mean_read_us(), 2),
+                          Table::Cell(100.0 * m.ram_hit_rate(), 1),
+                          Table::Cell(100.0 * m.flash_hit_rate(), 1)};
+                    });
   PrintTable(table, options);
   return 0;
 }

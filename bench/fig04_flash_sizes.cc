@@ -14,22 +14,22 @@ int main(int argc, char** argv) {
   ExperimentParams base = BaselineParams(options);
   PrintExperimentHeader("Fig 4: flash vs. no flash across working set sizes", base);
 
-  const double flash_sizes[] = {0, 32, 64, 128};
+  Sweep sweep(base);
+  sweep.AddAxis("ws_gib", WorkingSetAxis(WorkingSetSweepGib()))
+      .AddAxis("flash_gib", FlashSizeAxis({0, 32, 64, 128}));
+
   Table table({"ws_gib", "flash_gib", "read_us", "ram_hit_pct", "flash_hit_pct",
                "filer_pct", "write_us"});
-  for (double ws : WorkingSetSweepGib()) {
-    for (double flash : flash_sizes) {
-      ExperimentParams params = base;
-      params.working_set_gib = ws;
-      params.flash_gib = flash;
-      const Metrics m = RunExperiment(params).metrics;
-      table.AddRow({Table::Cell(ws, 0), Table::Cell(flash, 0),
-                    Table::Cell(m.mean_read_us(), 2), Table::Cell(100.0 * m.ram_hit_rate(), 1),
-                    Table::Cell(100.0 * m.flash_hit_rate(), 1),
-                    Table::Cell(100.0 * m.filer_read_rate(), 1),
-                    Table::Cell(m.mean_write_us(), 2)});
-    }
-  }
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), Table::Cell(m.mean_read_us(), 2),
+                          Table::Cell(100.0 * m.ram_hit_rate(), 1),
+                          Table::Cell(100.0 * m.flash_hit_rate(), 1),
+                          Table::Cell(100.0 * m.filer_read_rate(), 1),
+                          Table::Cell(m.mean_write_us(), 2)};
+                    });
   PrintTable(table, options);
   return 0;
 }

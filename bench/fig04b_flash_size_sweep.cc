@@ -12,15 +12,19 @@ int main(int argc, char** argv) {
   base.working_set_gib = 80.0;
   PrintExperimentHeader("§7.4: flash cache size sweep (80 GB working set)", base);
 
+  Sweep sweep(base);
+  sweep.AddAxis("flash_gib",
+                FlashSizeAxis({0.0, 8.0, 16.0, 32.0, 48.0, 64.0, 96.0, 128.0, 192.0}));
+
   Table table({"flash_gib", "read_us", "flash_hit_pct", "filer_pct"});
-  for (double flash : {0.0, 8.0, 16.0, 32.0, 48.0, 64.0, 96.0, 128.0, 192.0}) {
-    ExperimentParams params = base;
-    params.flash_gib = flash;
-    const Metrics m = RunExperiment(params).metrics;
-    table.AddRow({Table::Cell(flash, 0), Table::Cell(m.mean_read_us(), 2),
-                  Table::Cell(100.0 * m.flash_hit_rate(), 1),
-                  Table::Cell(100.0 * m.filer_read_rate(), 1)});
-  }
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), Table::Cell(m.mean_read_us(), 2),
+                          Table::Cell(100.0 * m.flash_hit_rate(), 1),
+                          Table::Cell(100.0 * m.filer_read_rate(), 1)};
+                    });
   PrintTable(table, options);
   return 0;
 }

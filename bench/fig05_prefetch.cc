@@ -18,21 +18,27 @@ int main(int argc, char** argv) {
   ExperimentParams base = BaselineParams(options);
   PrintExperimentHeader("Fig 5: filer prefetch-rate bound", base);
 
-  Table table({"ws_gib", "flash_gib", "prefetch_pct", "read_us", "filer_pct"});
-  for (double ws : WorkingSetSweepGib()) {
-    for (double flash : {0.0, 64.0}) {
-      for (double prefetch : {0.80, 0.95}) {
-        ExperimentParams params = base;
-        params.working_set_gib = ws;
-        params.flash_gib = flash;
-        params.timing.filer_fast_read_rate = prefetch;
-        const Metrics m = RunExperiment(params).metrics;
-        table.AddRow({Table::Cell(ws, 0), Table::Cell(flash, 0),
-                      Table::Cell(100.0 * prefetch, 0), Table::Cell(m.mean_read_us(), 2),
-                      Table::Cell(100.0 * m.filer_read_rate(), 1)});
-      }
-    }
+  std::vector<Sweep::AxisValue> prefetch_axis;
+  for (double prefetch : {0.80, 0.95}) {
+    prefetch_axis.push_back({Table::Cell(100.0 * prefetch, 0), [prefetch](ExperimentParams& p) {
+                               p.timing.filer_fast_read_rate = prefetch;
+                             }});
   }
+
+  Sweep sweep(base);
+  sweep.AddAxis("ws_gib", WorkingSetAxis(WorkingSetSweepGib()))
+      .AddAxis("flash_gib", FlashSizeAxis({0.0, 64.0}))
+      .AddAxis("prefetch_pct", std::move(prefetch_axis));
+
+  Table table({"ws_gib", "flash_gib", "prefetch_pct", "read_us", "filer_pct"});
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), point.label(2),
+                          Table::Cell(m.mean_read_us(), 2),
+                          Table::Cell(100.0 * m.filer_read_rate(), 1)};
+                    });
   PrintTable(table, options);
   return 0;
 }

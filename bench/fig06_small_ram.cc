@@ -18,11 +18,7 @@ using namespace flashsim;
 
 namespace {
 
-void RunSweep(const BenchOptions& options, double ws_gib) {
-  ExperimentParams base = BaselineParams(options);
-  base.working_set_gib = ws_gib;
-  std::printf("\n--- working set %.0f GB ---\n", ws_gib);
-
+std::vector<Sweep::AxisValue> RamSizeAxis() {
   const uint64_t ram_sizes[] = {0,
                                 64 * kKiB,
                                 256 * kKiB,
@@ -34,18 +30,36 @@ void RunSweep(const BenchOptions& options, double ws_gib) {
                                 kGiB,
                                 4 * kGiB,
                                 8 * kGiB};
-  Table table({"ram", "policy", "read_us", "write_us", "ram_hit_pct", "sync_ram_evictions"});
+  std::vector<Sweep::AxisValue> values;
   for (uint64_t ram_bytes : ram_sizes) {
-    for (WritebackPolicy policy : {WritebackPolicy::kPeriodic1, WritebackPolicy::kAsync}) {
-      ExperimentParams params = base;
-      params.ram_gib = static_cast<double>(ram_bytes) / static_cast<double>(kGiB);
-      params.ram_policy = policy;
-      const Metrics m = RunExperiment(params).metrics;
-      table.AddRow({FormatSize(ram_bytes), PolicyName(policy), Table::Cell(m.mean_read_us(), 2),
-                    Table::Cell(m.mean_write_us(), 2), Table::Cell(100.0 * m.ram_hit_rate(), 1),
-                    Table::Cell(m.stack_totals.sync_ram_evictions)});
-    }
+    values.push_back({FormatSize(ram_bytes), [ram_bytes](ExperimentParams& p) {
+                        p.ram_gib =
+                            static_cast<double>(ram_bytes) / static_cast<double>(kGiB);
+                      }});
   }
+  return values;
+}
+
+void RunSweep(const BenchOptions& options, double ws_gib) {
+  ExperimentParams base = BaselineParams(options);
+  base.working_set_gib = ws_gib;
+  std::printf("\n--- working set %.0f GB ---\n", ws_gib);
+
+  Sweep sweep(base);
+  sweep.AddAxis("ram", RamSizeAxis())
+      .AddAxis("policy",
+               RamPolicyAxis({WritebackPolicy::kPeriodic1, WritebackPolicy::kAsync}));
+
+  Table table({"ram", "policy", "read_us", "write_us", "ram_hit_pct", "sync_ram_evictions"});
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), Table::Cell(m.mean_read_us(), 2),
+                          Table::Cell(m.mean_write_us(), 2),
+                          Table::Cell(100.0 * m.ram_hit_rate(), 1),
+                          Table::Cell(m.stack_totals.sync_ram_evictions)};
+                    });
   PrintTable(table, options);
 }
 

@@ -16,24 +16,30 @@ int main(int argc, char** argv) {
   ExperimentParams base = BaselineParams(options);
   PrintExperimentHeader("Fig 9: sensitivity to flash timings", base);
 
-  const int flash_read_us[] = {1, 12, 25, 37, 50, 62, 75, 88, 100};
-  Table table({"flash_read_us", "arch", "ws_gib", "read_us", "write_us"});
-  for (int read_us : flash_read_us) {
-    for (Architecture arch : kAllArchitectures) {
-      for (double ws : {60.0, 80.0}) {
-        ExperimentParams params = base;
-        params.arch = arch;
-        params.working_set_gib = ws;
-        params.timing.flash_read_ns = static_cast<SimDuration>(read_us) * kMicrosecond;
-        params.timing.flash_write_ns =
-            static_cast<SimDuration>(read_us) * kMicrosecond * 21 / 88;
-        const Metrics m = RunExperiment(params).metrics;
-        table.AddRow({Table::Cell(static_cast<int64_t>(read_us)), ArchitectureName(arch),
-                      Table::Cell(ws, 0), Table::Cell(m.mean_read_us(), 2),
-                      Table::Cell(m.mean_write_us(), 2)});
-      }
-    }
+  std::vector<Sweep::AxisValue> timing_axis;
+  for (int read_us : {1, 12, 25, 37, 50, 62, 75, 88, 100}) {
+    timing_axis.push_back({Table::Cell(static_cast<int64_t>(read_us)),
+                           [read_us](ExperimentParams& p) {
+                             p.timing.flash_read_ns =
+                                 static_cast<SimDuration>(read_us) * kMicrosecond;
+                             p.timing.flash_write_ns =
+                                 static_cast<SimDuration>(read_us) * kMicrosecond * 21 / 88;
+                           }});
   }
+
+  Sweep sweep(base);
+  sweep.AddAxis("flash_read_us", std::move(timing_axis))
+      .AddAxis("arch", ArchitectureAxis())
+      .AddAxis("ws_gib", WorkingSetAxis({60.0, 80.0}));
+
+  Table table({"flash_read_us", "arch", "ws_gib", "read_us", "write_us"});
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), point.label(2),
+                          Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2)};
+                    });
   PrintTable(table, options);
   return 0;
 }

@@ -32,21 +32,28 @@ int main(int argc, char** argv) {
       {"64G_flash_not_warmed", 64.0, false, true},
       {"64G_flash_warmed", 64.0, true, false},
   };
+  std::vector<Sweep::AxisValue> line_axis;
+  for (const Line& line : lines) {
+    line_axis.push_back({line.name, [line](ExperimentParams& p) {
+                           p.flash_gib = line.flash_gib;
+                           p.timing.persistent_flash = line.persistent;
+                           p.skip_warmup = line.skip_warmup;
+                         }});
+  }
+
+  Sweep sweep(base);
+  sweep.AddAxis("ws_gib", WorkingSetAxis(WorkingSetSweepGib()))
+      .AddAxis("config", std::move(line_axis));
 
   Table table({"ws_gib", "config", "read_us", "write_us", "flash_hit_pct"});
-  for (double ws : WorkingSetSweepGib()) {
-    for (const Line& line : lines) {
-      ExperimentParams params = base;
-      params.working_set_gib = ws;
-      params.flash_gib = line.flash_gib;
-      params.timing.persistent_flash = line.persistent;
-      params.skip_warmup = line.skip_warmup;
-      const Metrics m = RunExperiment(params).metrics;
-      table.AddRow({Table::Cell(ws, 0), line.name, Table::Cell(m.mean_read_us(), 2),
-                    Table::Cell(m.mean_write_us(), 2),
-                    Table::Cell(100.0 * m.flash_hit_rate(), 1)});
-    }
-  }
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), Table::Cell(m.mean_read_us(), 2),
+                          Table::Cell(m.mean_write_us(), 2),
+                          Table::Cell(100.0 * m.flash_hit_rate(), 1)};
+                    });
   PrintTable(table, options);
   return 0;
 }

@@ -21,15 +21,21 @@ int main(int argc, char** argv) {
   TimeSeriesRecorder warm_series(window);
   TimeSeriesRecorder cold_series(window);
 
+  // Two independent runs, each streaming into its own recorder (the
+  // RunExperiment thread-safety contract requires distinct series per
+  // concurrent run) — the harness runs them on two workers.
   ExperimentParams warm = base;
   warm.timing.persistent_flash = true;  // recovered cache
   warm.read_latency_series = &warm_series;
-  RunExperiment(warm);
 
   ExperimentParams cold = base;
   cold.skip_warmup = true;  // crashed non-persistent cache
   cold.read_latency_series = &cold_series;
-  RunExperiment(cold);
+
+  Sweep sweep(base);
+  sweep.AppendPoint({"warm"}, warm);
+  sweep.AppendPoint({"cold"}, cold);
+  options.MakeRunner().Run(sweep);
 
   // The warm run's measured phase begins after its (uncounted) warmup
   // executes; align both series to the first measured window so the x-axis

@@ -17,21 +17,28 @@ int main(int argc, char** argv) {
   base.shared_working_set = true;
   PrintExperimentHeader("Fig 11: consistency vs. write percentage (2 hosts, shared set)", base);
 
-  Table table({"write_pct", "ws_gib", "flash_gib", "invalidation_pct", "read_us", "write_us"});
+  std::vector<Sweep::AxisValue> write_axis;
   for (int write_pct = 10; write_pct <= 100; write_pct += 10) {
-    for (double ws : {60.0, 80.0}) {
-      for (double flash : {0.0, 64.0}) {
-        ExperimentParams params = base;
-        params.working_set_gib = ws;
-        params.flash_gib = flash;
-        params.write_fraction = write_pct / 100.0;
-        const Metrics m = RunExperiment(params).metrics;
-        table.AddRow({Table::Cell(static_cast<int64_t>(write_pct)), Table::Cell(ws, 0),
-                      Table::Cell(flash, 0), Table::Cell(100.0 * m.invalidation_rate(), 1),
-                      Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2)});
-      }
-    }
+    write_axis.push_back({Table::Cell(static_cast<int64_t>(write_pct)),
+                          [write_pct](ExperimentParams& p) {
+                            p.write_fraction = write_pct / 100.0;
+                          }});
   }
+
+  Sweep sweep(base);
+  sweep.AddAxis("write_pct", std::move(write_axis))
+      .AddAxis("ws_gib", WorkingSetAxis({60.0, 80.0}))
+      .AddAxis("flash_gib", FlashSizeAxis({0.0, 64.0}));
+
+  Table table({"write_pct", "ws_gib", "flash_gib", "invalidation_pct", "read_us", "write_us"});
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1), point.label(2),
+                          Table::Cell(100.0 * m.invalidation_rate(), 1),
+                          Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2)};
+                    });
   PrintTable(table, options);
   return 0;
 }

@@ -16,18 +16,19 @@ int main(int argc, char** argv) {
   base.shared_working_set = true;
   PrintExperimentHeader("Fig 12: consistency vs. working set size (2 hosts, shared set)", base);
 
+  Sweep sweep(base);
+  sweep.AddAxis("ws_gib", WorkingSetAxis(WorkingSetSweepGib()))
+      .AddAxis("flash_gib", FlashSizeAxis({0.0, 64.0}));
+
   Table table({"ws_gib", "flash_gib", "invalidation_pct", "read_us"});
-  for (double ws : WorkingSetSweepGib()) {
-    for (double flash : {0.0, 64.0}) {
-      ExperimentParams params = base;
-      params.working_set_gib = ws;
-      params.flash_gib = flash;
-      const Metrics m = RunExperiment(params).metrics;
-      table.AddRow({Table::Cell(ws, 0), Table::Cell(flash, 0),
-                    Table::Cell(100.0 * m.invalidation_rate(), 1),
-                    Table::Cell(m.mean_read_us(), 2)});
-    }
-  }
+  RunSweepIntoTable(sweep, options, &table,
+                    [](const SweepPoint& point, const ExperimentResult& result) {
+                      const Metrics& m = result.metrics;
+                      return std::vector<std::string>{
+                          point.label(0), point.label(1),
+                          Table::Cell(100.0 * m.invalidation_rate(), 1),
+                          Table::Cell(m.mean_read_us(), 2)};
+                    });
   PrintTable(table, options);
   return 0;
 }

@@ -3,7 +3,8 @@
 // Runs a synthetic workload (or a trace file) through any configuration the
 // library supports and prints the complete metrics. This is the adoption
 // surface for scripting parameter studies that the fixed benches don't
-// cover.
+// cover. Flags are handled by the harness's registering parser — run with
+// an unknown flag to get the full usage listing.
 //
 //   flashsim_cli [options]
 //     --trace=PATH            replay a trace file instead of generating
@@ -18,14 +19,15 @@
 //     --ftl                   FTL-backed flash device (GC, erases, TRIM)
 //     --invalidation=none|async|blocking
 //     --series-ms=N           print a read-latency time series
+//     --json                  machine-readable full Metrics snapshot
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "src/core/experiment.h"
 #include "src/core/simulation.h"
+#include "src/harness/harness.h"
 #include "src/trace/trace_file.h"
 #include "src/util/table.h"
 #include "src/util/time_series.h"
@@ -38,100 +40,107 @@ struct CliOptions {
   ExperimentParams params;
   std::string trace_path;
   int64_t series_ms = 0;
+  bool json = false;
 };
 
-bool ParseValue(const char* arg, const char* prefix, double* out) {
-  const size_t len = std::strlen(prefix);
-  if (std::strncmp(arg, prefix, len) != 0) {
-    return false;
-  }
-  *out = std::strtod(arg + len, nullptr);
-  return true;
-}
-
-bool ParseString(const char* arg, const char* prefix, std::string* out) {
-  const size_t len = std::strlen(prefix);
-  if (std::strncmp(arg, prefix, len) != 0) {
-    return false;
-  }
-  *out = arg + len;
-  return true;
-}
-
-int Usage(const char* prog) {
-  std::fprintf(stderr, "see the header comment of examples/flashsim_cli.cpp\n(%s)\n", prog);
-  return 1;
-}
-
-bool ParseArgs(int argc, char** argv, CliOptions* options) {
+void RegisterFlags(FlagParser& parser, CliOptions* options) {
   ExperimentParams& params = options->params;
-  params.scale = 128;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    double value = 0;
-    std::string text;
-    if (ParseString(arg, "--trace=", &options->trace_path)) {
-    } else if (ParseString(arg, "--arch=", &text)) {
-      const auto arch = ParseArchitecture(text);
-      if (!arch) {
-        return false;
-      }
-      params.arch = *arch;
-    } else if (ParseString(arg, "--ram-policy=", &text)) {
-      const auto policy = ParsePolicy(text);
-      if (!policy) {
-        return false;
-      }
-      params.ram_policy = *policy;
-    } else if (ParseString(arg, "--flash-policy=", &text)) {
-      const auto policy = ParsePolicy(text);
-      if (!policy) {
-        return false;
-      }
-      params.flash_policy = *policy;
-    } else if (ParseString(arg, "--invalidation=", &text)) {
-      if (text == "none") {
-        params.invalidation_traffic = InvalidationTraffic::kNone;
-      } else if (text == "async") {
-        params.invalidation_traffic = InvalidationTraffic::kAsync;
-      } else if (text == "blocking") {
-        params.invalidation_traffic = InvalidationTraffic::kBlocking;
-      } else {
-        return false;
-      }
-    } else if (ParseValue(arg, "--ram-gib=", &params.ram_gib)) {
-    } else if (ParseValue(arg, "--flash-gib=", &params.flash_gib)) {
-    } else if (ParseValue(arg, "--ws-gib=", &params.working_set_gib)) {
-    } else if (ParseValue(arg, "--filer-tib=", &params.filer_tib)) {
-    } else if (ParseValue(arg, "--write-pct=", &value)) {
-      params.write_fraction = value / 100.0;
-    } else if (ParseValue(arg, "--prefetch-pct=", &value)) {
-      params.timing.filer_fast_read_rate = value / 100.0;
-    } else if (ParseValue(arg, "--flash-read-us=", &value)) {
-      params.timing.flash_read_ns = static_cast<SimDuration>(value * 1000.0);
-    } else if (ParseValue(arg, "--flash-write-us=", &value)) {
-      params.timing.flash_write_ns = static_cast<SimDuration>(value * 1000.0);
-    } else if (ParseValue(arg, "--hosts=", &value)) {
-      params.hosts = static_cast<int>(value);
-    } else if (ParseValue(arg, "--threads=", &value)) {
-      params.threads_per_host = static_cast<int>(value);
-    } else if (ParseValue(arg, "--scale=", &value)) {
-      params.scale = static_cast<uint64_t>(value);
-    } else if (ParseValue(arg, "--seed=", &value)) {
-      params.seed = static_cast<uint64_t>(value);
-    } else if (ParseValue(arg, "--series-ms=", &value)) {
-      options->series_ms = static_cast<int64_t>(value);
-    } else if (std::strcmp(arg, "--persistent") == 0) {
-      params.timing.persistent_flash = true;
-    } else if (std::strcmp(arg, "--cold") == 0) {
-      params.skip_warmup = true;
-    } else if (std::strcmp(arg, "--ftl") == 0) {
-      params.timing.use_ftl = true;
-    } else {
-      return false;
-    }
-  }
-  return true;
+  parser.AddString("trace", "replay a trace file instead of generating", &options->trace_path);
+  parser.AddCustom("arch", "naive|lookaside|unified", "cache architecture",
+                   [&params](const std::string& value) {
+                     const auto arch = ParseArchitecture(value);
+                     if (!arch) {
+                       return false;
+                     }
+                     params.arch = *arch;
+                     return true;
+                   });
+  parser.AddCustom("ram-policy", "POL", "RAM writeback policy (s a p1 p5 p15 p30 n)",
+                   [&params](const std::string& value) {
+                     const auto policy = ParsePolicy(value);
+                     if (!policy) {
+                       return false;
+                     }
+                     params.ram_policy = *policy;
+                     return true;
+                   });
+  parser.AddCustom("flash-policy", "POL", "flash writeback policy",
+                   [&params](const std::string& value) {
+                     const auto policy = ParsePolicy(value);
+                     if (!policy) {
+                       return false;
+                     }
+                     params.flash_policy = *policy;
+                     return true;
+                   });
+  parser.AddCustom("invalidation", "none|async|blocking", "consistency traffic model",
+                   [&params](const std::string& value) {
+                     if (value == "none") {
+                       params.invalidation_traffic = InvalidationTraffic::kNone;
+                     } else if (value == "async") {
+                       params.invalidation_traffic = InvalidationTraffic::kAsync;
+                     } else if (value == "blocking") {
+                       params.invalidation_traffic = InvalidationTraffic::kBlocking;
+                     } else {
+                       return false;
+                     }
+                     return true;
+                   });
+  parser.AddDouble("ram-gib", "RAM cache GiB", &params.ram_gib);
+  parser.AddDouble("flash-gib", "flash cache GiB", &params.flash_gib);
+  parser.AddDouble("ws-gib", "working set GiB", &params.working_set_gib);
+  parser.AddDouble("filer-tib", "file server TiB", &params.filer_tib);
+  parser.AddCustom("write-pct", "N", "write percentage", [&params](const std::string& value) {
+    char* end = nullptr;
+    params.write_fraction = std::strtod(value.c_str(), &end) / 100.0;
+    return end != nullptr && *end == '\0' && !value.empty();
+  });
+  parser.AddCustom("prefetch-pct", "N", "filer fast-read rate (%)",
+                   [&params](const std::string& value) {
+                     char* end = nullptr;
+                     params.timing.filer_fast_read_rate =
+                         std::strtod(value.c_str(), &end) / 100.0;
+                     return end != nullptr && *end == '\0' && !value.empty();
+                   });
+  parser.AddCustom("flash-read-us", "N", "flash read latency (us)",
+                   [&params](const std::string& value) {
+                     char* end = nullptr;
+                     params.timing.flash_read_ns =
+                         static_cast<SimDuration>(std::strtod(value.c_str(), &end) * 1000.0);
+                     return end != nullptr && *end == '\0' && !value.empty();
+                   });
+  parser.AddCustom("flash-write-us", "N", "flash write latency (us)",
+                   [&params](const std::string& value) {
+                     char* end = nullptr;
+                     params.timing.flash_write_ns =
+                         static_cast<SimDuration>(std::strtod(value.c_str(), &end) * 1000.0);
+                     return end != nullptr && *end == '\0' && !value.empty();
+                   });
+  parser.AddInt("hosts", "number of hosts", &params.hosts);
+  parser.AddInt("threads", "threads per host", &params.threads_per_host);
+  parser.AddUint64("scale", "capacity scale divisor", &params.scale);
+  parser.AddUint64("seed", "workload seed", &params.seed);
+  parser.AddCustom("series-ms", "N", "read-latency time series window (ms)",
+                   [options](const std::string& value) {
+                     char* end = nullptr;
+                     options->series_ms =
+                         static_cast<int64_t>(std::strtod(value.c_str(), &end));
+                     return end != nullptr && *end == '\0' && !value.empty();
+                   });
+  parser.AddCustom("persistent", "", "doubled flash writes (recoverable cache)",
+                   [&params](const std::string&) {
+                     params.timing.persistent_flash = true;
+                     return true;
+                   });
+  parser.AddCustom("cold", "", "skip warmup (crashed cache)", [&params](const std::string&) {
+    params.skip_warmup = true;
+    return true;
+  });
+  parser.AddCustom("ftl", "", "FTL-backed flash device", [&params](const std::string&) {
+    params.timing.use_ftl = true;
+    return true;
+  });
+  parser.AddBool("json", "print the full Metrics snapshot as JSON", &options->json);
 }
 
 void PrintMetrics(const Metrics& m) {
@@ -170,9 +179,10 @@ void PrintMetrics(const Metrics& m) {
 
 int main(int argc, char** argv) {
   CliOptions options;
-  if (!ParseArgs(argc, argv, &options)) {
-    return Usage(argv[0]);
-  }
+  options.params.scale = 128;
+  FlagParser parser;
+  RegisterFlags(parser, &options);
+  parser.ParseOrExit(argc, argv);
 
   std::unique_ptr<TimeSeriesRecorder> series;
   if (options.series_ms > 0) {
@@ -180,7 +190,9 @@ int main(int argc, char** argv) {
     options.params.read_latency_series = series.get();
   }
 
-  PrintExperimentHeader("flashsim_cli", options.params);
+  if (!options.json) {
+    PrintExperimentHeader("flashsim_cli", options.params);
+  }
   Metrics metrics;
   if (!options.trace_path.empty()) {
     std::string error;
@@ -190,8 +202,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     SimConfig config = BuildSimConfig(options.params);
-    std::printf("configuration: %s (trace: %s)\n", config.Summary().c_str(),
-                options.trace_path.c_str());
+    if (!options.json) {
+      std::printf("configuration: %s (trace: %s)\n", config.Summary().c_str(),
+                  options.trace_path.c_str());
+    }
     Simulation sim(config);
     if (series != nullptr) {
       sim.set_read_latency_series(series.get());
@@ -199,8 +213,15 @@ int main(int argc, char** argv) {
     metrics = sim.Run(*source);
   } else {
     const ExperimentResult result = RunExperiment(options.params);
-    std::printf("configuration: %s\n", result.config.Summary().c_str());
+    if (!options.json) {
+      std::printf("configuration: %s\n", result.config.Summary().c_str());
+    }
     metrics = result.metrics;
+  }
+
+  if (options.json) {
+    std::printf("%s\n", MetricsToJson(metrics).Dump(2).c_str());
+    return 0;
   }
   PrintMetrics(metrics);
 

@@ -3,116 +3,119 @@
 //
 //   policy_explorer [--arch=naive|lookaside|unified] [--ram-policy=POL]
 //                   [--flash-policy=POL] [--ws-gib=N] [--write-pct=N]
-//                   [--ram-gib=N] [--flash-gib=N] [--scale=N]
+//                   [--ram-gib=N] [--flash-gib=N] [--scale=N] [--jobs=N]
+//                   [--out=table|csv|json]
 //
 // POL is one of: s (sync write-through), a (async write-through),
 // p1/p5/p15/p30 (periodic syncer), n (writeback on eviction only).
 //
-// With no arguments it sweeps all three architectures at the paper's chosen
-// policies and prints a comparison — a compact version of the Fig 2 study.
+// With no configuration arguments it sweeps all three architectures at the
+// paper's chosen policies and prints a comparison — a compact version of
+// the Fig 2 study, run through the sweep harness.
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "src/core/experiment.h"
+#include "src/harness/harness.h"
 #include "src/util/table.h"
 
 using namespace flashsim;
-
-namespace {
-
-bool ParseDouble(const char* arg, const char* prefix, double* out) {
-  const size_t len = std::strlen(prefix);
-  if (std::strncmp(arg, prefix, len) != 0) {
-    return false;
-  }
-  *out = std::strtod(arg + len, nullptr);
-  return true;
-}
-
-void RunOne(const ExperimentParams& params, Table* table) {
-  const ExperimentResult result = RunExperiment(params);
-  const Metrics& m = result.metrics;
-  table->AddRow({ArchitectureName(params.arch), PolicyName(params.ram_policy),
-                 PolicyName(params.flash_policy), Table::Cell(m.mean_read_us(), 2),
-                 Table::Cell(m.mean_write_us(), 2), Table::Cell(100.0 * m.ram_hit_rate(), 1),
-                 Table::Cell(100.0 * m.flash_hit_rate(), 1),
-                 Table::Cell(m.stack_totals.sync_ram_evictions +
-                             m.stack_totals.sync_flash_evictions)});
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   ExperimentParams params;
   params.scale = 128;
   bool explicit_config = false;
+  int jobs = 0;
+  OutputFormat out = OutputFormat::kAligned;
+  double write_pct = 100.0 * params.write_fraction;
 
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    double value = 0;
-    if (std::strncmp(arg, "--arch=", 7) == 0) {
-      const auto arch = ParseArchitecture(arg + 7);
-      if (!arch) {
-        std::fprintf(stderr, "unknown architecture: %s\n", arg + 7);
-        return 1;
-      }
-      params.arch = *arch;
-      explicit_config = true;
-    } else if (std::strncmp(arg, "--ram-policy=", 13) == 0) {
-      const auto policy = ParsePolicy(arg + 13);
-      if (!policy) {
-        std::fprintf(stderr, "unknown policy: %s\n", arg + 13);
-        return 1;
-      }
-      params.ram_policy = *policy;
-      explicit_config = true;
-    } else if (std::strncmp(arg, "--flash-policy=", 15) == 0) {
-      const auto policy = ParsePolicy(arg + 15);
-      if (!policy) {
-        std::fprintf(stderr, "unknown policy: %s\n", arg + 15);
-        return 1;
-      }
-      params.flash_policy = *policy;
-      explicit_config = true;
-    } else if (ParseDouble(arg, "--ws-gib=", &value)) {
-      params.working_set_gib = value;
-    } else if (ParseDouble(arg, "--write-pct=", &value)) {
-      params.write_fraction = value / 100.0;
-    } else if (ParseDouble(arg, "--ram-gib=", &value)) {
-      params.ram_gib = value;
-    } else if (ParseDouble(arg, "--flash-gib=", &value)) {
-      params.flash_gib = value;
-    } else if (ParseDouble(arg, "--scale=", &value)) {
-      params.scale = static_cast<uint64_t>(value);
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--arch=A] [--ram-policy=P] [--flash-policy=P] [--ws-gib=N]\n"
-                   "          [--write-pct=N] [--ram-gib=N] [--flash-gib=N] [--scale=N]\n",
-                   argv[0]);
-      return 1;
+  FlagParser parser;
+  parser.AddCustom("arch", "naive|lookaside|unified", "cache architecture",
+                   [&](const std::string& value) {
+                     const auto arch = ParseArchitecture(value);
+                     if (!arch) {
+                       return false;
+                     }
+                     params.arch = *arch;
+                     explicit_config = true;
+                     return true;
+                   });
+  parser.AddCustom("ram-policy", "POL", "RAM writeback policy (s a p1 p5 p15 p30 n)",
+                   [&](const std::string& value) {
+                     const auto policy = ParsePolicy(value);
+                     if (!policy) {
+                       return false;
+                     }
+                     params.ram_policy = *policy;
+                     explicit_config = true;
+                     return true;
+                   });
+  parser.AddCustom("flash-policy", "POL", "flash writeback policy",
+                   [&](const std::string& value) {
+                     const auto policy = ParsePolicy(value);
+                     if (!policy) {
+                       return false;
+                     }
+                     params.flash_policy = *policy;
+                     explicit_config = true;
+                     return true;
+                   });
+  parser.AddDouble("ws-gib", "working set GiB", &params.working_set_gib);
+  parser.AddDouble("write-pct", "write percentage", &write_pct);
+  parser.AddDouble("ram-gib", "RAM cache GiB", &params.ram_gib);
+  parser.AddDouble("flash-gib", "flash cache GiB", &params.flash_gib);
+  parser.AddUint64("scale", "capacity scale divisor", &params.scale);
+  parser.AddInt("jobs", "worker threads", &jobs);
+  parser.AddCustom("out", "table|csv|json", "output format", [&](const std::string& value) {
+    const auto format = ParseOutputFormat(value);
+    if (!format) {
+      return false;
     }
-  }
+    out = *format;
+    return true;
+  });
+  parser.ParseOrExit(argc, argv);
+  params.write_fraction = write_pct / 100.0;
 
   PrintExperimentHeader("policy explorer", params);
-  Table table({"arch", "ram_policy", "flash_policy", "read_us", "write_us", "ram_hit_pct",
-               "flash_hit_pct", "sync_evictions"});
+
+  Sweep sweep(params);
   if (explicit_config) {
-    RunOne(params, &table);
+    sweep.AppendPoint({ArchitectureName(params.arch)}, params);
   } else {
     // Default: the paper's §7.1 comparison at its chosen policies.
-    for (Architecture arch : kAllArchitectures) {
-      ExperimentParams p = params;
-      p.arch = arch;
-      RunOne(p, &table);
-    }
+    sweep.AddAxis("arch", [&] {
+      std::vector<Sweep::AxisValue> values;
+      for (Architecture arch : kAllArchitectures) {
+        values.push_back({ArchitectureName(arch),
+                          [arch](ExperimentParams& p) { p.arch = arch; }});
+      }
+      return values;
+    }());
   }
-  table.PrintAligned(std::cout);
 
-  std::printf("\nReading the table: the unified architecture reads fastest (its effective\n"
-              "capacity is RAM+flash) but pays flash latency on most writes; naive and\n"
-              "lookaside write at RAM speed. Policies only matter when they put synchronous\n"
-              "filer writes on the application's path (ram-policy=s, or n once full).\n");
+  Table table({"arch", "ram_policy", "flash_policy", "read_us", "write_us", "ram_hit_pct",
+               "flash_hit_pct", "sync_evictions"});
+  ParallelRunner(jobs).RunOrdered(
+      sweep.Expand(),
+      [](const SweepPoint& point) { return RunExperiment(point.params); },
+      [&table](const SweepPoint& point, const ExperimentResult& result) {
+        const Metrics& m = result.metrics;
+        table.AddRow({ArchitectureName(point.params.arch), PolicyName(point.params.ram_policy),
+                      PolicyName(point.params.flash_policy), Table::Cell(m.mean_read_us(), 2),
+                      Table::Cell(m.mean_write_us(), 2), Table::Cell(100.0 * m.ram_hit_rate(), 1),
+                      Table::Cell(100.0 * m.flash_hit_rate(), 1),
+                      Table::Cell(m.stack_totals.sync_ram_evictions +
+                                  m.stack_totals.sync_flash_evictions)});
+      });
+  EmitTable(table, out, std::cout);
+
+  if (out == OutputFormat::kAligned) {
+    std::printf("\nReading the table: the unified architecture reads fastest (its effective\n"
+                "capacity is RAM+flash) but pays flash latency on most writes; naive and\n"
+                "lookaside write at RAM speed. Policies only matter when they put synchronous\n"
+                "filer writes on the application's path (ram-policy=s, or n once full).\n");
+  }
   return 0;
 }

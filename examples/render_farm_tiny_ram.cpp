@@ -6,18 +6,20 @@
 // speed-matching write buffer — 256 KB! — freeing nearly all of memory for
 // the application (here: the renderer's scene data). This example plays a
 // render-farm-like workload (90% reads over a 80 GB texture/asset working
-// set) against decreasing RAM allocations, with and without the flash.
+// set) against decreasing RAM allocations, with and without the flash,
+// through the sweep harness.
 #include <cstdio>
 #include <iostream>
 
 #include "src/core/experiment.h"
+#include "src/harness/harness.h"
 #include "src/util/table.h"
 
 using namespace flashsim;
 
 namespace {
 
-Metrics Run(uint64_t ram_bytes, double flash_gib) {
+ExperimentParams RenderFarmParams(uint64_t ram_bytes, double flash_gib) {
   ExperimentParams params;
   params.scale = 128;
   params.working_set_gib = 80.0;
@@ -27,30 +29,43 @@ Metrics Run(uint64_t ram_bytes, double flash_gib) {
   // Asynchronous write-through: the paper's recommendation for tiny RAM
   // buffers (a periodic syncer can't keep a 256 KB buffer clean).
   params.ram_policy = WritebackPolicy::kAsync;
-  return RunExperiment(params).metrics;
+  return params;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 0;
+  FlagParser parser;
+  parser.AddInt("jobs", "worker threads", &jobs);
+  parser.ParseOrExit(argc, argv);
+
   ExperimentParams header;
   header.scale = 128;
   PrintExperimentHeader("render farm: shrinking the file-cache RAM under a 64 GB flash", header);
 
-  Table table({"file_cache_ram", "flash_gib", "read_us", "write_us",
-               "ram_freed_for_renderer"});
+  Sweep sweep(header);
   const uint64_t ram_sizes[] = {8 * kGiB, kGiB, 64 * kMiB, kMiB, 256 * kKiB};
   for (uint64_t ram : ram_sizes) {
-    const Metrics m = Run(ram, 64.0);
-    table.AddRow({FormatSize(ram), "64", Table::Cell(m.mean_read_us(), 2),
-                  Table::Cell(m.mean_write_us(), 2), FormatSize(8 * kGiB - ram)});
+    sweep.AppendPoint({FormatSize(ram), "64"}, RenderFarmParams(ram, 64.0));
   }
   // The cautionary tale: the same cut without flash.
   for (uint64_t ram : {8 * kGiB, 256 * kKiB}) {
-    const Metrics m = Run(ram, 0.0);
-    table.AddRow({FormatSize(ram), "0", Table::Cell(m.mean_read_us(), 2),
-                  Table::Cell(m.mean_write_us(), 2), FormatSize(8 * kGiB - ram)});
+    sweep.AppendPoint({FormatSize(ram), "0"}, RenderFarmParams(ram, 0.0));
   }
+
+  Table table({"file_cache_ram", "flash_gib", "read_us", "write_us",
+               "ram_freed_for_renderer"});
+  ParallelRunner(jobs).RunOrdered(
+      sweep.Expand(),
+      [](const SweepPoint& point) { return RunExperiment(point.params); },
+      [&table](const SweepPoint& point, const ExperimentResult& result) {
+        const Metrics& m = result.metrics;
+        const uint64_t ram_bytes =
+            static_cast<uint64_t>(point.params.ram_gib * static_cast<double>(kGiB));
+        table.AddRow({point.label(0), point.label(1), Table::Cell(m.mean_read_us(), 2),
+                      Table::Cell(m.mean_write_us(), 2), FormatSize(8 * kGiB - ram_bytes)});
+      });
   table.PrintAligned(std::cout);
 
   std::printf(

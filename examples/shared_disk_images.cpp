@@ -11,38 +11,49 @@
 #include <iostream>
 
 #include "src/core/experiment.h"
+#include "src/harness/harness.h"
 #include "src/util/table.h"
 
 using namespace flashsim;
 
-namespace {
+int main(int argc, char** argv) {
+  int jobs = 0;
+  FlagParser parser;
+  parser.AddInt("jobs", "worker threads", &jobs);
+  parser.ParseOrExit(argc, argv);
 
-Metrics Run(bool shared, double write_pct) {
-  ExperimentParams params;
-  params.scale = 128;
-  params.hosts = 2;
-  params.working_set_gib = 60.0;
-  params.write_fraction = write_pct / 100.0;
-  params.shared_working_set = shared;
-  return RunExperiment(params).metrics;
-}
+  ExperimentParams base;
+  base.scale = 128;
+  base.hosts = 2;
+  base.working_set_gib = 60.0;
+  PrintExperimentHeader("shared disk images: consistency traffic between two hosts", base);
 
-}  // namespace
+  std::vector<Sweep::AxisValue> write_axis;
+  for (double write_pct : {10.0, 30.0, 60.0}) {
+    write_axis.push_back({Table::Cell(write_pct, 0), [write_pct](ExperimentParams& p) {
+                            p.write_fraction = write_pct / 100.0;
+                          }});
+  }
+  std::vector<Sweep::AxisValue> sharing_axis;
+  for (bool shared : {false, true}) {
+    sharing_axis.push_back({shared ? "one_shared" : "private_per_host",
+                            [shared](ExperimentParams& p) { p.shared_working_set = shared; }});
+  }
 
-int main() {
-  ExperimentParams header;
-  header.scale = 128;
-  PrintExperimentHeader("shared disk images: consistency traffic between two hosts", header);
+  Sweep sweep(base);
+  sweep.AddAxis("write_pct", std::move(write_axis))
+      .AddAxis("working_sets", std::move(sharing_axis));
 
   Table table({"working_sets", "write_pct", "invalidation_pct", "invalidations", "read_us"});
-  for (double write_pct : {10.0, 30.0, 60.0}) {
-    for (bool shared : {false, true}) {
-      const Metrics m = Run(shared, write_pct);
-      table.AddRow({shared ? "one_shared" : "private_per_host", Table::Cell(write_pct, 0),
-                    Table::Cell(100.0 * m.invalidation_rate(), 1),
-                    Table::Cell(m.invalidations), Table::Cell(m.mean_read_us(), 2)});
-    }
-  }
+  ParallelRunner(jobs).RunOrdered(
+      sweep.Expand(),
+      [](const SweepPoint& point) { return RunExperiment(point.params); },
+      [&table](const SweepPoint& point, const ExperimentResult& result) {
+        const Metrics& m = result.metrics;
+        table.AddRow({point.label(1), point.label(0),
+                      Table::Cell(100.0 * m.invalidation_rate(), 1),
+                      Table::Cell(m.invalidations), Table::Cell(m.mean_read_us(), 2)});
+      });
   table.PrintAligned(std::cout);
 
   std::printf(

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "src/core/simulation.h"
@@ -55,9 +56,18 @@ SyntheticTraceSpec BuildTraceSpec(const ExperimentParams& params) {
 
 const FsModel& GetFsModel(uint64_t total_bytes, uint32_t block_bytes, uint64_t seed) {
   using Key = std::tuple<uint64_t, uint32_t, uint64_t>;
+  // The memoization map is the only state RunExperiment shares between
+  // concurrent calls (the harness's ParallelRunner runs experiments from
+  // many threads), so every lookup-or-build takes the mutex. Holding it
+  // across FsModel construction serializes first-builds of the same key —
+  // deliberate: two threads must not build the model twice, and a map
+  // lookup is trivial next to a simulation run. Entries, once returned, are
+  // immutable and never erased, so the reference outlives the lock.
+  static std::mutex* mu = new std::mutex();
   static std::map<Key, std::unique_ptr<FsModel>>* cache =
       new std::map<Key, std::unique_ptr<FsModel>>();
   const Key key{total_bytes, block_bytes, seed};
+  std::lock_guard<std::mutex> lock(*mu);
   auto it = cache->find(key);
   if (it == cache->end()) {
     FsModelParams fs_params;

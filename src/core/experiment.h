@@ -65,11 +65,22 @@ SimConfig BuildSimConfig(const ExperimentParams& params);
 SyntheticTraceSpec BuildTraceSpec(const ExperimentParams& params);
 
 // Builds everything and runs the simulation to completion.
+//
+// Thread-safety contract: RunExperiment is safe to call concurrently from
+// multiple threads (the harness's ParallelRunner does). Each call builds
+// its own Simulation, trace source, and Rngs from params; the only shared
+// state is the FsModel memoization cache below, which is internally
+// mutex-guarded. Results depend only on params — never on thread
+// interleaving — except wall_seconds, which measures this call's host time.
+// The params.read_latency_series pointer, when set, must be distinct per
+// concurrent call (the recorder itself is not synchronized).
 ExperimentResult RunExperiment(const ExperimentParams& params);
 
 // Returns the memoized file-server model for these parameters (built on
 // first use; keyed by size and seed). The reference stays valid for the
-// process lifetime. Exposed so examples can inspect the model.
+// process lifetime. Exposed so examples can inspect the model. Thread-safe:
+// lookups and first-builds are serialized by an internal mutex, and the
+// returned model is immutable (all sampling takes the caller's Rng).
 const FsModel& GetFsModel(uint64_t total_bytes, uint32_t block_bytes, uint64_t seed);
 
 // Shared bench header: prints Table 1 timing parameters and the scale.

@@ -1,0 +1,21 @@
+// Umbrella header for the sweep-harness subsystem.
+//
+// The harness is the shared machinery behind every figure bench and
+// parameter-study example:
+//   - FlagParser  (flags.h)  — registering command-line parser
+//   - Sweep       (sweep.h)  — named parameter axes -> ordered run list
+//   - ParallelRunner (runner.h) — --jobs=N workers, deterministic order
+//   - sinks       (sinks.h)  — aligned table / CSV / JSON emission
+// A typical bench: build a Sweep over ExperimentParams, run it with
+// ParallelRunner(jobs), map each (SweepPoint, ExperimentResult) to a table
+// row, and EmitTable in the format the user asked for.
+#ifndef FLASHSIM_SRC_HARNESS_HARNESS_H_
+#define FLASHSIM_SRC_HARNESS_HARNESS_H_
+
+#include "src/harness/flags.h"   // IWYU pragma: export
+#include "src/harness/json.h"    // IWYU pragma: export
+#include "src/harness/runner.h"  // IWYU pragma: export
+#include "src/harness/sinks.h"   // IWYU pragma: export
+#include "src/harness/sweep.h"   // IWYU pragma: export
+
+#endif  // FLASHSIM_SRC_HARNESS_HARNESS_H_

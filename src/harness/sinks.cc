@@ -1,0 +1,280 @@
+#include "src/harness/sinks.h"
+
+#include <cstdlib>
+
+namespace flashsim {
+
+std::optional<OutputFormat> ParseOutputFormat(const std::string& name) {
+  if (name == "table" || name == "aligned") {
+    return OutputFormat::kAligned;
+  }
+  if (name == "csv") {
+    return OutputFormat::kCsv;
+  }
+  if (name == "json") {
+    return OutputFormat::kJson;
+  }
+  return std::nullopt;
+}
+
+const char* OutputFormatName(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kAligned:
+      return "table";
+    case OutputFormat::kCsv:
+      return "csv";
+    case OutputFormat::kJson:
+      return "json";
+  }
+  return "?";
+}
+
+namespace {
+
+// A cell becomes a JSON number only when the whole string parses as one
+// ("64", "12.50"); labels like "8G_ram_64G_flash_naive" stay strings.
+JsonValue CellToJson(const std::string& cell) {
+  if (cell.empty()) {
+    return JsonValue(cell);
+  }
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return JsonValue(cell);
+  }
+  // Integer-looking cells (no '.', 'e', inf/nan spellings) stay integers.
+  if (cell.find_first_not_of("-0123456789") == std::string::npos) {
+    const long long as_int = std::strtoll(cell.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0') {
+      return JsonValue(static_cast<int64_t>(as_int));
+    }
+  }
+  return JsonValue(value);
+}
+
+}  // namespace
+
+JsonValue TableToJson(const Table& table) {
+  JsonValue rows = JsonValue::Array();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    JsonValue row = JsonValue::Object();
+    const std::vector<std::string>& cells = table.row(r);
+    for (size_t c = 0; c < table.num_columns() && c < cells.size(); ++c) {
+      row.Set(table.header()[c], CellToJson(cells[c]));
+    }
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
+void EmitTable(const Table& table, OutputFormat format, std::ostream& os) {
+  switch (format) {
+    case OutputFormat::kAligned:
+      table.PrintAligned(os);
+      break;
+    case OutputFormat::kCsv:
+      table.PrintCsv(os);
+      break;
+    case OutputFormat::kJson:
+      os << TableToJson(table).Dump(2) << "\n";
+      break;
+  }
+}
+
+namespace {
+
+JsonValue StatsToJson(const StreamingStats& stats) {
+  JsonValue json = JsonValue::Object();
+  json.Set("count", stats.count());
+  json.Set("mean", stats.mean());
+  json.Set("m2", stats.raw_m2());
+  json.Set("min", stats.raw_min());
+  json.Set("max", stats.raw_max());
+  json.Set("sum", stats.sum());
+  return json;
+}
+
+JsonValue RecorderToJson(const LatencyRecorder& recorder) {
+  JsonValue json = JsonValue::Object();
+  json.Set("stats", StatsToJson(recorder.stats()));
+  // Sparse histogram: [[bucket_index, count], ...] — most of the 512
+  // buckets are empty.
+  JsonValue buckets = JsonValue::Array();
+  const auto& raw = recorder.histogram().buckets();
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != 0) {
+      JsonValue entry = JsonValue::Array();
+      entry.Append(static_cast<int64_t>(i));
+      entry.Append(raw[i]);
+      buckets.Append(std::move(entry));
+    }
+  }
+  json.Set("histogram", std::move(buckets));
+  // Redundant with the state above, but convenient for consumers that just
+  // want the summary without replaying the accumulator.
+  json.Set("mean_us", recorder.mean_us());
+  json.Set("p50_us", static_cast<double>(recorder.p50_ns()) / 1000.0);
+  json.Set("p99_us", static_cast<double>(recorder.p99_ns()) / 1000.0);
+  return json;
+}
+
+bool JsonToStats(const JsonValue& json, StreamingStats* out) {
+  const JsonValue* count = json.Get("count");
+  const JsonValue* mean = json.Get("mean");
+  const JsonValue* m2 = json.Get("m2");
+  const JsonValue* min = json.Get("min");
+  const JsonValue* max = json.Get("max");
+  const JsonValue* sum = json.Get("sum");
+  if (count == nullptr || mean == nullptr || m2 == nullptr || min == nullptr ||
+      max == nullptr || sum == nullptr) {
+    return false;
+  }
+  *out = StreamingStats::FromState(count->AsUint(), mean->AsDouble(), m2->AsDouble(),
+                                   min->AsDouble(), max->AsDouble(), sum->AsDouble());
+  return true;
+}
+
+bool JsonToRecorder(const JsonValue& json, LatencyRecorder* out) {
+  const JsonValue* stats_json = json.Get("stats");
+  const JsonValue* buckets_json = json.Get("histogram");
+  if (stats_json == nullptr || buckets_json == nullptr) {
+    return false;
+  }
+  StreamingStats stats;
+  if (!JsonToStats(*stats_json, &stats)) {
+    return false;
+  }
+  std::array<uint64_t, LatencyHistogram::kNumBuckets> buckets{};
+  for (size_t i = 0; i < buckets_json->size(); ++i) {
+    const JsonValue& entry = buckets_json->at(i);
+    if (entry.size() != 2) {
+      return false;
+    }
+    const uint64_t index = entry.at(0).AsUint();
+    if (index >= buckets.size()) {
+      return false;
+    }
+    buckets[index] = entry.at(1).AsUint();
+  }
+  *out = LatencyRecorder::FromState(stats, LatencyHistogram::FromBuckets(buckets));
+  return true;
+}
+
+JsonValue CountersToJson(const StackCounters& counters) {
+  JsonValue json = JsonValue::Object();
+  json.Set("ram_hits", counters.ram_hits);
+  json.Set("flash_hits", counters.flash_hits);
+  json.Set("filer_reads", counters.filer_reads);
+  json.Set("sync_ram_evictions", counters.sync_ram_evictions);
+  json.Set("sync_flash_evictions", counters.sync_flash_evictions);
+  json.Set("flash_installs", counters.flash_installs);
+  json.Set("filer_writebacks", counters.filer_writebacks);
+  return json;
+}
+
+bool JsonToCounters(const JsonValue& json, StackCounters* out) {
+  const auto get = [&json](const char* key, uint64_t* field) {
+    const JsonValue* value = json.Get(key);
+    if (value == nullptr) {
+      return false;
+    }
+    *field = value->AsUint();
+    return true;
+  };
+  return get("ram_hits", &out->ram_hits) && get("flash_hits", &out->flash_hits) &&
+         get("filer_reads", &out->filer_reads) &&
+         get("sync_ram_evictions", &out->sync_ram_evictions) &&
+         get("sync_flash_evictions", &out->sync_flash_evictions) &&
+         get("flash_installs", &out->flash_installs) &&
+         get("filer_writebacks", &out->filer_writebacks);
+}
+
+}  // namespace
+
+JsonValue MetricsToJson(const Metrics& metrics) {
+  JsonValue json = JsonValue::Object();
+  json.Set("read_latency", RecorderToJson(metrics.read_latency));
+  json.Set("write_latency", RecorderToJson(metrics.write_latency));
+
+  JsonValue levels = JsonValue::Array();
+  for (uint64_t blocks : metrics.read_level_blocks) {
+    levels.Append(blocks);
+  }
+  json.Set("read_level_blocks", std::move(levels));
+
+  json.Set("measured_read_blocks", metrics.measured_read_blocks);
+  json.Set("measured_write_blocks", metrics.measured_write_blocks);
+  json.Set("warmup_blocks", metrics.warmup_blocks);
+  json.Set("trace_records", metrics.trace_records);
+  json.Set("consistency_writes", metrics.consistency_writes);
+  json.Set("invalidating_writes", metrics.invalidating_writes);
+  json.Set("invalidations", metrics.invalidations);
+  json.Set("invalidation_messages", metrics.invalidation_messages);
+  json.Set("end_time", static_cast<uint64_t>(metrics.end_time));
+  json.Set("filer_fast_reads", metrics.filer_fast_reads);
+  json.Set("filer_slow_reads", metrics.filer_slow_reads);
+  json.Set("filer_writes", metrics.filer_writes);
+  json.Set("stack_totals", CountersToJson(metrics.stack_totals));
+  json.Set("ftl_enabled", metrics.ftl_enabled);
+  json.Set("ftl_write_amplification", metrics.ftl_write_amplification);
+  json.Set("ftl_erases", metrics.ftl_erases);
+  json.Set("ftl_gc_relocations", metrics.ftl_gc_relocations);
+  return json;
+}
+
+std::optional<Metrics> MetricsFromJson(const JsonValue& json) {
+  if (json.type() != JsonValue::Type::kObject) {
+    return std::nullopt;
+  }
+  Metrics metrics;
+  const JsonValue* read_latency = json.Get("read_latency");
+  const JsonValue* write_latency = json.Get("write_latency");
+  if (read_latency == nullptr || !JsonToRecorder(*read_latency, &metrics.read_latency) ||
+      write_latency == nullptr || !JsonToRecorder(*write_latency, &metrics.write_latency)) {
+    return std::nullopt;
+  }
+
+  const JsonValue* levels = json.Get("read_level_blocks");
+  if (levels == nullptr || levels->size() != metrics.read_level_blocks.size()) {
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < metrics.read_level_blocks.size(); ++i) {
+    metrics.read_level_blocks[i] = levels->at(i).AsUint();
+  }
+
+  const auto get_u64 = [&json](const char* key, uint64_t* field) {
+    const JsonValue* value = json.Get(key);
+    if (value == nullptr) {
+      return false;
+    }
+    *field = value->AsUint();
+    return true;
+  };
+  uint64_t end_time = 0;
+  const JsonValue* stack_totals = json.Get("stack_totals");
+  const JsonValue* ftl_enabled = json.Get("ftl_enabled");
+  const JsonValue* ftl_wa = json.Get("ftl_write_amplification");
+  if (!get_u64("measured_read_blocks", &metrics.measured_read_blocks) ||
+      !get_u64("measured_write_blocks", &metrics.measured_write_blocks) ||
+      !get_u64("warmup_blocks", &metrics.warmup_blocks) ||
+      !get_u64("trace_records", &metrics.trace_records) ||
+      !get_u64("consistency_writes", &metrics.consistency_writes) ||
+      !get_u64("invalidating_writes", &metrics.invalidating_writes) ||
+      !get_u64("invalidations", &metrics.invalidations) ||
+      !get_u64("invalidation_messages", &metrics.invalidation_messages) ||
+      !get_u64("end_time", &end_time) ||
+      !get_u64("filer_fast_reads", &metrics.filer_fast_reads) ||
+      !get_u64("filer_slow_reads", &metrics.filer_slow_reads) ||
+      !get_u64("filer_writes", &metrics.filer_writes) || stack_totals == nullptr ||
+      !JsonToCounters(*stack_totals, &metrics.stack_totals) || ftl_enabled == nullptr ||
+      ftl_wa == nullptr || !get_u64("ftl_erases", &metrics.ftl_erases) ||
+      !get_u64("ftl_gc_relocations", &metrics.ftl_gc_relocations)) {
+    return std::nullopt;
+  }
+  metrics.end_time = static_cast<SimTime>(end_time);
+  metrics.ftl_enabled = ftl_enabled->AsBool();
+  metrics.ftl_write_amplification = ftl_wa->AsDouble();
+  return metrics;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,44 @@
+// Result sinks: render a sweep's result table as an aligned console table,
+// CSV, or JSON — replacing the per-bench Table+PrintTable plumbing. The
+// JSON form is the machine-readable surface for perf trajectories: an
+// array of row objects keyed by column name, with numeric-looking cells
+// emitted as numbers.
+#ifndef FLASHSIM_SRC_HARNESS_SINKS_H_
+#define FLASHSIM_SRC_HARNESS_SINKS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "src/core/metrics.h"
+#include "src/harness/json.h"
+#include "src/util/table.h"
+
+namespace flashsim {
+
+enum class OutputFormat {
+  kAligned,  // human-readable padded columns (the default)
+  kCsv,
+  kJson,
+};
+
+// Accepts "table"/"aligned", "csv", "json".
+std::optional<OutputFormat> ParseOutputFormat(const std::string& name);
+const char* OutputFormatName(OutputFormat format);
+
+// Renders the table in the requested format.
+void EmitTable(const Table& table, OutputFormat format, std::ostream& os);
+
+// JSON rows for the table: [{"col": value, ...}, ...]. Cells that parse
+// fully as numbers become JSON numbers; everything else stays a string.
+JsonValue TableToJson(const Table& table);
+
+// Full-fidelity Metrics snapshot: every counter exactly, latency recorders
+// with their complete accumulator state and sparse histogram buckets.
+// MetricsFromJson(MetricsToJson(m)) reproduces m (see harness_test).
+JsonValue MetricsToJson(const Metrics& metrics);
+std::optional<Metrics> MetricsFromJson(const JsonValue& json);
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_HARNESS_SINKS_H_

@@ -1,0 +1,77 @@
+#include "src/harness/sweep.h"
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+Sweep& Sweep::AddAxis(std::string name, std::vector<AxisValue> values) {
+  FLASHSIM_CHECK(!values.empty());
+  axis_names_.push_back(std::move(name));
+  axes_.push_back(std::move(values));
+  return *this;
+}
+
+Sweep& Sweep::AppendPoint(std::vector<std::string> labels, const ExperimentParams& params) {
+  SweepPoint point;
+  point.labels = std::move(labels);
+  point.params = params;
+  extra_points_.push_back(std::move(point));
+  return *this;
+}
+
+size_t Sweep::size() const {
+  // With no axes, the grid is the single base point — unless extra points
+  // were appended, in which case the sweep is the extras alone.
+  size_t grid = 1;
+  for (const auto& axis : axes_) {
+    grid *= axis.size();
+  }
+  if (axes_.empty() && !extra_points_.empty()) {
+    grid = 0;
+  }
+  return grid + extra_points_.size();
+}
+
+std::vector<SweepPoint> Sweep::Expand() const {
+  std::vector<SweepPoint> points;
+  if (!axes_.empty() || extra_points_.empty()) {
+    // Odometer over the axes, first axis slowest (outermost loop).
+    std::vector<size_t> cursor(axes_.size(), 0);
+    while (true) {
+      SweepPoint point;
+      point.params = base_;
+      point.labels.reserve(axes_.size());
+      for (size_t a = 0; a < axes_.size(); ++a) {
+        const AxisValue& value = axes_[a][cursor[a]];
+        point.labels.push_back(value.label);
+        value.apply(point.params);
+      }
+      points.push_back(std::move(point));
+      // Advance the innermost (last) axis first; wrapping the outermost
+      // axis means the product is exhausted.
+      bool done = axes_.empty();
+      for (size_t a = axes_.size(); a > 0;) {
+        --a;
+        if (++cursor[a] < axes_[a].size()) {
+          break;
+        }
+        cursor[a] = 0;
+        if (a == 0) {
+          done = true;
+        }
+      }
+      if (done) {
+        break;
+      }
+    }
+  }
+  for (const SweepPoint& extra : extra_points_) {
+    points.push_back(extra);
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    points[i].index = i;
+  }
+  return points;
+}
+
+}  // namespace flashsim

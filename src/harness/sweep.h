@@ -1,0 +1,92 @@
+// Sweep: a declarative description of a parameter study.
+//
+// Every figure in the paper is a sweep — a cartesian product of named
+// parameter axes over ExperimentParams (architecture x RAM policy x flash
+// policy for Fig 2, working set x flash size for Fig 4, ...). A Sweep
+// captures the base configuration plus the axes and expands them into an
+// ordered list of SweepPoints; the order is the nested-loop order the old
+// hand-rolled benches used (the first axis added is the outermost loop), so
+// tables render identically. Points run independently — each builds its own
+// Simulation — which is what lets ParallelRunner fan them out safely.
+#ifndef FLASHSIM_SRC_HARNESS_SWEEP_H_
+#define FLASHSIM_SRC_HARNESS_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/experiment.h"
+
+namespace flashsim {
+
+// One expanded run: the fully-derived params plus one label per axis (for
+// table rows) and its position in expansion order.
+struct SweepPoint {
+  size_t index = 0;
+  std::vector<std::string> labels;
+  ExperimentParams params;
+
+  // The label of the named axis ("" when the axis doesn't exist; extra
+  // points appended outside the grid may carry fewer labels).
+  const std::string& label(size_t axis) const {
+    static const std::string kEmpty;
+    return axis < labels.size() ? labels[axis] : kEmpty;
+  }
+};
+
+class Sweep {
+ public:
+  // A value on an axis: the table label plus the params mutation it
+  // implies. Mutators compose — each point applies one mutator per axis, in
+  // axis order, to a copy of the base params.
+  using Mutator = std::function<void(ExperimentParams&)>;
+  struct AxisValue {
+    std::string label;
+    Mutator apply;
+  };
+
+  explicit Sweep(ExperimentParams base) : base_(std::move(base)) {}
+
+  // Adds an axis; the first axis added varies slowest (outermost loop).
+  Sweep& AddAxis(std::string name, std::vector<AxisValue> values);
+
+  // Typed convenience: one axis value per element, labelled by format(v)
+  // and applied by apply(params, v).
+  template <typename T, typename Format, typename Apply>
+  Sweep& AddAxis(std::string name, const std::vector<T>& values, Format format, Apply apply) {
+    std::vector<AxisValue> axis_values;
+    axis_values.reserve(values.size());
+    for (const T& value : values) {
+      axis_values.push_back({format(value), [apply, value](ExperimentParams& params) {
+                               apply(params, value);
+                             }});
+    }
+    return AddAxis(std::move(name), std::move(axis_values));
+  }
+
+  // Appends a single out-of-grid point (comparison baselines that don't fit
+  // the product, e.g. Fig 7's no-flash rows). Appended points run after the
+  // grid, in append order.
+  Sweep& AppendPoint(std::vector<std::string> labels, const ExperimentParams& params);
+
+  // Expands axes into the ordered point list. Deterministic: same Sweep,
+  // same list — this ordering is the contract ParallelRunner preserves.
+  std::vector<SweepPoint> Expand() const;
+
+  const ExperimentParams& base() const { return base_; }
+  const std::vector<std::string>& axis_names() const { return axis_names_; }
+
+  // Number of points Expand() will produce.
+  size_t size() const;
+
+ private:
+  ExperimentParams base_;
+  std::vector<std::string> axis_names_;
+  std::vector<std::vector<AxisValue>> axes_;
+  std::vector<SweepPoint> extra_points_;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_HARNESS_SWEEP_H_

@@ -87,6 +87,22 @@ uint64_t PoissonSampler::SampleSmall(Rng& rng) const {
   return k;
 }
 
+namespace {
+
+// log(Gamma(x)) without glibc lgamma's write to the process-global signgam
+// (a data race when samplers run on ParallelRunner worker threads). x is
+// always >= 1 here, so the sign is known.
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 uint64_t PoissonSampler::SampleLarge(Rng& rng) const {
   // PTRS transformed rejection (Hormann 1993).
   for (;;) {
@@ -102,7 +118,7 @@ uint64_t PoissonSampler::SampleLarge(Rng& rng) const {
     }
     const double log_mean = std::log(mean_);
     if (std::log(v * inv_alpha_ / (a_ / (us * us) + b_)) <=
-        k * log_mean - mean_ - std::lgamma(k + 1.0)) {
+        k * log_mean - mean_ - LogGamma(k + 1.0)) {
       return static_cast<uint64_t>(k);
     }
   }

@@ -53,6 +53,18 @@ void StreamingStats::Merge(const StreamingStats& other) {
 
 void StreamingStats::Reset() { *this = StreamingStats(); }
 
+StreamingStats StreamingStats::FromState(uint64_t count, double mean, double m2, double min,
+                                         double max, double sum) {
+  StreamingStats stats;
+  stats.count_ = count;
+  stats.mean_ = mean;
+  stats.m2_ = m2;
+  stats.min_ = min;
+  stats.max_ = max;
+  stats.sum_ = sum;
+  return stats;
+}
+
 double StreamingStats::variance() const {
   return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
 }
@@ -100,6 +112,16 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 void LatencyHistogram::Reset() {
   buckets_.fill(0);
   count_ = 0;
+}
+
+LatencyHistogram LatencyHistogram::FromBuckets(
+    const std::array<uint64_t, kNumBuckets>& buckets) {
+  LatencyHistogram histogram;
+  histogram.buckets_ = buckets;
+  for (uint64_t b : buckets) {
+    histogram.count_ += b;
+  }
+  return histogram;
 }
 
 int64_t LatencyHistogram::Quantile(double q) const {

@@ -27,6 +27,15 @@ class StreamingStats {
   double max() const { return count_ == 0 ? 0.0 : max_; }
   double sum() const { return sum_; }
 
+  // Serialization support (harness JSON sink): raw accumulator state, and
+  // reconstruction from a previously-read state. raw_m2/raw_min/raw_max
+  // return the stored values without the count==0 masking above.
+  double raw_m2() const { return m2_; }
+  double raw_min() const { return min_; }
+  double raw_max() const { return max_; }
+  static StreamingStats FromState(uint64_t count, double mean, double m2, double min,
+                                  double max, double sum);
+
  private:
   uint64_t count_ = 0;
   double mean_ = 0.0;
@@ -56,6 +65,10 @@ class LatencyHistogram {
   int64_t Quantile(double q) const;
   int64_t p50() const { return Quantile(0.50); }
   int64_t p99() const { return Quantile(0.99); }
+
+  // Serialization support: direct bucket access and reconstruction.
+  const std::array<uint64_t, kNumBuckets>& buckets() const { return buckets_; }
+  static LatencyHistogram FromBuckets(const std::array<uint64_t, kNumBuckets>& buckets);
 
  private:
   static int BucketIndex(int64_t value);
@@ -89,6 +102,14 @@ class LatencyRecorder {
   int64_t p99_ns() const { return histogram_.p99(); }
   int64_t quantile_ns(double q) const { return histogram_.Quantile(q); }
   const StreamingStats& stats() const { return stats_; }
+  const LatencyHistogram& histogram() const { return histogram_; }
+  static LatencyRecorder FromState(const StreamingStats& stats,
+                                   const LatencyHistogram& histogram) {
+    LatencyRecorder recorder;
+    recorder.stats_ = stats;
+    recorder.histogram_ = histogram;
+    return recorder;
+  }
 
   // "count=… mean=…us p50=…us p99=…us" for logs and reports.
   std::string Summary() const;

@@ -28,6 +28,8 @@ class Table {
 
   size_t num_rows() const { return rows_.size(); }
   size_t num_columns() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(size_t index) const { return rows_[index]; }
 
  private:
   std::vector<std::string> header_;
