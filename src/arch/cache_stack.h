@@ -134,6 +134,10 @@ class CacheStack {
   // Structure audit for tests; aborts on violation.
   virtual void CheckInvariants() const = 0;
 
+  // Load-triggered rehashes across this stack's cache indexes; the caches
+  // reserve for full capacity, so nonzero means pre-sizing regressed.
+  virtual uint64_t IndexRehashes() const = 0;
+
   void set_residency_listener(ResidencyListener* listener) { listener_ = listener; }
 
   const StackConfig& config() const { return config_; }

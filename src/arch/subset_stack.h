@@ -33,6 +33,9 @@ class SubsetStackBase : public CacheStack {
   uint64_t FlashResident() const override { return flash_.size(); }
   uint64_t DirtyBlocks() const override { return ram_.dirty_count() + flash_.dirty_count(); }
   void CheckInvariants() const override;
+  uint64_t IndexRehashes() const override {
+    return ram_.index_rehashes() + flash_.index_rehashes();
+  }
 
   const LruBlockCache& ram_cache() const { return ram_; }
   const LruBlockCache& flash_cache() const { return flash_; }

@@ -34,6 +34,7 @@ class UnifiedStack : public CacheStack {
   uint64_t FlashResident() const override;
   uint64_t DirtyBlocks() const override { return cache_.dirty_count(); }
   void CheckInvariants() const override { cache_.CheckInvariants(); }
+  uint64_t IndexRehashes() const override { return cache_.index_rehashes(); }
 
   const LruBlockCache& cache() const { return cache_; }
 

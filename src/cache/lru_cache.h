@@ -138,6 +138,9 @@ class LruBlockCache {
   uint64_t evictions() const { return evictions_; }
   uint64_t dirty_evictions() const { return dirty_evictions_; }
   uint64_t inserts() const { return inserts_; }
+  // Load-triggered rehashes of the block index; the constructor reserves
+  // for full capacity, so any nonzero value is a pre-sizing regression.
+  uint64_t index_rehashes() const { return index_.growth_rehashes(); }
 
  private:
   struct Slot {

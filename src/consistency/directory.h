@@ -31,6 +31,14 @@ class Directory {
   void NoteCached(int host, BlockKey key);
   void NoteDropped(int host, BlockKey key);
 
+  // Pre-sizes the holders index. `blocks` = the most blocks that can be
+  // cached anywhere at once (the sum of all hosts' cache capacities), the
+  // exact upper bound on live entries.
+  void Reserve(uint64_t blocks) { holders_.Reserve(static_cast<size_t>(blocks)); }
+
+  // Load-triggered rehashes of the holders index (0 when Reserve held).
+  uint64_t index_rehashes() const { return holders_.growth_rehashes(); }
+
   // Called once per application block write by `host`. Returns the bitmask
   // of *other* hosts whose copies are now stale and must be invalidated;
   // the caller removes the block from those hosts' caches. Counts the write

@@ -37,6 +37,11 @@ struct Metrics {
   // paper's free-invalidation model). Counted for the whole run.
   uint64_t invalidation_messages = 0;
 
+  // Load-triggered hash rehashes observed across the run's cache/directory
+  // indexes. The simulation pre-sizes every index from SimConfig, so this
+  // should stay 0; a nonzero value flags a pre-sizing regression.
+  uint64_t index_rehashes = 0;
+
   // End-of-run snapshots.
   SimTime end_time = 0;
   uint64_t filer_fast_reads = 0;

@@ -62,6 +62,10 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   config_.Validate();
   filer_ = std::make_unique<Filer>(config_.timing, Mix64(config_.seed ^ 0xf11e5ULL));
   directory_ = std::make_unique<Directory>(config_.num_hosts);
+  // Pre-size the directory's holders index for the most blocks that can be
+  // cached anywhere at once, so it never rehashes mid-trace.
+  directory_->Reserve((config_.ram_blocks() + config_.flash_blocks()) *
+                      static_cast<uint64_t>(config_.num_hosts));
   for (int h = 0; h < config_.num_hosts; ++h) {
     hosts_.push_back(std::make_unique<HostState>(config_, queue_, *filer_, *directory_, h));
   }
@@ -184,9 +188,22 @@ void Simulation::StartThread(int thread_index, SimTime now) {
     metrics_.warmup_blocks += record.block_count;
   }
   ++metrics_.trace_records;
-  queue_.ScheduleAt(done, [this, thread_index](SimTime when) {
-    StartThread(thread_index, when);
-  });
+  queue_.ScheduleEvent(done, this, kEvThreadStart, static_cast<uint64_t>(thread_index));
+}
+
+void Simulation::HandleEvent(SimTime now, uint32_t code, uint64_t arg) {
+  switch (static_cast<EventCode>(code)) {
+    case kEvThreadStart:
+      StartThread(static_cast<int>(arg), now);
+      return;
+    case kEvSyncerTick:
+      SyncerTick(arg != 0, now);
+      return;
+    case kEvSyncerStep:
+      SyncerStep(static_cast<int>(arg & 0xffffffffULL), (arg >> 32) != 0, now);
+      return;
+  }
+  FLASHSIM_CHECK(false);  // unreachable: unknown event code
 }
 
 void Simulation::SyncerStep(int host, bool ram_tier, SimTime now) {
@@ -205,40 +222,41 @@ void Simulation::SyncerStep(int host, bool ram_tier, SimTime now) {
                                           : stack.FlushOneFlashBlock(now, dirtied_before);
   if (done.has_value()) {
     busy[static_cast<size_t>(host)] = true;
-    queue_.ScheduleAt(*done,
-                      [this, host, ram_tier](SimTime when) { SyncerStep(host, ram_tier, when); });
+    queue_.ScheduleEvent(*done, this, kEvSyncerStep,
+                         static_cast<uint64_t>(host) |
+                             (ram_tier ? (1ULL << 32) : 0));
   } else {
     busy[static_cast<size_t>(host)] = false;
   }
 }
 
+void Simulation::SyncerTick(bool ram_tier, SimTime now) {
+  // A repeating wake-up that kicks every idle host syncer of its tier.
+  // Wake-ups stop once every thread has finished: remaining dirty data
+  // would be flushed at shutdown in a real system, but no application is
+  // left to observe it.
+  if (live_threads_ == 0) {
+    return;
+  }
+  const auto& busy = ram_tier ? ram_syncer_busy_ : flash_syncer_busy_;
+  for (int h = 0; h < static_cast<int>(hosts_.size()); ++h) {
+    if (!busy[static_cast<size_t>(h)]) {
+      SyncerStep(h, ram_tier, now);
+    }
+  }
+  const WritebackPolicy policy = ram_tier ? config_.ram_policy : config_.flash_policy;
+  queue_.ScheduleEvent(now + PolicyPeriodNs(policy), this, kEvSyncerTick, ram_tier ? 1 : 0);
+}
+
 void Simulation::ScheduleSyncers() {
   ram_syncer_busy_.assign(hosts_.size(), false);
   flash_syncer_busy_.assign(hosts_.size(), false);
-  // Each periodic policy gets one repeating wake-up that kicks every idle
-  // host syncer. Wake-ups stop once every thread has finished: remaining
-  // dirty data would be flushed at shutdown in a real system, but no
-  // application is left to observe it.
   for (const bool ram_tier : {true, false}) {
     const WritebackPolicy policy = ram_tier ? config_.ram_policy : config_.flash_policy;
     if (!IsSyncerDriven(policy)) {
       continue;
     }
-    const SimDuration period = PolicyPeriodNs(policy);
-    auto tick = std::make_shared<std::function<void(SimTime)>>();
-    *tick = [this, period, ram_tier, tick](SimTime now) {
-      if (live_threads_ == 0) {
-        return;
-      }
-      const auto& busy = ram_tier ? ram_syncer_busy_ : flash_syncer_busy_;
-      for (int h = 0; h < static_cast<int>(hosts_.size()); ++h) {
-        if (!busy[static_cast<size_t>(h)]) {
-          SyncerStep(h, ram_tier, now);
-        }
-      }
-      queue_.ScheduleAt(now + period, *tick);
-    };
-    queue_.ScheduleAt(period, *tick);
+    queue_.ScheduleEvent(PolicyPeriodNs(policy), this, kEvSyncerTick, ram_tier ? 1 : 0);
   }
 }
 
@@ -247,8 +265,24 @@ Metrics Simulation::Run(TraceSource& source) {
   ran_ = true;
   source_ = &source;
   live_threads_ = NumThreads();
+  // Pre-size the event heap for the run's pending-event bound: one
+  // completion per live thread, one tick per tier, one step per host and
+  // tier, and one completion per background-writer window slot.
+  queue_.Reserve(static_cast<size_t>(NumThreads()) + 2 + 2 * hosts_.size() +
+                 hosts_.size() * static_cast<size_t>(config_.timing.writeback_window));
+  // Pre-size the per-thread backlogs from the trace's size hint. The
+  // backlog only holds read-ahead for threads whose ops arrive out of
+  // order, so cap the reservation; the ring still grows if a trace turns
+  // out badly skewed.
+  if (const uint64_t hint = source.SizeHint(); hint > 0) {
+    const uint64_t per_thread = std::min<uint64_t>(
+        hint / static_cast<uint64_t>(NumThreads()) + 1, 16384);
+    for (auto& backlog : backlog_) {
+      backlog.Reserve(static_cast<size_t>(per_thread));
+    }
+  }
   for (int t = 0; t < NumThreads(); ++t) {
-    queue_.ScheduleAt(0, [this, t](SimTime when) { StartThread(t, when); });
+    queue_.ScheduleEvent(0, this, kEvThreadStart, static_cast<uint64_t>(t));
   }
   ScheduleSyncers();
   queue_.RunToCompletion();
@@ -262,9 +296,11 @@ Metrics Simulation::Run(TraceSource& source) {
   metrics_.consistency_writes = directory_->measured_writes();
   metrics_.invalidating_writes = directory_->invalidating_writes();
   metrics_.invalidations = directory_->invalidations();
+  metrics_.index_rehashes = directory_->index_rehashes();
   uint64_t ftl_host_writes = 0;
   uint64_t ftl_programs = 0;
   for (auto& host : hosts_) {
+    metrics_.index_rehashes += host->stack->IndexRehashes() + host->flash_dev.index_rehashes();
     if (host->flash_dev.ftl_enabled()) {
       metrics_.ftl_enabled = true;
       ftl_host_writes += host->flash_dev.ftl()->host_writes();

@@ -14,7 +14,6 @@
 #ifndef FLASHSIM_SRC_CORE_SIMULATION_H_
 #define FLASHSIM_SRC_CORE_SIMULATION_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -30,11 +29,15 @@
 #include "src/device/remote_store.h"
 #include "src/sim/event_queue.h"
 #include "src/trace/source.h"
+#include "src/util/ring_deque.h"
 #include "src/util/time_series.h"
 
 namespace flashsim {
 
-class Simulation {
+// The simulator's recurring work is scheduled as typed event records (an
+// enum code plus a 64-bit arg) dispatched through HandleEvent's switch —
+// no per-event closures, no per-event allocation (see DESIGN.md §8).
+class Simulation : private EventHandler {
  public:
   explicit Simulation(const SimConfig& config);
   ~Simulation();
@@ -66,6 +69,17 @@ class Simulation {
   struct HostState;
   class HostResidencyBridge;
 
+  // Typed event codes. Args: kEvThreadStart carries the global thread
+  // index; kEvSyncerTick the tier (1 = RAM); kEvSyncerStep the host in the
+  // low 32 bits and the tier in bit 32.
+  enum EventCode : uint32_t {
+    kEvThreadStart = 0,
+    kEvSyncerTick = 1,
+    kEvSyncerStep = 2,
+  };
+
+  void HandleEvent(SimTime now, uint32_t code, uint64_t arg) override;
+
   int NumThreads() const { return config_.num_hosts * config_.threads_per_host; }
   int ThreadIndex(int host, int thread) const {
     return host * config_.threads_per_host + thread;
@@ -80,6 +94,7 @@ class Simulation {
 
   void StartThread(int thread_index, SimTime now);
   void ScheduleSyncers();
+  void SyncerTick(bool ram_tier, SimTime now);
   void SyncerStep(int host, bool ram_tier, SimTime now);
 
   SimConfig config_;
@@ -88,7 +103,7 @@ class Simulation {
   std::unique_ptr<Directory> directory_;
   std::vector<std::unique_ptr<HostState>> hosts_;
   TraceSource* source_ = nullptr;
-  std::vector<std::deque<TraceRecord>> backlog_;  // per thread index
+  std::vector<RingDeque<TraceRecord>> backlog_;  // per thread index
   bool source_exhausted_ = false;
   int live_threads_ = 0;
   std::vector<bool> ram_syncer_busy_;    // per host: syncer thread mid-flush

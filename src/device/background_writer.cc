@@ -19,6 +19,12 @@ void BackgroundWriter::EnqueueFilerWrite(SimTime now, bool then_flash, BlockKey 
   Pump(now);
 }
 
+void BackgroundWriter::HandleEvent(SimTime now, uint32_t /*code*/, uint64_t /*arg*/) {
+  --active_;
+  ++completed_;
+  Pump(now);
+}
+
 void BackgroundWriter::Pump(SimTime now) {
   while (active_ < window_ && !pending_.empty()) {
     const Pending item = pending_.front();
@@ -28,11 +34,7 @@ void BackgroundWriter::Pump(SimTime now) {
     if (item.then_flash && flash_ != nullptr) {
       flash_->Write(done, item.key);
     }
-    queue_->ScheduleAt(done, [this](SimTime when) {
-      --active_;
-      ++completed_;
-      Pump(when);
-    });
+    queue_->ScheduleEvent(done, this, /*code=*/0);
   }
 }
 

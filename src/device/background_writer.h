@@ -26,7 +26,7 @@
 
 namespace flashsim {
 
-class BackgroundWriter {
+class BackgroundWriter : public EventHandler {
  public:
   // `flash` may be null if no post-write flash refresh is ever requested.
   BackgroundWriter(EventQueue& queue, RemoteStore& remote, FlashDevice* flash, int window = 1);
@@ -35,6 +35,9 @@ class BackgroundWriter {
   // flash copy of `key` once the filer write completes. Never blocks the
   // caller.
   void EnqueueFilerWrite(SimTime now, bool then_flash, BlockKey key = 0);
+
+  // Typed-event dispatch: one in-flight filer write finished.
+  void HandleEvent(SimTime now, uint32_t code, uint64_t arg) override;
 
   uint64_t enqueued() const { return enqueued_; }
   uint64_t completed() const { return completed_; }

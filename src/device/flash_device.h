@@ -61,6 +61,9 @@ class FlashDevice {
   const Ftl* ftl() const { return ftl_.get(); }
 
   uint64_t reads_plus_writes() const { return resource_.requests(); }
+  // Load-triggered rehashes of the FTL key->LPN index (0 without FTL;
+  // EnableFtl reserves for every logical page).
+  uint64_t index_rehashes() const { return key_to_lpn_.growth_rehashes(); }
   SimDuration busy_time() const { return resource_.busy_time(); }
   const MultiResource& resource() const { return resource_; }
 

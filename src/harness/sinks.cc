@@ -210,6 +210,7 @@ JsonValue MetricsToJson(const Metrics& metrics) {
   json.Set("invalidating_writes", metrics.invalidating_writes);
   json.Set("invalidations", metrics.invalidations);
   json.Set("invalidation_messages", metrics.invalidation_messages);
+  json.Set("index_rehashes", metrics.index_rehashes);
   json.Set("end_time", static_cast<uint64_t>(metrics.end_time));
   json.Set("filer_fast_reads", metrics.filer_fast_reads);
   json.Set("filer_slow_reads", metrics.filer_slow_reads);
@@ -270,6 +271,11 @@ std::optional<Metrics> MetricsFromJson(const JsonValue& json) {
       ftl_wa == nullptr || !get_u64("ftl_erases", &metrics.ftl_erases) ||
       !get_u64("ftl_gc_relocations", &metrics.ftl_gc_relocations)) {
     return std::nullopt;
+  }
+  // Absent in snapshots written before the counter existed; default 0.
+  const JsonValue* rehashes = json.Get("index_rehashes");
+  if (rehashes != nullptr) {
+    metrics.index_rehashes = rehashes->AsUint();
   }
   metrics.end_time = static_cast<SimTime>(end_time);
   metrics.ftl_enabled = ftl_enabled->AsBool();

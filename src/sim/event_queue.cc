@@ -1,27 +1,125 @@
 #include "src/sim/event_queue.h"
 
-#include "src/util/assert.h"
+#include <algorithm>
 
 namespace flashsim {
 
-void EventQueue::ScheduleAt(SimTime when, Callback cb) {
-  FLASHSIM_CHECK(when >= now_);
-  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+EventQueue::~EventQueue() { DestroyPendingCallbacks(); }
+
+void EventQueue::DestroyPendingCallbacks() {
+  // Pending callback events own live objects (and possibly overflow
+  // chunks); destroy them so captures with nontrivial destructors are not
+  // leaked when a queue dies with events still scheduled (RunUntil).
+  for (const Entry& entry : heap_) {
+    if (entry.handler != nullptr) {
+      continue;
+    }
+    CallbackSlot& slot = SlotAt(static_cast<uint32_t>(entry.arg));
+    void* obj = slot.storage;
+    if (slot.overflow) {
+      std::memcpy(&obj, slot.storage, sizeof(void*));
+    }
+    slot.destroy(obj);
+  }
 }
 
 SimTime EventQueue::RunToCompletion() { return RunUntil(kSimTimeNever); }
 
 SimTime EventQueue::RunUntil(SimTime deadline) {
-  while (!heap_.empty() && heap_.top().when <= deadline) {
-    // Copy out before pop: the callback may schedule new events.
-    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
+  while (!heap_.empty() && heap_[0].when <= deadline) {
+    // Pop-then-invoke: the entry is a 40-byte POD copy, and the callback
+    // object (if any) stays in its pool slot — nothing is copied or moved
+    // per event, and the callback may freely schedule new events.
+    const Entry entry = heap_[0];
+    PopTop();
     now_ = entry.when;
     clock_.now = entry.when;
     ++events_processed_;
-    entry.cb(now_);
+    if (entry.handler != nullptr) {
+      entry.handler->HandleEvent(entry.when, entry.code, entry.arg);
+    } else {
+      InvokeAndRecycle(static_cast<uint32_t>(entry.arg), entry.when);
+    }
   }
   return now_;
+}
+
+void EventQueue::PopTop() {
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) {
+    return;
+  }
+  size_t i = 0;
+  for (;;) {
+    const size_t first_child = 4 * i + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t best = first_child;
+    const size_t end = std::min(first_child + 4, n);
+    for (size_t c = first_child + 1; c < end; ++c) {
+      if (Before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Before(heap_[best], last)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+void EventQueue::InvokeAndRecycle(uint32_t slot_index, SimTime now) {
+  CallbackSlot& slot = SlotAt(slot_index);
+  void* obj = slot.storage;
+  if (slot.overflow) {
+    std::memcpy(&obj, slot.storage, sizeof(void*));
+  }
+  // The invocation may schedule new events and grow the pool; slabs never
+  // move, so `slot` stays valid. This slot is off the free list until the
+  // FreeSlot below, so it cannot be reused mid-invocation.
+  slot.invoke(obj, now);
+  slot.destroy(obj);
+  if (slot.overflow) {
+    FreeOverflowChunk(obj);
+  }
+  FreeSlot(slot_index);
+}
+
+void EventQueue::AddSlab() {
+  FLASHSIM_CHECK(slabs_.size() < (kNoSlot / kSlotsPerSlab) - 1);
+  auto slab = std::make_unique<CallbackSlot[]>(kSlotsPerSlab);
+  const uint32_t base = static_cast<uint32_t>(slabs_.size() * kSlotsPerSlab);
+  for (size_t i = 0; i < kSlotsPerSlab; ++i) {
+    slab[i].next_free =
+        i + 1 < kSlotsPerSlab ? base + static_cast<uint32_t>(i) + 1 : free_slot_;
+  }
+  slabs_.push_back(std::move(slab));
+  free_slot_ = base;
+}
+
+void* EventQueue::AllocOverflowChunk() {
+  if (overflow_free_ == nullptr) {
+    auto slab = std::make_unique<OverflowChunk[]>(kOverflowChunksPerSlab);
+    for (size_t i = 0; i < kOverflowChunksPerSlab; ++i) {
+      FreeOverflowChunk(&slab[i]);
+    }
+    overflow_slabs_.push_back(std::move(slab));
+  }
+  OverflowChunk* chunk = overflow_free_;
+  std::memcpy(&overflow_free_, chunk->bytes, sizeof(overflow_free_));
+  return chunk;
+}
+
+void EventQueue::Reserve(size_t pending) {
+  heap_.reserve(pending);
+  while (callback_pool_slots() < pending) {
+    AddSlab();
+  }
 }
 
 }  // namespace flashsim

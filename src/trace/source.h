@@ -22,6 +22,10 @@ class TraceSource {
 
   // Restarts the stream from the beginning (same records again).
   virtual void Rewind() = 0;
+
+  // Optional upper-bound estimate of how many records the stream will
+  // yield, so consumers can pre-size per-thread backlogs; 0 = unknown.
+  virtual uint64_t SizeHint() const { return 0; }
 };
 
 // In-memory source, mainly for tests and tiny examples.
@@ -39,6 +43,8 @@ class VectorTraceSource : public TraceSource {
   }
 
   void Rewind() override { pos_ = 0; }
+
+  uint64_t SizeHint() const override { return records_.size(); }
 
  private:
   std::vector<TraceRecord> records_;

@@ -47,6 +47,10 @@ class SyntheticTraceSource : public TraceSource {
   bool Next(TraceRecord* record) override;
   void Rewind() override;
 
+  // Upper bound: every record covers at least one block, so the block
+  // budget bounds the record count.
+  uint64_t SizeHint() const override { return total_blocks_target_; }
+
   const SyntheticTraceSpec& spec() const { return spec_; }
   uint64_t working_set_blocks() const { return ws_blocks_; }
   uint64_t total_blocks_target() const { return total_blocks_target_; }

@@ -55,6 +55,12 @@ class FlatHashMap {
 
   bool Contains(uint64_t key) const { return Find(key) != nullptr; }
 
+  // Number of load-triggered rehashes since construction (Reserve and the
+  // initial sizing do not count). A nonzero value on a pre-sized table
+  // means the Reserve bound was wrong — surfaced via Metrics so capacity
+  // regressions are visible.
+  uint64_t growth_rehashes() const { return growth_rehashes_; }
+
   // Inserts or overwrites; returns a reference to the mapped value.
   V& Insert(uint64_t key, V value) {
     MaybeGrow();
@@ -182,6 +188,7 @@ class FlatHashMap {
 
   void MaybeGrow() {
     if ((size_ + 1) * 8 >= slots_.size() * kMaxLoadNumerator) {
+      ++growth_rehashes_;
       Rehash(slots_.size() * 2);
     }
   }
@@ -202,6 +209,7 @@ class FlatHashMap {
   std::vector<Slot> slots_;
   size_t mask_ = 0;
   size_t size_ = 0;
+  uint64_t growth_rehashes_ = 0;
 };
 
 }  // namespace flashsim

@@ -2,10 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace flashsim {
 namespace {
+
+// Appends each event's arg to a shared order vector.
+class RecordingHandler : public EventHandler {
+ public:
+  explicit RecordingHandler(std::vector<int>* order) : order_(order) {}
+
+  void HandleEvent(SimTime /*now*/, uint32_t /*code*/, uint64_t arg) override {
+    order_->push_back(static_cast<int>(arg));
+  }
+
+ private:
+  std::vector<int>* order_;
+};
 
 TEST(EventQueue, RunsInTimeOrder) {
   EventQueue queue;
@@ -99,6 +114,154 @@ TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
     EXPECT_DEATH(queue.ScheduleAt(50, [](SimTime) {}), "CHECK failed");
   });
   queue.RunToCompletion();
+}
+
+TEST(EventQueueDeathTest, TypedEventInThePastAborts) {
+  EventQueue queue;
+  std::vector<int> order;
+  RecordingHandler handler(&order);
+  queue.ScheduleAt(100, [&](SimTime) {
+    EXPECT_DEATH(queue.ScheduleEvent(50, &handler, 0, 0), "CHECK failed");
+  });
+  queue.RunToCompletion();
+}
+
+TEST(EventQueue, TypedEventsDispatchCodeAndArg) {
+  EventQueue queue;
+  struct Capture : EventHandler {
+    SimTime now = -1;
+    uint32_t code = 0;
+    uint64_t arg = 0;
+    void HandleEvent(SimTime n, uint32_t c, uint64_t a) override {
+      now = n;
+      code = c;
+      arg = a;
+    }
+  } capture;
+  queue.ScheduleEvent(42, &capture, 7, 0xdeadbeefULL);
+  queue.RunToCompletion();
+  EXPECT_EQ(capture.now, 42);
+  EXPECT_EQ(capture.code, 7u);
+  EXPECT_EQ(capture.arg, 0xdeadbeefULL);
+  EXPECT_EQ(queue.events_processed(), 1u);
+}
+
+TEST(EventQueue, TypedAndCallbackEventsShareOneTimeline) {
+  // Equal-time typed and callback events fire strictly in scheduling order.
+  EventQueue queue;
+  std::vector<int> order;
+  RecordingHandler handler(&order);
+  for (int i = 0; i < 100; ++i) {
+    if (i % 2 == 0) {
+      queue.ScheduleEvent(10, &handler, 0, static_cast<uint64_t>(i));
+    } else {
+      queue.ScheduleAt(10, [&order, i](SimTime) { order.push_back(i); });
+    }
+  }
+  queue.RunToCompletion();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+// The determinism contract at scale: 10k events all scheduled for the same
+// timestamp, from 16 parent callbacks that interleave by rescheduling
+// themselves at their own fire time, must run in exact FIFO-by-seq order on
+// the 4-ary heap. Alternates typed and callback children to cover both
+// representations in one total order.
+TEST(EventQueue, EqualTimeFifoAtScaleFromInterleavedCallbacks) {
+  constexpr int kChildren = 10000;
+  constexpr int kParents = 16;
+  constexpr SimTime kParentTime = 5;
+  constexpr SimTime kChildTime = 1000;
+
+  EventQueue queue;
+  std::vector<int> order;
+  RecordingHandler handler(&order);
+  int next_index = 0;
+
+  struct Parent {
+    EventQueue* queue;
+    RecordingHandler* handler;
+    std::vector<int>* order;
+    int* next_index;
+    void operator()(SimTime now) const {
+      if (*next_index >= kChildren) {
+        return;
+      }
+      const int index = (*next_index)++;
+      if (index % 2 == 0) {
+        queue->ScheduleEvent(kChildTime, handler, 0, static_cast<uint64_t>(index));
+      } else {
+        std::vector<int>* out = order;
+        queue->ScheduleAt(kChildTime, [out, index](SimTime) { out->push_back(index); });
+      }
+      // Rescheduling at the current time goes to the back of the
+      // equal-time line, interleaving the parents round-robin.
+      queue->ScheduleAt(now, *this);
+    }
+  };
+  for (int p = 0; p < kParents; ++p) {
+    queue.ScheduleAt(kParentTime, Parent{&queue, &handler, &order, &next_index});
+  }
+  queue.RunToCompletion();
+
+  ASSERT_EQ(order.size(), static_cast<size_t>(kChildren));
+  for (int i = 0; i < kChildren; ++i) {
+    ASSERT_EQ(order[static_cast<size_t>(i)], i) << "equal-time FIFO broken at " << i;
+  }
+}
+
+TEST(EventQueue, OverflowCallbacksRunAndRecycleChunks) {
+  // Captures larger than the inline budget take the slab-recycled overflow
+  // path; sequential scheduling must reuse one chunk, not accumulate.
+  EventQueue queue;
+  std::array<uint64_t, 12> big{};  // 96 bytes > kInlineCallbackBytes
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = i + 1;
+  }
+  static_assert(sizeof(big) > EventQueue::kInlineCallbackBytes);
+  uint64_t sum = 0;
+  for (int round = 0; round < 100; ++round) {
+    queue.ScheduleAfter(1, [big, &sum](SimTime) {
+      for (uint64_t v : big) {
+        sum += v;
+      }
+    });
+    queue.RunToCompletion();
+  }
+  EXPECT_EQ(sum, 78u * 100);
+  // One overflow slab's worth of chunks at most, recycled across rounds.
+  EXPECT_LE(queue.overflow_chunks_allocated(), 8u);
+}
+
+TEST(EventQueue, PendingCallbacksAreDestroyedWithTheQueue) {
+  // RunUntil can leave events queued; their captures (here a shared_ptr)
+  // must still be released when the queue dies.
+  auto token = std::make_shared<int>(42);
+  {
+    EventQueue queue;
+    queue.ScheduleAt(100, [token](SimTime) {});
+    std::array<char, 80> pad{};  // overflow-path capture, same contract
+    queue.ScheduleAt(200, [token, pad](SimTime) { (void)pad; });
+    queue.RunUntil(50);
+    EXPECT_EQ(token.use_count(), 3);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, ReservePreallocatesHeapAndPool) {
+  EventQueue queue;
+  queue.Reserve(100);
+  EXPECT_GE(queue.callback_pool_slots(), 100u);
+  std::vector<int> order;
+  RecordingHandler handler(&order);
+  for (int i = 0; i < 100; ++i) {
+    queue.ScheduleEvent(i, &handler, 0, static_cast<uint64_t>(i));
+  }
+  queue.RunToCompletion();
+  EXPECT_EQ(order.size(), 100u);
 }
 
 }  // namespace
