@@ -39,6 +39,9 @@ struct BenchOptions {
   uint64_t scale = kDefaultBenchScale;
   int jobs = 0;  // 0 = hardware concurrency
   OutputFormat out = OutputFormat::kAligned;
+  // Arms the invariant auditor for every experiment in the sweep
+  // (src/check/audit.h); slower, but every run self-checks.
+  bool audit = false;
 
   ParallelRunner MakeRunner() const { return ParallelRunner(jobs); }
 };
@@ -51,6 +54,8 @@ class BenchFlags {
     parser_.AddUint64("scale", "capacity scale divisor (timings unchanged)", &options_.scale);
     parser_.AddInt("jobs", "worker threads (default: hardware concurrency)", &options_.jobs);
     parser_.AddBool("csv", "shorthand for --out=csv", &csv_);
+    parser_.AddBool("audit", "run the invariant auditor during every experiment",
+                    &options_.audit);
     parser_.AddCustom("out", "table|csv|json", "output format", [this](const std::string& v) {
       const auto format = ParseOutputFormat(v);
       if (!format) {
@@ -97,6 +102,7 @@ inline std::vector<double> WorkingSetSweepGib() {
 inline ExperimentParams BaselineParams(const BenchOptions& options) {
   ExperimentParams params;
   params.scale = options.scale;
+  params.audit = options.audit;
   return params;
 }
 

@@ -51,6 +51,18 @@ class ResidencyListener {
 };
 
 // Counters every stack maintains; all are block-granularity events.
+//
+// Writeback accounting contract (audited by src/check/audit.h): every block
+// writeback increments filer_writebacks exactly once, at issue time, and
+// is routed to the filer in exactly one of two ways — a synchronous
+// RemoteStore::Write charged to the issuing path (counted here as
+// sync_filer_writes) or a BackgroundWriter enqueue (counted by the writer).
+// So at any instant, per host:
+//
+//   filer_writebacks == sync_filer_writes + writer.enqueued()
+//
+// holds regardless of which path (policy write-through, syncer flush, or
+// eviction-triggered writeback) issued the block.
 struct StackCounters {
   uint64_t ram_hits = 0;
   uint64_t flash_hits = 0;
@@ -60,6 +72,11 @@ struct StackCounters {
   uint64_t sync_flash_evictions = 0;
   uint64_t flash_installs = 0;     // data blocks written into the flash
   uint64_t filer_writebacks = 0;   // blocks written back to the filer
+  // Writebacks issued as synchronous RemoteStore writes (the rest drain
+  // through the background writer).
+  uint64_t sync_filer_writes = 0;
+
+  bool operator==(const StackCounters&) const = default;
 };
 
 struct StackConfig {

@@ -59,6 +59,7 @@ SimTime SubsetStackBase::Write(SimTime now, BlockKey key) {
     if (!HasFlash()) {
       // No caching at all: synchronous filer write.
       ++counters_.filer_writebacks;
+      ++counters_.sync_filer_writes;
       return remote_->Write(t);
     }
     return WriteWithoutRam(t, key);
@@ -106,7 +107,7 @@ SimTime SubsetStackBase::EnsureFlashSlot(SimTime t, BlockKey key, uint32_t* slot
     // was dirty, its newest data must reach the filer before the buffer is
     // reused — a synchronous eviction charged to the requester.
     bool ram_copy_dirty = false;
-    if (HasRam()) {
+    if (HasRam() && !test_break_subset_eviction_) {
       EvictedBlock ram_copy;
       if (ram_.Remove(evicted->key, &ram_copy)) {
         ram_copy_dirty = ram_copy.dirty;
@@ -115,6 +116,7 @@ SimTime SubsetStackBase::EnsureFlashSlot(SimTime t, BlockKey key, uint32_t* slot
     if (evicted->dirty || ram_copy_dirty) {
       ++counters_.sync_flash_evictions;
       ++counters_.filer_writebacks;
+      ++counters_.sync_filer_writes;
       t = remote_->Write(t);
     }
     flash_dev_->Trim(evicted->key);
@@ -152,6 +154,7 @@ SimTime SubsetStackBase::WritebackFromRam(SimTime t, BlockKey key, bool requeste
   if (!HasFlash()) {
     ++counters_.filer_writebacks;
     if (requester_waits) {
+      ++counters_.sync_filer_writes;
       return remote_->Write(t);
     }
     writer_->EnqueueFilerWrite(t, /*then_flash=*/false);
@@ -213,6 +216,7 @@ SimTime NaiveStack::ApplyFlashArrival(SimTime t, uint32_t slot, bool requester_w
     case WritebackPolicy::kSync:
       ++counters_.filer_writebacks;
       if (requester_waits) {
+        ++counters_.sync_filer_writes;
         return remote_->Write(t);
       }
       writer_->EnqueueFilerWrite(t, /*then_flash=*/false);
@@ -252,6 +256,7 @@ std::optional<SimTime> NaiveStack::FlushOneFlashBlock(SimTime now, SimTime dirti
   }
   flash_.MarkClean(slot);
   ++counters_.filer_writebacks;
+  ++counters_.sync_filer_writes;
   return remote_->Write(now);
 }
 
@@ -267,6 +272,7 @@ SimTime LookasideStack::WritebackFromRamToBelow(SimTime t, BlockKey key, bool re
     ++counters_.flash_installs;
     return t;
   }
+  ++counters_.sync_filer_writes;
   const SimTime tw = remote_->Write(t);
   const uint32_t slot = flash_.Lookup(key);
   if (slot != kInvalidSlot) {
@@ -278,6 +284,7 @@ SimTime LookasideStack::WritebackFromRamToBelow(SimTime t, BlockKey key, bool re
 
 SimTime LookasideStack::WriteWithoutRam(SimTime t, BlockKey key) {
   ++counters_.filer_writebacks;
+  ++counters_.sync_filer_writes;
   t = remote_->Write(t);
   uint32_t slot = kInvalidSlot;
   const SimTime after_evictions = EnsureFlashSlot(t, key, &slot);

@@ -40,6 +40,14 @@ class SubsetStackBase : public CacheStack {
   const LruBlockCache& ram_cache() const { return ram_; }
   const LruBlockCache& flash_cache() const { return flash_; }
 
+  // Test-only fault injection: when set, EnsureFlashSlot stops dropping the
+  // evicted flash block's RAM copy, deliberately breaking the RAM-subset
+  // invariant. Exists so the differential oracle and the invariant auditor
+  // can demonstrate they catch a real single-branch eviction bug
+  // (tests/differential_test.cc, tests/audit_test.cc). Never set outside
+  // tests.
+  void test_only_break_subset_eviction() { test_break_subset_eviction_ = true; }
+
  protected:
   bool HasRam() const { return ram_.capacity() > 0; }
   bool HasFlash() const { return flash_.capacity() > 0; }
@@ -73,6 +81,9 @@ class SubsetStackBase : public CacheStack {
 
   LruBlockCache ram_;
   LruBlockCache flash_;
+
+ private:
+  bool test_break_subset_eviction_ = false;
 };
 
 // Naive architecture: flash is a plain lower tier. Dirty RAM data is

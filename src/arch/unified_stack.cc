@@ -21,6 +21,7 @@ SimTime UnifiedStack::InsertBlock(SimTime t, BlockKey key, uint32_t* slot_out) {
       // its buffer is reused.
       ++counters_.sync_flash_evictions;
       ++counters_.filer_writebacks;
+      ++counters_.sync_filer_writes;
       t = remote_->Write(t);
     }
     flash_dev_->Trim(evicted->key);
@@ -71,6 +72,7 @@ SimTime UnifiedStack::Write(SimTime now, BlockKey key) {
     if (slot == kInvalidSlot) {
       // Zero-capacity cache: synchronous filer write.
       ++counters_.filer_writebacks;
+      ++counters_.sync_filer_writes;
       return remote_->Write(t);
     }
   } else {
@@ -88,6 +90,7 @@ SimTime UnifiedStack::Write(SimTime now, BlockKey key) {
   switch (PolicyFor(medium)) {
     case WritebackPolicy::kSync:
       ++counters_.filer_writebacks;
+      ++counters_.sync_filer_writes;
       t = remote_->Write(t);
       break;
     case WritebackPolicy::kAsync:
@@ -109,6 +112,7 @@ std::optional<SimTime> UnifiedStack::FlushOneOf(SimTime now, Medium medium,
   }
   cache_.MarkClean(slot);
   ++counters_.filer_writebacks;
+  ++counters_.sync_filer_writes;
   return remote_->Write(now);
 }
 

@@ -1,0 +1,581 @@
+#include "src/check/oracle.h"
+
+#include "src/arch/subset_stack.h"
+#include "src/arch/unified_stack.h"
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+OracleHit CollapseHitLevel(HitLevel level) {
+  switch (level) {
+    case HitLevel::kRam:
+      return OracleHit::kRam;
+    case HitLevel::kFlash:
+      return OracleHit::kFlash;
+    case HitLevel::kFilerFast:
+    case HitLevel::kFilerSlow:
+      return OracleHit::kFiler;
+  }
+  FLASHSIM_CHECK(false);
+  return OracleHit::kFiler;
+}
+
+const char* OracleHitName(OracleHit hit) {
+  switch (hit) {
+    case OracleHit::kRam:
+      return "ram";
+    case OracleHit::kFlash:
+      return "flash";
+    case OracleHit::kFiler:
+      return "filer";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------------------------
+// OracleLru
+
+OracleLru::OracleLru(uint64_t ram_slots, uint64_t flash_slots)
+    : ram_slots_(ram_slots), flash_slots_(flash_slots) {}
+
+uint64_t OracleLru::dirty_count() const { return dirty_[0].size() + dirty_[1].size(); }
+
+Medium OracleLru::MediumOf(BlockKey key) const {
+  const auto it = entries_.find(key);
+  FLASHSIM_CHECK(it != entries_.end());
+  return it->second.slot < ram_slots_ ? Medium::kRam : Medium::kFlash;
+}
+
+bool OracleLru::IsDirty(BlockKey key) const {
+  const auto it = entries_.find(key);
+  FLASHSIM_CHECK(it != entries_.end());
+  return it->second.dirty;
+}
+
+void OracleLru::Touch(BlockKey key) {
+  const auto it = entries_.find(key);
+  FLASHSIM_CHECK(it != entries_.end());
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+}
+
+uint32_t OracleLru::AllocateSlot() {
+  // Mirrors LruBlockCache: slots freed by Remove are reused LIFO, then
+  // never-used slots are handed out in index order.
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  return next_unused_++;
+}
+
+bool OracleLru::Insert(BlockKey key, std::optional<OracleBlock>* evicted) {
+  evicted->reset();
+  FLASHSIM_CHECK(entries_.count(key) == 0);
+  if (capacity() == 0) {
+    return false;
+  }
+  uint32_t slot;
+  if (size() < capacity()) {
+    slot = AllocateSlot();
+  } else {
+    // Full: evict the LRU block and reuse its buffer (§3.3: new blocks land
+    // in the least recently used buffer, whatever its medium).
+    const BlockKey victim = lru_.back();
+    OracleBlock removed;
+    FLASHSIM_CHECK(Remove(victim, &removed));
+    *evicted = removed;
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.slot = slot;
+  entry.dirty = false;
+  entry.lru_it = lru_.begin();
+  entries_[key] = entry;
+  return true;
+}
+
+bool OracleLru::Remove(BlockKey key, OracleBlock* removed) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  if (removed != nullptr) {
+    removed->key = key;
+    removed->medium = it->second.slot < ram_slots_ ? Medium::kRam : Medium::kFlash;
+    removed->dirty = it->second.dirty;
+  }
+  if (it->second.dirty) {
+    const size_t m = it->second.slot < ram_slots_ ? 0 : 1;
+    dirty_[m].erase(it->second.dirty_it);
+  }
+  lru_.erase(it->second.lru_it);
+  free_slots_.push_back(it->second.slot);
+  entries_.erase(it);
+  return true;
+}
+
+void OracleLru::MarkDirty(BlockKey key) {
+  const auto it = entries_.find(key);
+  FLASHSIM_CHECK(it != entries_.end());
+  if (it->second.dirty) {
+    return;  // re-dirtying keeps the original dirty-list position
+  }
+  const size_t m = it->second.slot < ram_slots_ ? 0 : 1;
+  dirty_[m].push_back(key);
+  it->second.dirty_it = std::prev(dirty_[m].end());
+  it->second.dirty = true;
+}
+
+void OracleLru::MarkClean(BlockKey key) {
+  const auto it = entries_.find(key);
+  FLASHSIM_CHECK(it != entries_.end());
+  if (!it->second.dirty) {
+    return;
+  }
+  const size_t m = it->second.slot < ram_slots_ ? 0 : 1;
+  dirty_[m].erase(it->second.dirty_it);
+  it->second.dirty = false;
+}
+
+std::optional<BlockKey> OracleLru::OldestDirty(Medium medium) const {
+  const auto& list = dirty_[static_cast<size_t>(medium)];
+  if (list.empty()) {
+    return std::nullopt;
+  }
+  return list.front();
+}
+
+std::vector<OracleBlock> OracleLru::SnapshotLru() const {
+  std::vector<OracleBlock> out;
+  out.reserve(entries_.size());
+  for (const BlockKey key : lru_) {
+    const Entry& entry = entries_.at(key);
+    out.push_back({key, entry.slot < ram_slots_ ? Medium::kRam : Medium::kFlash, entry.dirty});
+  }
+  return out;
+}
+
+std::vector<BlockKey> OracleLru::SnapshotDirty(Medium medium) const {
+  const auto& list = dirty_[static_cast<size_t>(medium)];
+  return std::vector<BlockKey>(list.begin(), list.end());
+}
+
+// ----------------------------------------------------------------------------
+// Subset oracles (naive, lookaside) — mirror src/arch/subset_stack.cc.
+
+namespace {
+
+class OracleSubsetBase : public OracleStack {
+ public:
+  explicit OracleSubsetBase(const StackConfig& config)
+      : config_(config),
+        ram_(config.ram_blocks, 0),
+        flash_(0, config.flash_blocks) {}
+
+  OracleHit Read(BlockKey key) override {
+    if (HasRam() && ram_.Contains(key)) {
+      ram_.Touch(key);
+      ++counters_.ram_hits;
+      return OracleHit::kRam;
+    }
+    if (HasFlash() && flash_.Contains(key)) {
+      flash_.Touch(key);
+      ++counters_.flash_hits;
+      if (HasRam()) {
+        InstallInRam(key);
+      }
+      return OracleHit::kFlash;
+    }
+    ++counters_.filer_reads;
+    if (HasFlash()) {
+      EnsureFlashSlot(key);
+      ++counters_.flash_installs;
+    }
+    if (HasRam()) {
+      InstallInRam(key);
+    }
+    return OracleHit::kFiler;
+  }
+
+  void Write(BlockKey key) override {
+    if (!HasRam()) {
+      if (!HasFlash()) {
+        ++counters_.filer_writebacks;
+        ++counters_.sync_filer_writes;
+        return;
+      }
+      WriteWithoutRam(key);
+      return;
+    }
+    if (!ram_.Contains(key)) {
+      if (HasFlash()) {
+        EnsureFlashSlot(key);
+      }
+      InstallInRam(key);
+    } else {
+      ram_.Touch(key);
+    }
+    switch (config_.ram_policy) {
+      case WritebackPolicy::kSync:
+        WritebackFromRam(key, /*requester_waits=*/true);
+        break;
+      case WritebackPolicy::kAsync:
+        WritebackFromRam(key, /*requester_waits=*/false);
+        break;
+      default:
+        ram_.MarkDirty(key);
+        break;
+    }
+  }
+
+  bool FlushOneRamBlock() override {
+    const std::optional<BlockKey> key = ram_.OldestDirty(Medium::kRam);
+    if (!key.has_value()) {
+      return false;
+    }
+    ram_.MarkClean(*key);
+    WritebackFromRam(*key, /*requester_waits=*/true);
+    return true;
+  }
+
+  void Invalidate(BlockKey key) override {
+    if (HasRam()) {
+      ram_.Remove(key);
+    }
+    if (HasFlash()) {
+      flash_.Remove(key);
+    }
+  }
+
+  bool Holds(BlockKey key) const override {
+    return HasFlash() ? flash_.Contains(key) : ram_.Contains(key);
+  }
+
+  uint64_t RamResident() const override { return ram_.size(); }
+  uint64_t FlashResident() const override { return flash_.size(); }
+  uint64_t DirtyBlocks() const override { return ram_.dirty_count() + flash_.dirty_count(); }
+
+  Snapshot TakeSnapshot() const override {
+    Snapshot snap;
+    snap.caches = {ram_.SnapshotLru(), flash_.SnapshotLru()};
+    snap.dirty_orders = {ram_.SnapshotDirty(Medium::kRam), flash_.SnapshotDirty(Medium::kFlash)};
+    return snap;
+  }
+
+ protected:
+  bool HasRam() const { return ram_.capacity() > 0; }
+  bool HasFlash() const { return flash_.capacity() > 0; }
+
+  void EnsureFlashSlot(BlockKey key) {
+    if (flash_.Contains(key)) {
+      flash_.Touch(key);
+      return;
+    }
+    std::optional<OracleBlock> evicted;
+    flash_.Insert(key, &evicted);
+    if (evicted.has_value()) {
+      // Subset maintenance: the evicted block leaves RAM too; if either
+      // copy was dirty the requester pays a synchronous filer write.
+      bool ram_copy_dirty = false;
+      if (HasRam()) {
+        OracleBlock ram_copy;
+        if (ram_.Remove(evicted->key, &ram_copy)) {
+          ram_copy_dirty = ram_copy.dirty;
+        }
+      }
+      if (evicted->dirty || ram_copy_dirty) {
+        ++counters_.sync_flash_evictions;
+        ++counters_.filer_writebacks;
+        ++counters_.sync_filer_writes;
+      }
+    }
+  }
+
+  void InstallInRam(BlockKey key) {
+    std::optional<OracleBlock> evicted;
+    ram_.Insert(key, &evicted);
+    if (evicted.has_value() && evicted->dirty) {
+      ++counters_.sync_ram_evictions;
+      WritebackFromRam(evicted->key, /*requester_waits=*/true);
+    }
+  }
+
+  void WritebackFromRam(BlockKey key, bool requester_waits) {
+    if (!HasFlash()) {
+      ++counters_.filer_writebacks;
+      if (requester_waits) {
+        ++counters_.sync_filer_writes;
+      }
+      return;
+    }
+    WritebackFromRamToBelow(key, requester_waits);
+  }
+
+  virtual void WritebackFromRamToBelow(BlockKey key, bool requester_waits) = 0;
+  virtual void WriteWithoutRam(BlockKey key) = 0;
+
+  StackConfig config_;
+  OracleLru ram_;
+  OracleLru flash_;
+};
+
+class OracleNaive : public OracleSubsetBase {
+ public:
+  using OracleSubsetBase::OracleSubsetBase;
+
+  bool FlushOneFlashBlock() override {
+    const std::optional<BlockKey> key = flash_.OldestDirty(Medium::kFlash);
+    if (!key.has_value()) {
+      return false;
+    }
+    flash_.MarkClean(*key);
+    ++counters_.filer_writebacks;
+    ++counters_.sync_filer_writes;
+    return true;
+  }
+
+ protected:
+  void ApplyFlashArrival(BlockKey key, bool requester_waits) {
+    switch (config_.flash_policy) {
+      case WritebackPolicy::kSync:
+        ++counters_.filer_writebacks;
+        if (requester_waits) {
+          ++counters_.sync_filer_writes;
+        }
+        break;
+      case WritebackPolicy::kAsync:
+        ++counters_.filer_writebacks;
+        break;
+      default:
+        flash_.MarkDirty(key);
+        break;
+    }
+  }
+
+  void WritebackFromRamToBelow(BlockKey key, bool requester_waits) override {
+    // The subset invariant guarantees the flash copy exists.
+    FLASHSIM_CHECK(flash_.Contains(key));
+    ++counters_.flash_installs;
+    ApplyFlashArrival(key, requester_waits);
+  }
+
+  void WriteWithoutRam(BlockKey key) override {
+    EnsureFlashSlot(key);
+    ++counters_.flash_installs;
+    ApplyFlashArrival(key, /*requester_waits=*/true);
+  }
+};
+
+class OracleLookaside : public OracleSubsetBase {
+ public:
+  using OracleSubsetBase::OracleSubsetBase;
+
+  bool FlushOneFlashBlock() override {
+    // Flash never holds dirty data.
+    FLASHSIM_CHECK(flash_.dirty_count() == 0);
+    return false;
+  }
+
+ protected:
+  void WritebackFromRamToBelow(BlockKey key, bool requester_waits) override {
+    ++counters_.filer_writebacks;
+    if (!requester_waits) {
+      // Enqueued on the background writer; the flash refresh is counted at
+      // enqueue time (mirrors LookasideStack).
+      ++counters_.flash_installs;
+      return;
+    }
+    ++counters_.sync_filer_writes;
+    if (flash_.Contains(key)) {
+      ++counters_.flash_installs;
+    }
+  }
+
+  void WriteWithoutRam(BlockKey key) override {
+    ++counters_.filer_writebacks;
+    ++counters_.sync_filer_writes;
+    EnsureFlashSlot(key);
+    ++counters_.flash_installs;
+  }
+};
+
+// ----------------------------------------------------------------------------
+// Unified oracle — mirrors src/arch/unified_stack.cc.
+
+class OracleUnified : public OracleStack {
+ public:
+  explicit OracleUnified(const StackConfig& config)
+      : config_(config), cache_(config.ram_blocks, config.flash_blocks) {}
+
+  OracleHit Read(BlockKey key) override {
+    if (cache_.Contains(key)) {
+      cache_.Touch(key);
+      if (cache_.MediumOf(key) == Medium::kRam) {
+        ++counters_.ram_hits;
+        return OracleHit::kRam;
+      }
+      ++counters_.flash_hits;
+      return OracleHit::kFlash;
+    }
+    ++counters_.filer_reads;
+    const std::optional<Medium> medium = InsertBlock(key);
+    if (medium.has_value() && *medium == Medium::kFlash) {
+      ++counters_.flash_installs;
+    }
+    return OracleHit::kFiler;
+  }
+
+  void Write(BlockKey key) override {
+    std::optional<Medium> medium;
+    if (!cache_.Contains(key)) {
+      medium = InsertBlock(key);
+      if (!medium.has_value()) {
+        // Zero-capacity cache: synchronous filer write.
+        ++counters_.filer_writebacks;
+        ++counters_.sync_filer_writes;
+        return;
+      }
+    } else {
+      cache_.Touch(key);
+      medium = cache_.MediumOf(key);
+    }
+    if (*medium == Medium::kFlash) {
+      ++counters_.flash_installs;
+    }
+    const WritebackPolicy policy =
+        *medium == Medium::kRam ? config_.ram_policy : config_.flash_policy;
+    switch (policy) {
+      case WritebackPolicy::kSync:
+        ++counters_.filer_writebacks;
+        ++counters_.sync_filer_writes;
+        break;
+      case WritebackPolicy::kAsync:
+        ++counters_.filer_writebacks;
+        break;
+      default:
+        cache_.MarkDirty(key);
+        break;
+    }
+  }
+
+  bool FlushOneRamBlock() override { return FlushOneOf(Medium::kRam); }
+  bool FlushOneFlashBlock() override { return FlushOneOf(Medium::kFlash); }
+
+  void Invalidate(BlockKey key) override { cache_.Remove(key); }
+  bool Holds(BlockKey key) const override { return cache_.Contains(key); }
+
+  uint64_t RamResident() const override { return CountMedium(Medium::kRam); }
+  uint64_t FlashResident() const override { return CountMedium(Medium::kFlash); }
+  uint64_t DirtyBlocks() const override { return cache_.dirty_count(); }
+
+  Snapshot TakeSnapshot() const override {
+    Snapshot snap;
+    snap.caches = {cache_.SnapshotLru()};
+    snap.dirty_orders = {cache_.SnapshotDirty(Medium::kRam),
+                         cache_.SnapshotDirty(Medium::kFlash)};
+    return snap;
+  }
+
+ private:
+  std::optional<Medium> InsertBlock(BlockKey key) {
+    std::optional<OracleBlock> evicted;
+    if (!cache_.Insert(key, &evicted)) {
+      return std::nullopt;
+    }
+    if (evicted.has_value() && evicted->dirty) {
+      ++counters_.sync_flash_evictions;
+      ++counters_.filer_writebacks;
+      ++counters_.sync_filer_writes;
+    }
+    return cache_.MediumOf(key);
+  }
+
+  bool FlushOneOf(Medium medium) {
+    const std::optional<BlockKey> key = cache_.OldestDirty(medium);
+    if (!key.has_value()) {
+      return false;
+    }
+    cache_.MarkClean(*key);
+    ++counters_.filer_writebacks;
+    ++counters_.sync_filer_writes;
+    return true;
+  }
+
+  uint64_t CountMedium(Medium medium) const {
+    uint64_t count = 0;
+    for (const OracleBlock& block : cache_.SnapshotLru()) {
+      if (block.medium == medium) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  StackConfig config_;
+  OracleLru cache_;
+};
+
+std::vector<OracleBlock> SnapLru(const LruBlockCache& cache) {
+  std::vector<OracleBlock> out;
+  out.reserve(cache.size());
+  cache.ForEach([&](BlockKey key, Medium medium, bool dirty) {
+    out.push_back({key, medium, dirty});
+  });
+  return out;
+}
+
+std::vector<BlockKey> SnapDirty(const LruBlockCache& cache, Medium want) {
+  std::vector<BlockKey> out;
+  cache.ForEachDirty([&](BlockKey key, Medium medium) {
+    if (medium == want) {
+      out.push_back(key);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<OracleStack> MakeOracleStack(Architecture arch, const StackConfig& config) {
+  // The oracle models exact LRU only (§5: the paper fixes LRU throughout).
+  FLASHSIM_CHECK(config.replacement == ReplacementPolicy::kLru);
+  switch (arch) {
+    case Architecture::kNaive:
+      return std::make_unique<OracleNaive>(config);
+    case Architecture::kLookaside:
+      return std::make_unique<OracleLookaside>(config);
+    case Architecture::kUnified:
+      return std::make_unique<OracleUnified>(config);
+  }
+  FLASHSIM_CHECK(false);
+  return nullptr;
+}
+
+OracleStack::Snapshot SnapshotRealStack(Architecture arch, const CacheStack& stack) {
+  OracleStack::Snapshot snap;
+  switch (arch) {
+    case Architecture::kNaive:
+    case Architecture::kLookaside: {
+      const auto& subset = static_cast<const SubsetStackBase&>(stack);
+      snap.caches = {SnapLru(subset.ram_cache()), SnapLru(subset.flash_cache())};
+      snap.dirty_orders = {SnapDirty(subset.ram_cache(), Medium::kRam),
+                           SnapDirty(subset.flash_cache(), Medium::kFlash)};
+      break;
+    }
+    case Architecture::kUnified: {
+      const auto& unified = static_cast<const UnifiedStack&>(stack);
+      snap.caches = {SnapLru(unified.cache())};
+      snap.dirty_orders = {SnapDirty(unified.cache(), Medium::kRam),
+                           SnapDirty(unified.cache(), Medium::kFlash)};
+      break;
+    }
+  }
+  return snap;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,160 @@
+// Reference oracle for the cache stacks: deliberately slow, obviously
+// correct re-implementations of the three architectures (§3.3) used for
+// differential testing (src/check/differential.h).
+//
+// Where the real stacks are built for speed — intrusive slot arrays, flat
+// hash indexes, per-medium dirty threading — the oracle uses std::map and
+// std::list and spells every architecture rule out longhand. It models no
+// timing at all: the observable outcome of an operation is where it was
+// served (OracleHit), the cumulative StackCounters deltas, and the
+// resulting cache state (residency, dirty sets, LRU order). A divergence
+// between oracle and real stack on any of those after any operation is a
+// bug in one of them.
+//
+// Slot discipline: the unified architecture's medium assignment depends on
+// *which buffer* a block lands in (slots [0, ram_slots) are RAM, §3.3
+// "placed in the least recently used buffer"), so the oracle replicates
+// LruBlockCache's slot allocation order exactly — slots freed by Remove are
+// reused LIFO, then never-used slots sequentially, then the evicted
+// victim's slot. That contract is documented in DESIGN.md §9; if
+// LruBlockCache ever changes it, the differential suite fails immediately.
+#ifndef FLASHSIM_SRC_CHECK_ORACLE_H_
+#define FLASHSIM_SRC_CHECK_ORACLE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/arch/cache_stack.h"
+#include "src/arch/stack_factory.h"
+#include "src/trace/record.h"
+
+namespace flashsim {
+
+// Where the oracle served a read. The real stacks additionally split filer
+// reads into fast/slow — a timing distinction the oracle does not model, so
+// comparisons collapse HitLevel::kFilerFast/kFilerSlow to kFiler.
+enum class OracleHit : uint8_t {
+  kRam = 0,
+  kFlash = 1,
+  kFiler = 2,
+};
+
+OracleHit CollapseHitLevel(HitLevel level);
+const char* OracleHitName(OracleHit hit);
+
+// One resident block in LRU-order snapshots.
+struct OracleBlock {
+  BlockKey key = 0;
+  Medium medium = Medium::kRam;
+  bool dirty = false;
+
+  bool operator==(const OracleBlock&) const = default;
+};
+
+// std::map + std::list model of LruBlockCache (exact LRU only).
+class OracleLru {
+ public:
+  OracleLru(uint64_t ram_slots, uint64_t flash_slots);
+
+  uint64_t capacity() const { return ram_slots_ + flash_slots_; }
+  uint64_t size() const { return entries_.size(); }
+  uint64_t dirty_count() const;
+  uint64_t dirty_count(Medium medium) const {
+    return dirty_[static_cast<size_t>(medium)].size();
+  }
+
+  bool Contains(BlockKey key) const { return entries_.count(key) != 0; }
+  Medium MediumOf(BlockKey key) const;
+  bool IsDirty(BlockKey key) const;
+
+  // Moves key (must be present) to the MRU end.
+  void Touch(BlockKey key);
+
+  // Inserts key (must be absent) clean at the MRU end, evicting the LRU
+  // block into *evicted when full. Returns false for zero-capacity caches.
+  bool Insert(BlockKey key, std::optional<OracleBlock>* evicted);
+
+  // Removes key if present; fills *removed when given. Returns presence.
+  bool Remove(BlockKey key, OracleBlock* removed = nullptr);
+
+  void MarkDirty(BlockKey key);   // re-dirtying keeps the original position
+  void MarkClean(BlockKey key);
+
+  // Oldest-dirtied resident block of `medium`, or nullopt.
+  std::optional<BlockKey> OldestDirty(Medium medium) const;
+
+  // Resident blocks in MRU -> LRU order.
+  std::vector<OracleBlock> SnapshotLru() const;
+  // Dirty blocks of `medium`, oldest first.
+  std::vector<BlockKey> SnapshotDirty(Medium medium) const;
+
+ private:
+  struct Entry {
+    uint32_t slot = 0;
+    bool dirty = false;
+    std::list<BlockKey>::iterator lru_it;
+    std::list<BlockKey>::iterator dirty_it;
+  };
+
+  uint32_t AllocateSlot();  // free list (LIFO), then fresh slots in order
+
+  uint64_t ram_slots_ = 0;
+  uint64_t flash_slots_ = 0;
+  std::map<BlockKey, Entry> entries_;
+  std::list<BlockKey> lru_;       // front = MRU, back = LRU
+  std::list<BlockKey> dirty_[2];  // per medium; front = oldest dirtied
+  std::vector<uint32_t> free_slots_;
+  uint32_t next_unused_ = 0;
+};
+
+// Reference model of one host's cache stack. Mirrors the counter and
+// state-transition semantics of src/arch/{subset,unified}_stack.cc exactly;
+// see each override for the rule it implements.
+class OracleStack {
+ public:
+  virtual ~OracleStack() = default;
+
+  virtual OracleHit Read(BlockKey key) = 0;
+  virtual void Write(BlockKey key) = 0;
+  // Mirrors FlushOne{Ram,Flash}Block with the default dirtied_before:
+  // returns whether a block was written back.
+  virtual bool FlushOneRamBlock() = 0;
+  virtual bool FlushOneFlashBlock() = 0;
+  virtual void Invalidate(BlockKey key) = 0;
+  virtual bool Holds(BlockKey key) const = 0;
+
+  virtual uint64_t RamResident() const = 0;
+  virtual uint64_t FlashResident() const = 0;
+  virtual uint64_t DirtyBlocks() const = 0;
+
+  // Full observable cache state: per-cache LRU snapshots ("ram"/"flash"
+  // caches for the subset stacks, the single chain for unified) and dirty
+  // orders. Used for the differential runner's periodic deep comparison.
+  struct Snapshot {
+    std::vector<std::vector<OracleBlock>> caches;      // MRU -> LRU each
+    std::vector<std::vector<BlockKey>> dirty_orders;   // oldest first each
+
+    bool operator==(const Snapshot&) const = default;
+  };
+  virtual Snapshot TakeSnapshot() const = 0;
+
+  const StackCounters& counters() const { return counters_; }
+
+ protected:
+  StackCounters counters_;
+};
+
+// Factory matching MakeCacheStack.
+std::unique_ptr<OracleStack> MakeOracleStack(Architecture arch, const StackConfig& config);
+
+// Builds the equivalent Snapshot from a real stack so the two sides can be
+// compared field-for-field.
+OracleStack::Snapshot SnapshotRealStack(Architecture arch, const CacheStack& stack);
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_CHECK_ORACLE_H_

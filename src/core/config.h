@@ -49,6 +49,13 @@ struct SimConfig {
   // the trace spec, so timing randomness and workload are independent).
   uint64_t seed = 42;
 
+  // Invariant-audit stride (src/check/audit.h). 0 disables auditing.
+  // 1 runs the cheap accounting checks and the full structural audit after
+  // every trace record. N > 1 runs the cheap checks every record and the
+  // structural audit every N records (and once at end of run). Building
+  // with -DFLASHSIM_AUDIT=ON forces a default stride when this is 0.
+  uint64_t audit_stride = 0;
+
   uint64_t ram_blocks() const { return ram_bytes / block_bytes; }
   uint64_t flash_blocks() const { return flash_bytes / block_bytes; }
 

@@ -34,6 +34,7 @@ SimConfig BuildSimConfig(const ExperimentParams& params) {
   config.timing = params.timing;
   config.invalidation_traffic = params.invalidation_traffic;
   config.seed = params.seed;
+  config.audit_stride = params.audit ? 64 : 0;
   return config;
 }
 

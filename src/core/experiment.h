@@ -46,6 +46,10 @@ struct ExperimentParams {
   bool shared_working_set = true;
   bool skip_warmup = false;  // cold-start runs (Fig 10)
 
+  // Arms the invariant auditor (src/check/audit.h) for the run: cheap
+  // accounting checks every record, structural scans every 64 records.
+  bool audit = false;
+
   uint64_t seed = 1;
 
   // Optional: measured read latencies are also streamed into this series

@@ -49,6 +49,18 @@ struct Metrics {
   uint64_t filer_writes = 0;
   StackCounters stack_totals;  // summed over hosts
 
+  // Writeback-pipeline accounting, summed over hosts (the conservation
+  // identities audited by src/check/audit.h):
+  //   stack_totals.filer_writebacks ==
+  //       stack_totals.sync_filer_writes + writebacks_enqueued
+  //   writebacks_enqueued == writebacks_completed + writebacks_in_flight
+  uint64_t writebacks_enqueued = 0;
+  uint64_t writebacks_completed = 0;
+  uint64_t writebacks_in_flight = 0;  // still queued or on the wire at end
+  // Dirty blocks still resident in any cache at end of run (never written
+  // back: no application was left to observe the flush).
+  uint64_t dirty_resident = 0;
+
   // FTL mode only (timing.use_ftl): device-level aggregates over hosts.
   bool ftl_enabled = false;
   double ftl_write_amplification = 1.0;

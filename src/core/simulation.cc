@@ -70,6 +70,16 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
     hosts_.push_back(std::make_unique<HostState>(config_, queue_, *filer_, *directory_, h));
   }
   backlog_.resize(static_cast<size_t>(NumThreads()));
+#ifdef FLASHSIM_AUDIT
+  // Audit builds force the auditor on with a stride that keeps even scaled
+  // benches feasible under sanitizers; an explicit stride still wins.
+  if (config_.audit_stride == 0) {
+    config_.audit_stride = 512;
+  }
+#endif
+  if (config_.audit_stride > 0) {
+    auditor_ = std::make_unique<InvariantAuditor>(config_.arch, config_.num_hosts);
+  }
 }
 
 Simulation::~Simulation() = default;
@@ -80,6 +90,10 @@ NetworkLink& Simulation::link(int host) { return hosts_[static_cast<size_t>(host
 
 FlashDevice& Simulation::flash_device(int host) {
   return hosts_[static_cast<size_t>(host)]->flash_dev;
+}
+
+const BackgroundWriter& Simulation::writer(int host) const {
+  return hosts_[static_cast<size_t>(host)]->writer;
 }
 
 bool Simulation::NextOpFor(int thread_index, TraceRecord* record) {
@@ -110,11 +124,15 @@ bool Simulation::NextOpFor(int thread_index, TraceRecord* record) {
 }
 
 SimTime Simulation::ExecuteOp(SimTime now, const TraceRecord& record) {
-  HostState& host = *hosts_[record.host % config_.num_hosts];
+  const int host_id = record.host % config_.num_hosts;
+  HostState& host = *hosts_[static_cast<size_t>(host_id)];
   const bool measured = !record.warmup;
   SimTime t = now;
   for (uint32_t i = 0; i < record.block_count; ++i) {
     const BlockKey key = MakeBlockKey(record.file_id, record.block + i);
+    if (auditor_ != nullptr) {
+      auditor_->OnBlockOp(host_id, record.op == TraceOp::kRead);
+    }
     if (record.op == TraceOp::kRead) {
       HitLevel level = HitLevel::kRam;
       t = host.stack->Read(t, key, &level);
@@ -129,7 +147,6 @@ SimTime Simulation::ExecuteOp(SimTime now, const TraceRecord& record) {
       }
       // A new version exists: stale copies elsewhere are invalidated
       // instantly with global knowledge (§3.8).
-      const int host_id = record.host % config_.num_hosts;
       const uint64_t stale = directory_->OnBlockWrite(host_id, key, measured);
       if (stale != 0) {
         SimTime ack_deadline = t;
@@ -171,6 +188,9 @@ void Simulation::StartThread(int thread_index, SimTime now) {
     return;
   }
   const SimTime done = ExecuteOp(now, record);
+  if (auditor_ != nullptr) {
+    AuditAfterRecord(record.host % config_.num_hosts);
+  }
   if (done > last_op_completion_) {
     last_op_completion_ = done;
   }
@@ -204,6 +224,25 @@ void Simulation::HandleEvent(SimTime now, uint32_t code, uint64_t arg) {
       return;
   }
   FLASHSIM_CHECK(false);  // unreachable: unknown event code
+}
+
+void Simulation::AuditAfterRecord(int host) {
+  HostState& hs = *hosts_[static_cast<size_t>(host)];
+  auditor_->AuditCounters(host, *hs.stack, hs.writer);
+  if (++records_since_structural_audit_ >= config_.audit_stride) {
+    records_since_structural_audit_ = 0;
+    AuditStructures();
+  }
+}
+
+void Simulation::AuditStructures() {
+  std::vector<InvariantAuditor::HostRefs> refs;
+  refs.reserve(hosts_.size());
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    auditor_->AuditStructure(static_cast<int>(h), *hosts_[h]->stack, directory_.get());
+    refs.push_back({hosts_[h]->stack.get(), &hosts_[h]->writer});
+  }
+  auditor_->AuditGlobal(refs, *filer_);
 }
 
 void Simulation::SyncerStep(int host, bool ram_tier, SimTime now) {
@@ -286,6 +325,15 @@ Metrics Simulation::Run(TraceSource& source) {
   }
   ScheduleSyncers();
   queue_.RunToCompletion();
+  if (auditor_ != nullptr) {
+    // Final audit: at quiescence the writer pipelines have drained, so the
+    // conservation identities must hold exactly.
+    for (int h = 0; h < static_cast<int>(hosts_.size()); ++h) {
+      auditor_->AuditCounters(h, *hosts_[static_cast<size_t>(h)]->stack,
+                              hosts_[static_cast<size_t>(h)]->writer);
+    }
+    AuditStructures();
+  }
   // End of run = completion of the last application operation; trailing
   // syncer wake-ups that found nothing to do are not workload time.
   metrics_.end_time = last_op_completion_;
@@ -316,6 +364,11 @@ Metrics Simulation::Run(TraceSource& source) {
     metrics_.stack_totals.sync_flash_evictions += c.sync_flash_evictions;
     metrics_.stack_totals.flash_installs += c.flash_installs;
     metrics_.stack_totals.filer_writebacks += c.filer_writebacks;
+    metrics_.stack_totals.sync_filer_writes += c.sync_filer_writes;
+    metrics_.writebacks_enqueued += host->writer.enqueued();
+    metrics_.writebacks_completed += host->writer.completed();
+    metrics_.writebacks_in_flight += host->writer.pending();
+    metrics_.dirty_resident += host->stack->DirtyBlocks();
   }
   if (ftl_host_writes > 0) {
     metrics_.ftl_write_amplification =

@@ -19,6 +19,7 @@
 
 #include "src/arch/cache_stack.h"
 #include "src/arch/stack_factory.h"
+#include "src/check/audit.h"
 #include "src/consistency/directory.h"
 #include "src/core/config.h"
 #include "src/core/metrics.h"
@@ -53,10 +54,14 @@ class Simulation : private EventHandler {
   CacheStack& stack(int host);
   NetworkLink& link(int host);
   FlashDevice& flash_device(int host);
+  const BackgroundWriter& writer(int host) const;
   Filer& filer() { return *filer_; }
   const SimConfig& config() const { return config_; }
   const Directory& directory() const { return *directory_; }
   uint64_t events_processed() const { return queue_.events_processed(); }
+  // Non-null when SimConfig::audit_stride (or FLASHSIM_AUDIT) enabled the
+  // invariant auditor for this run.
+  const InvariantAuditor* auditor() const { return auditor_.get(); }
 
   // Audits every host's cache structures; aborts on violation.
   void CheckInvariants() const;
@@ -97,6 +102,12 @@ class Simulation : private EventHandler {
   void SyncerTick(bool ram_tier, SimTime now);
   void SyncerStep(int host, bool ram_tier, SimTime now);
 
+  // Audit hooks (no-ops unless auditor_ is armed): the cheap accounting
+  // checks after every record, the structural scans every audit_stride
+  // records and at end of run.
+  void AuditAfterRecord(int host);
+  void AuditStructures();
+
   SimConfig config_;
   EventQueue queue_;
   std::unique_ptr<Filer> filer_;
@@ -112,6 +123,8 @@ class Simulation : private EventHandler {
   TimeSeriesRecorder* read_series_ = nullptr;
   Metrics metrics_;
   bool ran_ = false;
+  std::unique_ptr<InvariantAuditor> auditor_;
+  uint64_t records_since_structural_audit_ = 0;
 };
 
 }  // namespace flashsim

@@ -41,6 +41,9 @@ class BackgroundWriter : public EventHandler {
 
   uint64_t enqueued() const { return enqueued_; }
   uint64_t completed() const { return completed_; }
+  // Writebacks whose filer write has been issued (completed or in the
+  // window); enqueued() - started() are still queued behind the window.
+  uint64_t started() const { return completed_ + static_cast<uint64_t>(active_); }
   uint64_t pending() const { return pending_.size() + static_cast<uint64_t>(active_); }
   uint64_t max_pending() const { return max_pending_; }
   int window() const { return window_; }

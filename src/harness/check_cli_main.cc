@@ -1,0 +1,121 @@
+// check_cli: differential-oracle driver for the cache stacks.
+//
+// Runs every (architecture x RAM-policy x flash-policy) combination — or a
+// single configuration selected by flags — of the real stacks against the
+// reference oracle over a seeded random schedule, and exits nonzero on the
+// first divergence. Divergences are minimized and dumped as replayable
+// .diverge files; --replay=FILE re-runs one.
+//
+//   check_cli                          # full 3 x 7 x 7 grid, 10k ops each
+//   check_cli --arch=naive --ram_policy=p1 --flash_policy=n --ops=100000
+//   check_cli --hosts=4 --seed=7       # multi-host invalidation checking
+//   check_cli --replay=out.diverge     # re-run a dumped divergence
+//
+// New stack or policy code must keep this clean (see CONTRIBUTING.md).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/check/differential.h"
+#include "src/harness/flags.h"
+
+namespace flashsim {
+namespace {
+
+int Main(int argc, char** argv) {
+  DiffConfig base;
+  base.num_ops = 10000;
+  std::string arch_name;
+  std::string ram_policy_name;
+  std::string flash_policy_name;
+  std::string replay_path;
+  std::string diverge_dir = "diverge";
+  bool inject_bug = false;
+
+  FlagParser parser;
+  parser.AddCustom("arch", "naive|lookaside|unified", "run only this architecture",
+                   [&](const std::string& v) {
+                     arch_name = v;
+                     return ParseArchitecture(v).has_value();
+                   });
+  parser.AddCustom("ram_policy", "s|a|p1|p5|p15|p30|n", "run only this RAM policy",
+                   [&](const std::string& v) {
+                     ram_policy_name = v;
+                     return ParsePolicy(v).has_value();
+                   });
+  parser.AddCustom("flash_policy", "s|a|p1|p5|p15|p30|n", "run only this flash policy",
+                   [&](const std::string& v) {
+                     flash_policy_name = v;
+                     return ParsePolicy(v).has_value();
+                   });
+  parser.AddUint64("ops", "operations per configuration", &base.num_ops);
+  parser.AddUint64("seed", "schedule seed", &base.seed);
+  parser.AddInt("hosts", "number of hosts (multi-host invalidation)", &base.num_hosts);
+  parser.AddUint64("ram_blocks", "RAM cache capacity in blocks", &base.ram_blocks);
+  parser.AddUint64("flash_blocks", "flash cache capacity in blocks", &base.flash_blocks);
+  parser.AddUint64("keys", "block key space size", &base.key_space);
+  parser.AddString("diverge_dir", "directory for .diverge dumps", &diverge_dir);
+  parser.AddString("replay", "re-run a dumped .diverge file and exit", &replay_path);
+  parser.AddBool("inject_bug", "flip the test-only subset-eviction bug (must diverge)",
+                 &inject_bug);
+  parser.ParseOrExit(argc, argv);
+
+  if (!replay_path.empty()) {
+    const DiffResult result = ReplayDivergeFile(replay_path);
+    if (result.ok) {
+      std::printf("replay %s: no divergence (%llu ops)\n", replay_path.c_str(),
+                  static_cast<unsigned long long>(result.ops_executed));
+      return 0;
+    }
+    std::printf("replay %s: DIVERGED at %s\n", replay_path.c_str(), result.message.c_str());
+    return 1;
+  }
+
+  base.inject_subset_eviction_bug = inject_bug;
+  const std::vector<Architecture> archs =
+      arch_name.empty() ? std::vector<Architecture>(kAllArchitectures.begin(),
+                                                    kAllArchitectures.end())
+                        : std::vector<Architecture>{*ParseArchitecture(arch_name)};
+  const std::vector<WritebackPolicy> ram_policies =
+      ram_policy_name.empty()
+          ? std::vector<WritebackPolicy>(kAllWritebackPolicies.begin(),
+                                         kAllWritebackPolicies.end())
+          : std::vector<WritebackPolicy>{*ParsePolicy(ram_policy_name)};
+  const std::vector<WritebackPolicy> flash_policies =
+      flash_policy_name.empty()
+          ? std::vector<WritebackPolicy>(kAllWritebackPolicies.begin(),
+                                         kAllWritebackPolicies.end())
+          : std::vector<WritebackPolicy>{*ParsePolicy(flash_policy_name)};
+
+  int configs = 0;
+  int divergences = 0;
+  for (Architecture arch : archs) {
+    for (WritebackPolicy ram_policy : ram_policies) {
+      for (WritebackPolicy flash_policy : flash_policies) {
+        DiffConfig config = base;
+        config.arch = arch;
+        config.ram_policy = ram_policy;
+        config.flash_policy = flash_policy;
+        ++configs;
+        const DiffResult result = RunDifferential(config, diverge_dir);
+        if (!result.ok) {
+          ++divergences;
+          std::printf("DIVERGED [%s]: %s\n", config.Summary().c_str(),
+                      result.message.c_str());
+        }
+      }
+    }
+  }
+  if (divergences == 0) {
+    std::printf("ok: %d configurations, %llu ops each, zero divergences\n", configs,
+                static_cast<unsigned long long>(base.num_ops));
+    return inject_bug ? 1 : 0;  // an injected bug that nothing caught is a failure
+  }
+  std::printf("%d/%d configurations diverged\n", divergences, configs);
+  return inject_bug ? 0 : 1;  // with --inject_bug, divergence is the expected outcome
+}
+
+}  // namespace
+}  // namespace flashsim
+
+int main(int argc, char** argv) { return flashsim::Main(argc, argv); }

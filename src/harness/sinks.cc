@@ -169,6 +169,7 @@ JsonValue CountersToJson(const StackCounters& counters) {
   json.Set("sync_flash_evictions", counters.sync_flash_evictions);
   json.Set("flash_installs", counters.flash_installs);
   json.Set("filer_writebacks", counters.filer_writebacks);
+  json.Set("sync_filer_writes", counters.sync_filer_writes);
   return json;
 }
 
@@ -181,6 +182,8 @@ bool JsonToCounters(const JsonValue& json, StackCounters* out) {
     *field = value->AsUint();
     return true;
   };
+  // Absent in snapshots written before the counter existed; default 0.
+  get("sync_filer_writes", &out->sync_filer_writes);
   return get("ram_hits", &out->ram_hits) && get("flash_hits", &out->flash_hits) &&
          get("filer_reads", &out->filer_reads) &&
          get("sync_ram_evictions", &out->sync_ram_evictions) &&
@@ -216,6 +219,10 @@ JsonValue MetricsToJson(const Metrics& metrics) {
   json.Set("filer_slow_reads", metrics.filer_slow_reads);
   json.Set("filer_writes", metrics.filer_writes);
   json.Set("stack_totals", CountersToJson(metrics.stack_totals));
+  json.Set("writebacks_enqueued", metrics.writebacks_enqueued);
+  json.Set("writebacks_completed", metrics.writebacks_completed);
+  json.Set("writebacks_in_flight", metrics.writebacks_in_flight);
+  json.Set("dirty_resident", metrics.dirty_resident);
   json.Set("ftl_enabled", metrics.ftl_enabled);
   json.Set("ftl_write_amplification", metrics.ftl_write_amplification);
   json.Set("ftl_erases", metrics.ftl_erases);
@@ -272,11 +279,15 @@ std::optional<Metrics> MetricsFromJson(const JsonValue& json) {
       !get_u64("ftl_gc_relocations", &metrics.ftl_gc_relocations)) {
     return std::nullopt;
   }
-  // Absent in snapshots written before the counter existed; default 0.
+  // Absent in snapshots written before the counters existed; default 0.
   const JsonValue* rehashes = json.Get("index_rehashes");
   if (rehashes != nullptr) {
     metrics.index_rehashes = rehashes->AsUint();
   }
+  get_u64("writebacks_enqueued", &metrics.writebacks_enqueued);
+  get_u64("writebacks_completed", &metrics.writebacks_completed);
+  get_u64("writebacks_in_flight", &metrics.writebacks_in_flight);
+  get_u64("dirty_resident", &metrics.dirty_resident);
   metrics.end_time = static_cast<SimTime>(end_time);
   metrics.ftl_enabled = ftl_enabled->AsBool();
   metrics.ftl_write_amplification = ftl_wa->AsDouble();

@@ -109,14 +109,27 @@ CsvImportResult ImportBlockCsv(const std::string& csv_path, const CsvImportOptio
     auto [volume_it, volume_new] =
         volume_ids.emplace(volume, static_cast<uint32_t>(volume_ids.size()));
 
+    const uint64_t first_block = offset / options.block_bytes;
+    // Reject rows whose byte range overflows uint64 or whose block span falls
+    // outside what a BlockKey/TraceRecord can represent.
+    const bool range_overflows = offset > UINT64_MAX - (size - 1);
+    const uint64_t last_block = range_overflows ? 0 : (offset + size - 1) / options.block_bytes;
+    if (range_overflows || last_block > kMaxBlockInFile ||
+        last_block - first_block + 1 > 0xffffffffULL) {
+      ++result.skipped;
+      if (result.first_bad_line == 0) {
+        result.first_bad_line = line_number;
+      }
+      continue;
+    }
+
     TraceRecord record;
     record.op = op;
     record.host = host_it->second;
     record.thread = 0;  // block traces carry no thread ids
     record.file_id = volume_it->second;
-    record.block = offset / options.block_bytes;
-    const uint64_t last_block = (offset + size - 1) / options.block_bytes;
-    record.block_count = static_cast<uint32_t>(last_block - record.block + 1);
+    record.block = first_block;
+    record.block_count = static_cast<uint32_t>(last_block - first_block + 1);
     records->push_back(record);
     ++result.imported;
   }

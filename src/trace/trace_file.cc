@@ -30,6 +30,9 @@ void EncodeRecord(const TraceRecord& r, unsigned char out[kBinaryRecordSize]) {
   }
 }
 
+// Rejects records whose fields fall outside the ranges MakeBlockKey packs
+// into a key; a corrupt or truncated-then-resynced byte stream otherwise
+// produces keys that alias other files' blocks.
 bool DecodeRecord(const unsigned char in[kBinaryRecordSize], TraceRecord* r) {
   if (in[0] > 1) {
     return false;
@@ -50,7 +53,8 @@ bool DecodeRecord(const unsigned char in[kBinaryRecordSize], TraceRecord* r) {
   for (int i = 3; i >= 0; --i) {
     r->block_count = (r->block_count << 8) | in[18 + i];
   }
-  return r->block_count > 0;
+  return r->block_count > 0 && r->file_id <= kMaxFileId && r->block <= kMaxBlockInFile &&
+         r->block + r->block_count - 1 <= kMaxBlockInFile;
 }
 
 }  // namespace
@@ -119,8 +123,9 @@ bool FileTraceSource::NextText(TraceRecord* record) {
     const int n = std::sscanf(p, " %c %llu %llu %llu %llu %llu %7s", &op_char, &host, &thread,
                               &file_id, &block, &count, warm);
     const bool op_ok = op_char == 'R' || op_char == 'W' || op_char == 'r' || op_char == 'w';
-    if (n < 6 || !op_ok || count == 0 || host > 0xffff || thread > 0xffff ||
-        file_id > kMaxFileId || block > kMaxBlockInFile) {
+    if (n < 6 || !op_ok || count == 0 || count > 0xffffffffULL || host > 0xffff ||
+        thread > 0xffff || file_id > kMaxFileId || block > kMaxBlockInFile ||
+        block + count - 1 > kMaxBlockInFile) {
       if (error_line_ == 0) {
         error_line_ = line_;
       }

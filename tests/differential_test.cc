@@ -1,0 +1,167 @@
+#include "src/check/differential.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "src/tracegen/generator.h"
+#include "src/util/units.h"
+
+namespace flashsim {
+namespace {
+
+// The acceptance bar for the differential suite: every architecture x
+// (RAM policy, flash policy) pair, 10k random ops, zero divergence. ~4 s
+// for all 147 configurations.
+TEST(Differential, FullPolicyGridTenThousandOps) {
+  for (Architecture arch : kAllArchitectures) {
+    for (WritebackPolicy ram_policy : kAllWritebackPolicies) {
+      for (WritebackPolicy flash_policy : kAllWritebackPolicies) {
+        DiffConfig config;
+        config.arch = arch;
+        config.ram_policy = ram_policy;
+        config.flash_policy = flash_policy;
+        config.num_ops = 10000;
+        const DiffResult result = RunDifferential(config);
+        EXPECT_TRUE(result.ok) << config.Summary() << ": " << result.message;
+      }
+    }
+  }
+}
+
+// Multi-host runs exercise the consistency directory: writes on one host
+// must invalidate exactly the hosts the oracle says are resident.
+TEST(Differential, MultiHostInvalidation) {
+  for (Architecture arch : kAllArchitectures) {
+    DiffConfig config;
+    config.arch = arch;
+    config.num_hosts = 4;
+    config.key_space = 256;  // force cross-host sharing
+    config.num_ops = 10000;
+    config.seed = 11;
+    const DiffResult result = RunDifferential(config);
+    EXPECT_TRUE(result.ok) << config.Summary() << ": " << result.message;
+  }
+}
+
+TEST(Differential, TraceDrivenSchedule) {
+  FsModelParams fs_params;
+  fs_params.total_bytes = 64 * kMiB;
+  const FsModel fs(fs_params, 33);
+  SyntheticTraceSpec spec;
+  spec.working_set_bytes = 8 * kMiB;
+  spec.num_hosts = 2;
+  spec.seed = 9;
+  SyntheticTraceSource source(fs, spec);
+
+  DiffConfig config;
+  config.num_hosts = 2;
+  const std::vector<DiffOp> ops = ScheduleFromTrace(source, config.num_hosts, 5000);
+  ASSERT_GT(ops.size(), 1000u);
+  for (Architecture arch : kAllArchitectures) {
+    config.arch = arch;
+    const DiffResult result = RunSchedule(config, ops);
+    EXPECT_TRUE(result.ok) << config.Summary() << ": " << result.message;
+  }
+}
+
+// Geometry note: the subset-eviction bug only fires when flash evicts a
+// block that is still RAM-resident, so RAM must cover most of flash.
+DiffConfig BugConfig() {
+  DiffConfig config;
+  config.arch = Architecture::kNaive;
+  config.ram_blocks = 32;
+  config.flash_blocks = 40;
+  config.key_space = 64;
+  config.num_ops = 3000;
+  config.inject_subset_eviction_bug = true;
+  return config;
+}
+
+// The oracle must catch a real, deliberately-introduced eviction bug: the
+// test seam makes EnsureFlashSlot skip dropping the evicted block's RAM
+// copy, silently breaking RAM ⊆ flash.
+TEST(Differential, InjectedSubsetEvictionBugDiverges) {
+  for (Architecture arch : {Architecture::kNaive, Architecture::kLookaside}) {
+    DiffConfig config = BugConfig();
+    config.arch = arch;
+    const DiffResult result = RunDifferential(config);
+    EXPECT_FALSE(result.ok) << config.Summary() << ": injected bug not caught";
+    EXPECT_FALSE(result.message.empty());
+  }
+}
+
+TEST(Differential, DivergenceMinimizesAndRoundTrips) {
+  const DiffConfig config = BugConfig();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "flashsim_diff_test";
+  std::filesystem::remove_all(dir);
+
+  const DiffResult result = RunDifferential(config, dir.string());
+  ASSERT_FALSE(result.ok);
+  ASSERT_FALSE(result.diverge_file.empty());
+  ASSERT_TRUE(std::filesystem::exists(result.diverge_file));
+
+  // The dumped file must load back to the same configuration and re-diverge.
+  DiffConfig loaded;
+  std::vector<DiffOp> ops;
+  ASSERT_TRUE(LoadDivergeFile(result.diverge_file, &loaded, &ops));
+  EXPECT_EQ(loaded.arch, config.arch);
+  EXPECT_EQ(loaded.ram_blocks, config.ram_blocks);
+  EXPECT_EQ(loaded.flash_blocks, config.flash_blocks);
+  EXPECT_EQ(loaded.key_space, config.key_space);
+  EXPECT_TRUE(loaded.inject_subset_eviction_bug);
+  // Minimization shrank the schedule: the replay prefix ends at the
+  // divergent op, and greedy chunk removal only ever removes ops.
+  EXPECT_LT(ops.size(), config.num_ops);
+  EXPECT_GT(ops.size(), 0u);
+
+  const DiffResult replay = ReplayDivergeFile(result.diverge_file);
+  EXPECT_FALSE(replay.ok);
+  EXPECT_FALSE(replay.message.empty());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Differential, MinimizedScheduleStillDiverges) {
+  const DiffConfig config = BugConfig();
+  const std::vector<DiffOp> full = GenerateSchedule(config);
+  const DiffResult first = RunSchedule(config, full);
+  ASSERT_FALSE(first.ok);
+  std::vector<DiffOp> failing(full.begin(),
+                              full.begin() + static_cast<long>(first.op_index) + 1);
+  const std::vector<DiffOp> minimized = MinimizeSchedule(config, failing);
+  EXPECT_LE(minimized.size(), failing.size());
+  EXPECT_FALSE(RunSchedule(config, minimized).ok);
+}
+
+TEST(Differential, ReplayMissingFileFailsCleanly) {
+  const DiffResult result = ReplayDivergeFile("/nonexistent/no.diverge");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("load:"), std::string::npos);
+}
+
+TEST(Differential, SameSeedSameSchedule) {
+  DiffConfig config;
+  config.num_ops = 500;
+  const std::vector<DiffOp> a = GenerateSchedule(config);
+  const std::vector<DiffOp> b = GenerateSchedule(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].host, b[i].host);
+    EXPECT_EQ(a[i].key, b[i].key);
+  }
+  config.seed = 2;
+  const std::vector<DiffOp> c = GenerateSchedule(config);
+  bool any_different = c.size() != a.size();
+  for (size_t i = 0; !any_different && i < a.size(); ++i) {
+    any_different = a[i].kind != c[i].kind || a[i].key != c[i].key;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace flashsim

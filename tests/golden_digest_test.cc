@@ -1,0 +1,147 @@
+// Golden-digest regression for the two headline figure sweeps: the full
+// fig02 architecture x policy grid and the fig08 write-ratio sweep. Each
+// sweep's result rows are hashed (FNV-1a) and compared against a digest
+// committed in tests/golden/, both serial and on 4 worker threads — so a
+// run catches (a) any silent behavior change in the simulation and (b) any
+// ordering or determinism break in the parallel runner.
+//
+// Scales deviate from the benches' default (ISSUE satellite 1 names
+// --scale=64): the committed digests use fig02 at scale=2048 and fig08 at
+// scale=512, which keep the test a few seconds on one core instead of
+// minutes. The digest covers the same sweep axes either way.
+//
+// To regenerate after an intentional behavior change:
+//   build/tests/golden_digest_test --gtest_also_run_disabled_tests \
+//       --gtest_filter='*PrintDigests*'
+// and copy the printed lines into tests/golden/digests.txt.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace flashsim {
+namespace {
+
+uint64_t Fnv1a(const std::string& text, uint64_t hash) {
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// Runs the sweep on `jobs` workers and digests every row in emit order.
+uint64_t DigestSweep(const Sweep& sweep, int jobs,
+                     const std::function<std::vector<std::string>(
+                         const SweepPoint&, const ExperimentResult&)>& row) {
+  uint64_t hash = 14695981039346656037ULL;
+  ParallelRunner(jobs).RunOrdered(
+      sweep.Expand(), [](const SweepPoint& point) { return RunExperiment(point.params); },
+      [&](const SweepPoint& point, const ExperimentResult& result) {
+        for (const std::string& cell : row(point, result)) {
+          hash = Fnv1a(cell, Fnv1a("|", hash));
+        }
+      });
+  return hash;
+}
+
+// The same sweep + row set fig02_policy_grid.cc prints, at scale 2048.
+Sweep Fig02Sweep() {
+  ExperimentParams base;
+  base.scale = 2048;
+  base.working_set_gib = 80.0;
+  Sweep sweep(base);
+  sweep.AddAxis("arch", ArchitectureAxis())
+      .AddAxis("ram_policy", RamPolicyAxis(AllWritebackPolicies()))
+      .AddAxis("flash_policy", FlashPolicyAxis(AllWritebackPolicies()));
+  return sweep;
+}
+
+std::vector<std::string> Fig02Row(const SweepPoint& point, const ExperimentResult& result) {
+  const Metrics& m = result.metrics;
+  return {point.label(0), point.label(1), point.label(2), Table::Cell(m.mean_read_us(), 2),
+          Table::Cell(m.mean_write_us(), 2), Table::Cell(100.0 * m.flash_hit_rate(), 1),
+          Table::Cell(m.stack_totals.sync_ram_evictions +
+                      m.stack_totals.sync_flash_evictions)};
+}
+
+// The same sweep + row set fig08_write_ratio.cc prints, at scale 512.
+Sweep Fig08Sweep() {
+  ExperimentParams base;
+  base.scale = 512;
+  std::vector<Sweep::AxisValue> write_axis;
+  for (int write_pct = 0; write_pct <= 100; write_pct += 10) {
+    write_axis.push_back({Table::Cell(static_cast<int64_t>(write_pct)),
+                          [write_pct](ExperimentParams& p) {
+                            p.write_fraction = write_pct / 100.0;
+                          }});
+  }
+  Sweep sweep(base);
+  sweep.AddAxis("write_pct", std::move(write_axis))
+      .AddAxis("ws_gib", WorkingSetAxis({60.0, 80.0}));
+  return sweep;
+}
+
+std::vector<std::string> Fig08Row(const SweepPoint& point, const ExperimentResult& result) {
+  const Metrics& m = result.metrics;
+  return {point.label(0), point.label(1), Table::Cell(m.mean_read_us(), 2),
+          Table::Cell(m.mean_write_us(), 2), Table::Cell(m.stack_totals.sync_ram_evictions),
+          Table::Cell(100.0 * m.invalidation_rate(), 1)};
+}
+
+std::map<std::string, uint64_t> LoadGoldenDigests() {
+  const std::string path = std::string(FLASHSIM_SOURCE_DIR) + "/tests/golden/digests.txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::map<std::string, uint64_t> digests;
+  std::string name;
+  std::string hex;
+  while (in >> name >> hex) {
+    digests[name] = std::stoull(hex, nullptr, 16);
+  }
+  return digests;
+}
+
+struct SweepCase {
+  const char* name;
+  Sweep sweep;
+  std::function<std::vector<std::string>(const SweepPoint&, const ExperimentResult&)> row;
+};
+
+std::vector<SweepCase> GoldenCases() {
+  std::vector<SweepCase> cases;
+  cases.push_back({"fig02_scale2048", Fig02Sweep(), Fig02Row});
+  cases.push_back({"fig08_scale512", Fig08Sweep(), Fig08Row});
+  return cases;
+}
+
+TEST(GoldenDigest, SerialMatchesCommittedAndParallelMatchesSerial) {
+  const std::map<std::string, uint64_t> golden = LoadGoldenDigests();
+  for (const SweepCase& c : GoldenCases()) {
+    const uint64_t serial = DigestSweep(c.sweep, 1, c.row);
+    const uint64_t parallel = DigestSweep(c.sweep, 4, c.row);
+    EXPECT_EQ(serial, parallel) << c.name << ": --jobs=4 diverged from serial";
+    auto it = golden.find(c.name);
+    ASSERT_NE(it, golden.end()) << c.name << " missing from tests/golden/digests.txt";
+    EXPECT_EQ(serial, it->second)
+        << c.name << ": digest changed — if intentional, regenerate via the "
+        << "PrintDigests test (see file header)";
+  }
+}
+
+// Regeneration helper, skipped in normal runs.
+TEST(GoldenDigest, DISABLED_PrintDigests) {
+  for (const SweepCase& c : GoldenCases()) {
+    std::printf("%s %016llx\n", c.name,
+                static_cast<unsigned long long>(DigestSweep(c.sweep, 1, c.row)));
+  }
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,144 @@
+#include "src/check/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/record.h"
+
+namespace flashsim {
+namespace {
+
+BlockKey Key(uint64_t block) { return MakeBlockKey(0, block); }
+
+TEST(OracleLru, EvictsLeastRecentlyUsed) {
+  OracleLru lru(2, 0);
+  std::optional<OracleBlock> evicted;
+  EXPECT_TRUE(lru.Insert(Key(1), &evicted));
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_TRUE(lru.Insert(Key(2), &evicted));
+  EXPECT_FALSE(evicted.has_value());
+  lru.Touch(Key(1));  // order now: 1 (MRU), 2 (LRU)
+  EXPECT_TRUE(lru.Insert(Key(3), &evicted));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, Key(2));
+  EXPECT_TRUE(lru.Contains(Key(1)));
+  EXPECT_TRUE(lru.Contains(Key(3)));
+}
+
+TEST(OracleLru, ZeroCapacityRejectsInserts) {
+  OracleLru lru(0, 0);
+  std::optional<OracleBlock> evicted;
+  EXPECT_FALSE(lru.Insert(Key(1), &evicted));
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(OracleLru, DirtyListIsFifoAndSurvivesTouch) {
+  OracleLru lru(4, 0);
+  std::optional<OracleBlock> evicted;
+  for (uint64_t b = 1; b <= 3; ++b) {
+    lru.Insert(Key(b), &evicted);
+  }
+  lru.MarkDirty(Key(2));
+  lru.MarkDirty(Key(1));
+  lru.MarkDirty(Key(2));  // re-dirtying keeps the original queue position
+  lru.Touch(Key(2));      // LRU movement must not reorder the dirty FIFO
+  ASSERT_TRUE(lru.OldestDirty(Medium::kRam).has_value());
+  EXPECT_EQ(*lru.OldestDirty(Medium::kRam), Key(2));
+  lru.MarkClean(Key(2));
+  EXPECT_EQ(*lru.OldestDirty(Medium::kRam), Key(1));
+  lru.MarkClean(Key(1));
+  EXPECT_FALSE(lru.OldestDirty(Medium::kRam).has_value());
+  EXPECT_EQ(lru.dirty_count(), 0u);
+}
+
+// The slot contract the unified oracle depends on (DESIGN.md §9): freed
+// slots are reused LIFO before never-used slots, so a block re-inserted
+// after a Remove lands in the slot — and therefore the medium — the real
+// LruBlockCache would give it.
+TEST(OracleLru, SlotReuseIsLifo) {
+  OracleLru lru(1, 1);  // slot 0 = RAM, slot 1 = flash
+  std::optional<OracleBlock> evicted;
+  lru.Insert(Key(1), &evicted);  // slot 0
+  lru.Insert(Key(2), &evicted);  // slot 1
+  EXPECT_EQ(lru.MediumOf(Key(1)), Medium::kRam);
+  EXPECT_EQ(lru.MediumOf(Key(2)), Medium::kFlash);
+  lru.Remove(Key(1));
+  lru.Insert(Key(3), &evicted);  // must reuse freed slot 0 -> RAM
+  EXPECT_EQ(lru.MediumOf(Key(3)), Medium::kRam);
+}
+
+StackConfig SmallConfig() {
+  StackConfig config;
+  config.ram_blocks = 2;
+  config.flash_blocks = 4;
+  return config;
+}
+
+TEST(OracleStack, NaiveKeepsRamSubsetOfFlash) {
+  auto oracle = MakeOracleStack(Architecture::kNaive, SmallConfig());
+  for (uint64_t b = 0; b < 16; ++b) {
+    oracle->Read(Key(b));
+    oracle->Write(Key(b + 100));
+    // Every RAM-resident block must also be flash-resident; spot-check via
+    // the snapshot after each op.
+    const auto snapshot = oracle->TakeSnapshot();
+    ASSERT_EQ(snapshot.caches.size(), 2u);
+    for (const OracleBlock& ram_block : snapshot.caches[0]) {
+      bool in_flash = false;
+      for (const OracleBlock& flash_block : snapshot.caches[1]) {
+        in_flash = in_flash || flash_block.key == ram_block.key;
+      }
+      EXPECT_TRUE(in_flash) << "RAM block not in flash after op " << b;
+    }
+  }
+  EXPECT_LE(oracle->RamResident(), 2u);
+  EXPECT_LE(oracle->FlashResident(), 4u);
+}
+
+TEST(OracleStack, LookasideFlashNeverDirty) {
+  auto oracle = MakeOracleStack(Architecture::kLookaside, SmallConfig());
+  for (uint64_t b = 0; b < 32; ++b) {
+    oracle->Write(Key(b % 6));
+    oracle->Read(Key((b + 3) % 6));
+    const auto snapshot = oracle->TakeSnapshot();
+    ASSERT_EQ(snapshot.caches.size(), 2u);
+    for (const OracleBlock& flash_block : snapshot.caches[1]) {
+      EXPECT_FALSE(flash_block.dirty);
+    }
+    ASSERT_EQ(snapshot.dirty_orders.size(), 2u);
+    EXPECT_TRUE(snapshot.dirty_orders[1].empty());
+  }
+}
+
+TEST(OracleStack, UnifiedSingleResidency) {
+  auto oracle = MakeOracleStack(Architecture::kUnified, SmallConfig());
+  for (uint64_t b = 0; b < 32; ++b) {
+    oracle->Read(Key(b % 10));
+    oracle->Write(Key((b + 5) % 10));
+    EXPECT_LE(oracle->RamResident() + oracle->FlashResident(), 6u);
+  }
+  // A resident block is held exactly once; re-reading it is a hit in
+  // whichever medium its buffer belongs to, never a second install.
+  const uint64_t resident = oracle->RamResident() + oracle->FlashResident();
+  oracle->Read(Key(0));
+  EXPECT_EQ(oracle->RamResident() + oracle->FlashResident(), resident);
+}
+
+TEST(OracleStack, InvalidateDropsResidency) {
+  for (Architecture arch : kAllArchitectures) {
+    auto oracle = MakeOracleStack(arch, SmallConfig());
+    oracle->Read(Key(7));
+    ASSERT_TRUE(oracle->Holds(Key(7))) << ArchitectureName(arch);
+    oracle->Invalidate(Key(7));
+    EXPECT_FALSE(oracle->Holds(Key(7))) << ArchitectureName(arch);
+  }
+}
+
+TEST(OracleStack, CollapseHitLevelMergesFilerTiers) {
+  EXPECT_EQ(CollapseHitLevel(HitLevel::kRam), OracleHit::kRam);
+  EXPECT_EQ(CollapseHitLevel(HitLevel::kFlash), OracleHit::kFlash);
+  EXPECT_EQ(CollapseHitLevel(HitLevel::kFilerFast), OracleHit::kFiler);
+  EXPECT_EQ(CollapseHitLevel(HitLevel::kFilerSlow), OracleHit::kFiler);
+}
+
+}  // namespace
+}  // namespace flashsim
