@@ -21,7 +21,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,26 @@ struct BenchOptions {
   // Arms the invariant auditor for every experiment in the sweep
   // (src/check/audit.h); slower, but every run self-checks.
   bool audit = false;
+
+  // Telemetry outputs (src/obs/). When set, the sweep's first point
+  // (index 0) runs with the matching collectors armed and its stats/trace
+  // are written after the sweep; the other points are untouched.
+  std::string stats_json;
+  std::string trace_out;
+  int64_t sample_stride_ms = 0;
+
+  bool TelemetryRequested() const {
+    return !stats_json.empty() || !trace_out.empty() || sample_stride_ms > 0;
+  }
+
+  // Collector set for an armed point, derived from the output flags.
+  obs::TelemetryConfig TelemetryFor() const {
+    obs::TelemetryConfig telemetry;
+    telemetry.histograms = !stats_json.empty();
+    telemetry.spans = !trace_out.empty();
+    telemetry.sample_stride_ns = sample_stride_ms * kMillisecond;
+    return telemetry;
+  }
 
   ParallelRunner MakeRunner() const { return ParallelRunner(jobs); }
 };
@@ -64,6 +86,17 @@ class BenchFlags {
       options_.out = *format;
       return true;
     });
+    parser_.AddString("stats_json", "write first point's metrics + telemetry JSON to PATH",
+                      &options_.stats_json);
+    parser_.AddString("trace_out", "write first point's Chrome trace JSON to PATH",
+                      &options_.trace_out);
+    parser_.AddCustom("sample_stride", "N", "telemetry sampling stride (sim-ms, 0 = off)",
+                      [this](const std::string& value) {
+                        char* end = nullptr;
+                        options_.sample_stride_ms =
+                            static_cast<int64_t>(std::strtod(value.c_str(), &end));
+                        return end != nullptr && *end == '\0' && !value.empty();
+                      });
   }
 
   FlagParser& parser() { return parser_; }
@@ -167,15 +200,45 @@ inline std::vector<WritebackPolicy> AllWritebackPolicies() {
 
 // Runs the sweep on options.jobs workers and adds one row per point, in
 // sweep order, as results complete (deterministic regardless of jobs).
+// When --stats_json / --trace_out / --sample_stride request telemetry, the
+// sweep's first point runs instrumented and its outputs are written here.
 template <typename RowFn>
 void RunSweepIntoTable(const Sweep& sweep, const BenchOptions& options, Table* table,
                        RowFn row) {
+  const bool telemetry = options.TelemetryRequested();
+  std::shared_ptr<obs::Telemetry> collected;
+  Metrics first_metrics;
   options.MakeRunner().RunOrdered(
       sweep.Expand(),
-      [](const SweepPoint& point) { return RunExperiment(point.params); },
-      [table, &row](const SweepPoint& point, const ExperimentResult& result) {
+      [telemetry, &options](const SweepPoint& point) {
+        if (telemetry && point.index == 0) {
+          SweepPoint armed = point;
+          armed.params.telemetry = options.TelemetryFor();
+          return RunExperiment(armed.params);
+        }
+        return RunExperiment(point.params);
+      },
+      [table, &row, telemetry, &collected, &first_metrics](const SweepPoint& point,
+                                                           const ExperimentResult& result) {
+        if (telemetry && point.index == 0) {
+          collected = result.telemetry;
+          first_metrics = result.metrics;
+        }
         table->AddRow(row(point, result));
       });
+  if (!telemetry) {
+    return;
+  }
+  std::string error;
+  if (!options.stats_json.empty() &&
+      !WriteStatsJsonFile(options.stats_json, first_metrics, collected.get(), &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+  }
+  if (!options.trace_out.empty()) {
+    if (collected == nullptr || !WriteChromeTraceFile(options.trace_out, *collected, &error)) {
+      std::fprintf(stderr, "%s\n", error.empty() ? "no telemetry collected" : error.c_str());
+    }
+  }
 }
 
 }  // namespace flashsim

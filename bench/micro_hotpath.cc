@@ -26,7 +26,7 @@
 #include "bench/bench_util.h"
 #include "src/cache/lru_cache.h"
 #include "src/core/simulation.h"
-#include "src/harness/json.h"
+#include "src/util/json.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/resource.h"
 #include "src/util/flat_hash.h"
@@ -156,12 +156,15 @@ BenchRow BenchCallbackEvents(const std::string& name, uint64_t events) {
   return BenchRow{name, queue.events_processed(), SecondsSince(start)};
 }
 
-BenchRow BenchSimulation(Architecture arch, uint64_t ops) {
+BenchRow BenchSimulation(Architecture arch, uint64_t ops,
+                         const obs::TelemetryConfig& telemetry = {},
+                         const char* name_suffix = "") {
   SimConfig config;
   config.ram_bytes = 4096ULL * 4096;
   config.flash_bytes = 32768ULL * 4096;
   config.threads_per_host = 8;
   config.arch = arch;
+  config.telemetry = telemetry;
   Simulation sim(config);
   std::vector<TraceRecord> records;
   records.reserve(ops);
@@ -177,8 +180,19 @@ BenchRow BenchSimulation(Architecture arch, uint64_t ops) {
   VectorTraceSource source(std::move(records));
   const auto start = Clock::now();
   const Metrics m = sim.Run(source);
-  return BenchRow{std::string("sim_") + ArchitectureName(arch),
+  return BenchRow{std::string("sim_") + ArchitectureName(arch) + name_suffix,
                   m.measured_read_blocks + m.measured_write_blocks, SecondsSince(start)};
+}
+
+// The telemetry-on counterpart of sim_naive: every collector armed. Its
+// items_per_sec next to sim_naive's IS the telemetry overhead; the
+// telemetry-off rows above must stay within the baseline tolerance.
+BenchRow BenchSimulationTelemetry(uint64_t ops) {
+  obs::TelemetryConfig telemetry;
+  telemetry.histograms = true;
+  telemetry.spans = true;
+  telemetry.sample_stride_ns = 10 * kMillisecond;
+  return BenchSimulation(Architecture::kNaive, ops, telemetry, "_telem");
 }
 
 BenchRow BenchFlatHashFind(uint64_t lookups) {
@@ -307,6 +321,7 @@ int main(int argc, char** argv) {
   for (Architecture arch : kAllArchitectures) {
     AddRow(&table, BenchSimulation(arch, ops));
   }
+  AddRow(&table, BenchSimulationTelemetry(ops));
   AddRow(&table, BenchFlatHashFind(micro_items));
   AddRow(&table, BenchLruTouch(micro_items));
   AddRow(&table, BenchResourceAcquire(micro_items));

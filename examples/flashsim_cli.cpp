@@ -20,6 +20,9 @@
 //     --invalidation=none|async|blocking
 //     --series-ms=N           print a read-latency time series
 //     --json                  machine-readable full Metrics snapshot
+//     --stats_json=PATH       write metrics + telemetry histograms ("-" = stdout)
+//     --trace_out=PATH        write a Chrome trace_event JSON (chrome://tracing)
+//     --sample_stride=N       sample hit rates / occupancies every N sim-ms
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -41,6 +44,9 @@ struct CliOptions {
   std::string trace_path;
   int64_t series_ms = 0;
   bool json = false;
+  std::string stats_json_path;
+  std::string trace_out_path;
+  int64_t sample_stride_ms = 0;
 };
 
 void RegisterFlags(FlagParser& parser, CliOptions* options) {
@@ -141,6 +147,17 @@ void RegisterFlags(FlagParser& parser, CliOptions* options) {
     return true;
   });
   parser.AddBool("json", "print the full Metrics snapshot as JSON", &options->json);
+  parser.AddString("stats_json", "write metrics + telemetry JSON to PATH (- = stdout)",
+                   &options->stats_json_path);
+  parser.AddString("trace_out", "write Chrome trace_event JSON to PATH (- = stdout)",
+                   &options->trace_out_path);
+  parser.AddCustom("sample_stride", "N", "telemetry sampling stride (sim-ms, 0 = off)",
+                   [options](const std::string& value) {
+                     char* end = nullptr;
+                     options->sample_stride_ms =
+                         static_cast<int64_t>(std::strtod(value.c_str(), &end));
+                     return end != nullptr && *end == '\0' && !value.empty();
+                   });
 }
 
 void PrintMetrics(const Metrics& m) {
@@ -190,10 +207,27 @@ int main(int argc, char** argv) {
     options.params.read_latency_series = series.get();
   }
 
-  if (!options.json) {
+  // Arm telemetry from the output flags: a stats file wants histograms, a
+  // trace file wants spans, a stride arms the sampler.
+  if (!options.stats_json_path.empty()) {
+    options.params.telemetry.histograms = true;
+  }
+  if (!options.trace_out_path.empty()) {
+    options.params.telemetry.spans = true;
+  }
+  if (options.sample_stride_ms > 0) {
+    options.params.telemetry.sample_stride_ns = options.sample_stride_ms * kMillisecond;
+  }
+
+  // A "-" output path streams a JSON document to stdout; the human-readable
+  // report must stay off it, exactly as with --json.
+  const bool quiet = options.json || options.stats_json_path == "-" ||
+                     options.trace_out_path == "-";
+  if (!quiet) {
     PrintExperimentHeader("flashsim_cli", options.params);
   }
   Metrics metrics;
+  std::shared_ptr<obs::Telemetry> telemetry;
   if (!options.trace_path.empty()) {
     std::string error;
     auto source = FileTraceSource::Open(options.trace_path, &error);
@@ -202,7 +236,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     SimConfig config = BuildSimConfig(options.params);
-    if (!options.json) {
+    if (!quiet) {
       std::printf("configuration: %s (trace: %s)\n", config.Summary().c_str(),
                   options.trace_path.c_str());
     }
@@ -211,16 +245,37 @@ int main(int argc, char** argv) {
       sim.set_read_latency_series(series.get());
     }
     metrics = sim.Run(*source);
+    telemetry = sim.TakeTelemetry();
   } else {
     const ExperimentResult result = RunExperiment(options.params);
-    if (!options.json) {
+    if (!quiet) {
       std::printf("configuration: %s\n", result.config.Summary().c_str());
     }
     metrics = result.metrics;
+    telemetry = result.telemetry;
+  }
+
+  if (!options.stats_json_path.empty()) {
+    std::string error;
+    if (!WriteStatsJsonFile(options.stats_json_path, metrics, telemetry.get(), &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (!options.trace_out_path.empty()) {
+    std::string error;
+    if (telemetry == nullptr ||
+        !WriteChromeTraceFile(options.trace_out_path, *telemetry, &error)) {
+      std::fprintf(stderr, "%s\n", error.empty() ? "no telemetry collected" : error.c_str());
+      return 1;
+    }
   }
 
   if (options.json) {
     std::printf("%s\n", MetricsToJson(metrics).Dump(2).c_str());
+    return 0;
+  }
+  if (quiet) {
     return 0;
   }
   PrintMetrics(metrics);

@@ -13,6 +13,7 @@
 #include "src/arch/stack_factory.h"
 #include "src/cache/policy.h"
 #include "src/device/timing.h"
+#include "src/obs/telemetry.h"
 #include "src/util/units.h"
 
 namespace flashsim {
@@ -55,6 +56,11 @@ struct SimConfig {
   // structural audit every N records (and once at end of run). Building
   // with -DFLASHSIM_AUDIT=ON forces a default stride when this is 0.
   uint64_t audit_stride = 0;
+
+  // What the run records about itself (src/obs/). Default: everything off;
+  // the simulation then allocates no telemetry state and the hot path pays
+  // one null-pointer test per service point.
+  obs::TelemetryConfig telemetry;
 
   uint64_t ram_blocks() const { return ram_bytes / block_bytes; }
   uint64_t flash_blocks() const { return flash_bytes / block_bytes; }

@@ -35,6 +35,7 @@ SimConfig BuildSimConfig(const ExperimentParams& params) {
   config.invalidation_traffic = params.invalidation_traffic;
   config.seed = params.seed;
   config.audit_stride = params.audit ? 64 : 0;
+  config.telemetry = params.telemetry;
   return config;
 }
 
@@ -100,6 +101,7 @@ ExperimentResult RunExperiment(const ExperimentParams& params) {
     sim.set_read_latency_series(params.read_latency_series);
   }
   result.metrics = sim.Run(source);
+  result.telemetry = sim.TakeTelemetry();
 
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(end - start).count();

@@ -11,6 +11,7 @@
 #define FLASHSIM_SRC_CORE_EXPERIMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "src/core/config.h"
@@ -55,6 +56,10 @@ struct ExperimentParams {
   // Optional: measured read latencies are also streamed into this series
   // (warming curves). Not owned; may be null.
   TimeSeriesRecorder* read_latency_series = nullptr;
+
+  // Telemetry collectors to arm for this run (src/obs/); all off by
+  // default. When any are on, ExperimentResult::telemetry carries them out.
+  obs::TelemetryConfig telemetry;
 };
 
 struct ExperimentResult {
@@ -62,6 +67,9 @@ struct ExperimentResult {
   SyntheticTraceSpec trace_spec;
   Metrics metrics;
   double wall_seconds = 0.0;
+  // The run's collected telemetry; null unless params.telemetry armed a
+  // collector. shared_ptr because results are copied through sweep tables.
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
 // Derives the scaled SimConfig / trace spec without running (test access).

@@ -1,6 +1,7 @@
 #include "src/core/simulation.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/util/rng.h"
 
@@ -80,6 +81,52 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   if (config_.audit_stride > 0) {
     auditor_ = std::make_unique<InvariantAuditor>(config_.arch, config_.num_hosts);
   }
+  if (config_.telemetry.any()) {
+    ArmTelemetry();
+  }
+}
+
+void Simulation::ArmTelemetry() {
+  telemetry_ = std::make_unique<obs::Telemetry>(config_.telemetry);
+  obs::TraceWriter* trace = telemetry_->trace();
+  // The sampler alone needs no probes, histograms, or tracks.
+  if (!config_.telemetry.histograms && trace == nullptr) {
+    return;
+  }
+  if (trace != nullptr) {
+    name_op_read_ = trace->RegisterName("op.read");
+    name_op_write_ = trace->RegisterName("op.write");
+  }
+  for (int h = 0; h < config_.num_hosts; ++h) {
+    HostState& host = *hosts_[static_cast<size_t>(h)];
+    const std::string prefix = "h" + std::to_string(h) + ".";
+    int pid = 0;
+    if (trace != nullptr) {
+      pid = trace->RegisterProcess("host" + std::to_string(h));
+      for (int t = 0; t < config_.threads_per_host; ++t) {
+        thread_tracks_.push_back(trace->RegisterTrack(pid, "thread" + std::to_string(t)));
+      }
+    }
+    op_hist_read_.push_back(telemetry_->RegisterHistogram(prefix + "op.read"));
+    op_hist_write_.push_back(telemetry_->RegisterHistogram(prefix + "op.write"));
+    host.ram_dev.set_probe(telemetry_->RegisterProbe(prefix + "ram.access", pid, "ram", 1));
+    host.flash_dev.set_read_probe(telemetry_->RegisterProbe(
+        prefix + "flash.read", pid, "flash.read", config_.timing.flash_concurrency));
+    host.flash_dev.set_write_probe(telemetry_->RegisterProbe(
+        prefix + "flash.write", pid, "flash.write", config_.timing.flash_concurrency));
+    host.link.set_to_filer_probe(
+        telemetry_->RegisterProbe(prefix + "net.to_filer", pid, "net.to_filer", 1));
+    host.link.set_from_filer_probe(
+        telemetry_->RegisterProbe(prefix + "net.from_filer", pid, "net.from_filer", 1));
+  }
+  int filer_pid = 0;
+  if (trace != nullptr) {
+    filer_pid = trace->RegisterProcess("filer");
+  }
+  filer_->set_read_probe(telemetry_->RegisterProbe("filer.read", filer_pid, "filer.read",
+                                                   config_.timing.filer_concurrency));
+  filer_->set_write_probe(telemetry_->RegisterProbe("filer.write", filer_pid, "filer.write",
+                                                    config_.timing.filer_concurrency));
 }
 
 Simulation::~Simulation() = default;
@@ -194,15 +241,28 @@ void Simulation::StartThread(int thread_index, SimTime now) {
   if (done > last_op_completion_) {
     last_op_completion_ = done;
   }
+  if (!thread_tracks_.empty()) {
+    // One op in flight per thread, so its track never self-overlaps.
+    telemetry_->trace()->AddSpan(
+        thread_tracks_[static_cast<size_t>(thread_index)],
+        record.op == TraceOp::kRead ? name_op_read_ : name_op_write_, now, done);
+  }
   if (!record.warmup) {
     const int64_t latency = done - now;
+    const size_t host_id = static_cast<size_t>(record.host % config_.num_hosts);
     if (record.op == TraceOp::kRead) {
       metrics_.read_latency.Record(latency);
+      if (!op_hist_read_.empty()) {
+        op_hist_read_[host_id]->Record(latency);
+      }
       if (read_series_ != nullptr) {
         read_series_->Record(now, static_cast<double>(latency));
       }
     } else {
       metrics_.write_latency.Record(latency);
+      if (!op_hist_write_.empty()) {
+        op_hist_write_[host_id]->Record(latency);
+      }
     }
   } else {
     metrics_.warmup_blocks += record.block_count;
@@ -221,6 +281,9 @@ void Simulation::HandleEvent(SimTime now, uint32_t code, uint64_t arg) {
       return;
     case kEvSyncerStep:
       SyncerStep(static_cast<int>(arg & 0xffffffffULL), (arg >> 32) != 0, now);
+      return;
+    case kEvSample:
+      SampleTelemetry(now);
       return;
   }
   FLASHSIM_CHECK(false);  // unreachable: unknown event code
@@ -287,6 +350,28 @@ void Simulation::SyncerTick(bool ram_tier, SimTime now) {
   queue_.ScheduleEvent(now + PolicyPeriodNs(policy), this, kEvSyncerTick, ram_tier ? 1 : 0);
 }
 
+void Simulation::SampleTelemetry(SimTime now) {
+  // Snapshot the run: cumulative read-serving counters plus instantaneous
+  // occupancies. Reads state only — the sampler event never changes what
+  // the simulation does, so arming it cannot perturb results (it does
+  // consume event sequence numbers, which the queue orders by time first).
+  obs::Sample sample;
+  sample.t = now;
+  for (const auto& host : hosts_) {
+    const StackCounters& c = host->stack->counters();
+    sample.ram_hits += c.ram_hits;
+    sample.flash_hits += c.flash_hits;
+    sample.filer_reads += c.filer_reads;
+    sample.dirty_resident += host->stack->DirtyBlocks();
+    sample.writeback_in_flight += host->writer.pending();
+  }
+  sample.queue_depth = queue_.size();
+  telemetry_->RecordSample(sample);
+  if (live_threads_ > 0) {
+    queue_.ScheduleEvent(now + config_.telemetry.sample_stride_ns, this, kEvSample, 0);
+  }
+}
+
 void Simulation::ScheduleSyncers() {
   ram_syncer_busy_.assign(hosts_.size(), false);
   flash_syncer_busy_.assign(hosts_.size(), false);
@@ -306,8 +391,9 @@ Metrics Simulation::Run(TraceSource& source) {
   live_threads_ = NumThreads();
   // Pre-size the event heap for the run's pending-event bound: one
   // completion per live thread, one tick per tier, one step per host and
-  // tier, and one completion per background-writer window slot.
-  queue_.Reserve(static_cast<size_t>(NumThreads()) + 2 + 2 * hosts_.size() +
+  // tier, one pending telemetry sample, and one completion per
+  // background-writer window slot.
+  queue_.Reserve(static_cast<size_t>(NumThreads()) + 3 + 2 * hosts_.size() +
                  hosts_.size() * static_cast<size_t>(config_.timing.writeback_window));
   // Pre-size the per-thread backlogs from the trace's size hint. The
   // backlog only holds read-ahead for threads whose ops arrive out of
@@ -324,6 +410,9 @@ Metrics Simulation::Run(TraceSource& source) {
     queue_.ScheduleEvent(0, this, kEvThreadStart, static_cast<uint64_t>(t));
   }
   ScheduleSyncers();
+  if (telemetry_ != nullptr && telemetry_->sampler() != nullptr) {
+    queue_.ScheduleEvent(config_.telemetry.sample_stride_ns, this, kEvSample, 0);
+  }
   queue_.RunToCompletion();
   if (auditor_ != nullptr) {
     // Final audit: at quiescence the writer pipelines have drained, so the

@@ -28,6 +28,7 @@
 #include "src/device/network_link.h"
 #include "src/device/ram_device.h"
 #include "src/device/remote_store.h"
+#include "src/obs/telemetry.h"
 #include "src/sim/event_queue.h"
 #include "src/trace/source.h"
 #include "src/util/ring_deque.h"
@@ -70,17 +71,24 @@ class Simulation : private EventHandler {
   // time-series (warming curves). Set before Run(); not owned.
   void set_read_latency_series(TimeSeriesRecorder* series) { read_series_ = series; }
 
+  // Non-null iff SimConfig::telemetry armed any collector.
+  obs::Telemetry* telemetry() { return telemetry_.get(); }
+  // Transfers ownership of the run's telemetry out of the simulation (the
+  // simulation is typically torn down right after Run; results outlive it).
+  std::unique_ptr<obs::Telemetry> TakeTelemetry() { return std::move(telemetry_); }
+
  private:
   struct HostState;
   class HostResidencyBridge;
 
   // Typed event codes. Args: kEvThreadStart carries the global thread
   // index; kEvSyncerTick the tier (1 = RAM); kEvSyncerStep the host in the
-  // low 32 bits and the tier in bit 32.
+  // low 32 bits and the tier in bit 32; kEvSample carries nothing.
   enum EventCode : uint32_t {
     kEvThreadStart = 0,
     kEvSyncerTick = 1,
     kEvSyncerStep = 2,
+    kEvSample = 3,
   };
 
   void HandleEvent(SimTime now, uint32_t code, uint64_t arg) override;
@@ -101,6 +109,13 @@ class Simulation : private EventHandler {
   void ScheduleSyncers();
   void SyncerTick(bool ram_tier, SimTime now);
   void SyncerStep(int host, bool ram_tier, SimTime now);
+
+  // Telemetry plumbing (src/obs/). ArmTelemetry registers every histogram,
+  // probe, and trace track up front so the run itself never allocates for
+  // telemetry; SampleTelemetry snapshots the run for the periodic sampler
+  // and reschedules itself while application threads are live.
+  void ArmTelemetry();
+  void SampleTelemetry(SimTime now);
 
   // Audit hooks (no-ops unless auditor_ is armed): the cheap accounting
   // checks after every record, the structural scans every audit_stride
@@ -125,6 +140,14 @@ class Simulation : private EventHandler {
   bool ran_ = false;
   std::unique_ptr<InvariantAuditor> auditor_;
   uint64_t records_since_structural_audit_ = 0;
+
+  // Telemetry state; all empty/null when SimConfig::telemetry is off.
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  std::vector<obs::Histogram*> op_hist_read_;   // per host
+  std::vector<obs::Histogram*> op_hist_write_;  // per host
+  std::vector<int> thread_tracks_;  // per global thread index (spans only)
+  int name_op_read_ = -1;
+  int name_op_write_ = -1;
 };
 
 }  // namespace flashsim

@@ -16,13 +16,13 @@
 #define FLASHSIM_SRC_DEVICE_BACKGROUND_WRITER_H_
 
 #include <cstdint>
-#include <deque>
 
 #include "src/device/flash_device.h"
 #include "src/trace/record.h"
 #include "src/device/remote_store.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/sim_time.h"
+#include "src/util/ring_deque.h"
 
 namespace flashsim {
 
@@ -61,7 +61,11 @@ class BackgroundWriter : public EventHandler {
 
   int window_;
   int active_ = 0;
-  std::deque<Pending> pending_;
+  // RingDeque, not std::deque: the queue oscillates between empty and a few
+  // entries, and libstdc++'s deque releases its chunk on empty and
+  // reallocates on the next push — a heap round-trip per writeback burst.
+  // The ring keeps its high-water buffer, so steady state never allocates.
+  RingDeque<Pending> pending_;
   uint64_t enqueued_ = 0;
   uint64_t completed_ = 0;
   uint64_t max_pending_ = 0;

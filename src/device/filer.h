@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "src/device/timing.h"
+#include "src/obs/telemetry.h"
 #include "src/sim/resource.h"
 #include "src/sim/sim_time.h"
 #include "src/util/rng.h"
@@ -32,14 +33,27 @@ class Filer {
     fast ? ++fast_reads_ : ++slow_reads_;
     const SimDuration service =
         fast ? timing_->filer_fast_read_ns : timing_->filer_slow_read_ns;
-    return servers_.Acquire(now, service);
+    const SimTime done = servers_.Acquire(now, service);
+    if (read_probe_ != nullptr) {
+      read_probe_->Record(now, done - service, done);
+    }
+    return done;
   }
 
   // Services one block write (buffered, always fast); returns completion.
   SimTime Write(SimTime now) {
     ++writes_;
-    return servers_.Acquire(now, timing_->filer_write_ns);
+    const SimTime done = servers_.Acquire(now, timing_->filer_write_ns);
+    if (write_probe_ != nullptr) {
+      write_probe_->Record(now, done - timing_->filer_write_ns, done);
+    }
+    return done;
   }
+
+  // Telemetry service points (null = off; not owned). The filer is shared
+  // across hosts, so these probes aggregate all hosts' traffic.
+  void set_read_probe(obs::DeviceProbe* probe) { read_probe_ = probe; }
+  void set_write_probe(obs::DeviceProbe* probe) { write_probe_ = probe; }
 
   uint64_t fast_reads() const { return fast_reads_; }
   uint64_t slow_reads() const { return slow_reads_; }
@@ -59,6 +73,8 @@ class Filer {
   const TimingModel* timing_;
   Rng rng_;
   MultiResource servers_;
+  obs::DeviceProbe* read_probe_ = nullptr;
+  obs::DeviceProbe* write_probe_ = nullptr;
   uint64_t fast_reads_ = 0;
   uint64_t slow_reads_ = 0;
   uint64_t writes_ = 0;

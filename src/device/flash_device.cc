@@ -52,26 +52,37 @@ uint64_t FlashDevice::LpnForWrite(BlockKey key) {
 }
 
 SimTime FlashDevice::Read(SimTime now, BlockKey key) {
+  SimDuration service;
   if (ftl_ == nullptr) {
-    return resource_.Acquire(now, timing_->flash_read_ns);
+    service = timing_->flash_read_ns;
+  } else {
+    const uint64_t* lpn = key_to_lpn_.Find(key);
+    // Reads of never-written keys (fills racing evictions) still touch NAND.
+    service = ServiceTime(ftl_->Read(lpn != nullptr ? *lpn : 0));
   }
-  const uint64_t* lpn = key_to_lpn_.Find(key);
-  // Reads of never-written keys (fills racing evictions) still touch NAND.
-  const FtlCost cost = ftl_->Read(lpn != nullptr ? *lpn : 0);
-  return resource_.Acquire(now, ServiceTime(cost));
+  const SimTime done = resource_.Acquire(now, service);
+  if (read_probe_ != nullptr) {
+    read_probe_->Record(now, done - service, done);
+  }
+  return done;
 }
 
 SimTime FlashDevice::Write(SimTime now, BlockKey key) {
+  SimDuration service;
   if (ftl_ == nullptr) {
-    return resource_.Acquire(now, timing_->EffectiveFlashWrite());
+    service = timing_->EffectiveFlashWrite();
+  } else {
+    service = ServiceTime(ftl_->Write(LpnForWrite(key)));
+    if (timing_->persistent_flash) {
+      // Persistence doubles the cache-update cost with a metadata program.
+      service += ftl_timings_.page_program_ns;
+    }
   }
-  FtlCost cost = ftl_->Write(LpnForWrite(key));
-  SimDuration service = ServiceTime(cost);
-  if (timing_->persistent_flash) {
-    // Persistence doubles the cache-update cost with a metadata program.
-    service += ftl_timings_.page_program_ns;
+  const SimTime done = resource_.Acquire(now, service);
+  if (write_probe_ != nullptr) {
+    write_probe_->Record(now, done - service, done);
   }
-  return resource_.Acquire(now, service);
+  return done;
 }
 
 void FlashDevice::Trim(BlockKey key) {

@@ -20,6 +20,7 @@
 
 #include "src/device/timing.h"
 #include "src/ftl/ftl.h"
+#include "src/obs/telemetry.h"
 #include "src/sim/resource.h"
 #include "src/sim/sim_time.h"
 #include "src/trace/record.h"
@@ -60,6 +61,11 @@ class FlashDevice {
   bool ftl_enabled() const { return ftl_ != nullptr; }
   const Ftl* ftl() const { return ftl_.get(); }
 
+  // Telemetry service points (null = off; not owned). Probes see every
+  // request — foreground hits, fills, and writeback flushes alike.
+  void set_read_probe(obs::DeviceProbe* probe) { read_probe_ = probe; }
+  void set_write_probe(obs::DeviceProbe* probe) { write_probe_ = probe; }
+
   uint64_t reads_plus_writes() const { return resource_.requests(); }
   // Load-triggered rehashes of the FTL key->LPN index (0 without FTL;
   // EnableFtl reserves for every logical page).
@@ -77,6 +83,8 @@ class FlashDevice {
 
   const TimingModel* timing_;
   MultiResource resource_;
+  obs::DeviceProbe* read_probe_ = nullptr;
+  obs::DeviceProbe* write_probe_ = nullptr;
 
   // FTL mode state.
   std::unique_ptr<Ftl> ftl_;

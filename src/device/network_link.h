@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/device/timing.h"
+#include "src/obs/telemetry.h"
 #include "src/sim/resource.h"
 #include "src/sim/sim_time.h"
 
@@ -35,13 +36,27 @@ class NetworkLink {
 
   // Occupies the host->filer direction; returns packet arrival time.
   SimTime SendToFiler(SimTime now, bool carries_data) {
-    return to_filer_.Acquire(now, carries_data ? DataPacketTime() : SmallPacketTime());
+    const SimDuration wire = carries_data ? DataPacketTime() : SmallPacketTime();
+    const SimTime done = to_filer_.Acquire(now, wire);
+    if (to_filer_probe_ != nullptr) {
+      to_filer_probe_->Record(now, done - wire, done);
+    }
+    return done;
   }
 
   // Occupies the filer->host direction; returns packet arrival time.
   SimTime SendToHost(SimTime now, bool carries_data) {
-    return from_filer_.Acquire(now, carries_data ? DataPacketTime() : SmallPacketTime());
+    const SimDuration wire = carries_data ? DataPacketTime() : SmallPacketTime();
+    const SimTime done = from_filer_.Acquire(now, wire);
+    if (from_filer_probe_ != nullptr) {
+      from_filer_probe_->Record(now, done - wire, done);
+    }
+    return done;
   }
+
+  // Telemetry service points, one per direction (null = off; not owned).
+  void set_to_filer_probe(obs::DeviceProbe* probe) { to_filer_probe_ = probe; }
+  void set_from_filer_probe(obs::DeviceProbe* probe) { from_filer_probe_ = probe; }
 
   SimDuration busy_time() const { return to_filer_.busy_time() + from_filer_.busy_time(); }
   SimDuration wait_time() const { return to_filer_.wait_time() + from_filer_.wait_time(); }
@@ -59,6 +74,8 @@ class NetworkLink {
   uint32_t block_bytes_;
   Resource to_filer_;
   Resource from_filer_;
+  obs::DeviceProbe* to_filer_probe_ = nullptr;
+  obs::DeviceProbe* from_filer_probe_ = nullptr;
 };
 
 }  // namespace flashsim

@@ -7,6 +7,7 @@
 #define FLASHSIM_SRC_DEVICE_RAM_DEVICE_H_
 
 #include "src/device/timing.h"
+#include "src/obs/telemetry.h"
 #include "src/sim/sim_time.h"
 
 namespace flashsim {
@@ -17,18 +18,31 @@ class RamDevice {
 
   SimTime Read(SimTime now) {
     ++accesses_;
-    return now + timing_->ram_access_ns;
+    const SimTime done = now + timing_->ram_access_ns;
+    if (probe_ != nullptr) {
+      probe_->Record(now, now, done);
+    }
+    return done;
   }
   SimTime Write(SimTime now) {
     ++accesses_;
-    return now + timing_->ram_access_ns;
+    const SimTime done = now + timing_->ram_access_ns;
+    if (probe_ != nullptr) {
+      probe_->Record(now, now, done);
+    }
+    return done;
   }
+
+  // Telemetry service point (null = off; not owned). RAM is uncontended, so
+  // one probe covers both directions.
+  void set_probe(obs::DeviceProbe* probe) { probe_ = probe; }
 
   uint64_t accesses() const { return accesses_; }
   void Reset() { accesses_ = 0; }
 
  private:
   const TimingModel* timing_;
+  obs::DeviceProbe* probe_ = nullptr;
   uint64_t accesses_ = 0;
 };
 

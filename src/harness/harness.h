@@ -13,7 +13,7 @@
 #define FLASHSIM_SRC_HARNESS_HARNESS_H_
 
 #include "src/harness/flags.h"   // IWYU pragma: export
-#include "src/harness/json.h"    // IWYU pragma: export
+#include "src/util/json.h"    // IWYU pragma: export
 #include "src/harness/runner.h"  // IWYU pragma: export
 #include "src/harness/sinks.h"   // IWYU pragma: export
 #include "src/harness/sweep.h"   // IWYU pragma: export

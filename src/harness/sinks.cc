@@ -1,6 +1,9 @@
 #include "src/harness/sinks.h"
 
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 
 namespace flashsim {
 
@@ -40,6 +43,11 @@ JsonValue CellToJson(const std::string& cell) {
   char* end = nullptr;
   const double value = std::strtod(cell.c_str(), &end);
   if (end == nullptr || *end != '\0') {
+    return JsonValue(cell);
+  }
+  // strtod accepts "nan"/"inf" spellings, which are not JSON numbers; keep
+  // such cells as strings so the emitted document stays parseable.
+  if (!std::isfinite(value)) {
     return JsonValue(cell);
   }
   // Integer-looking cells (no '.', 'e', inf/nan spellings) stay integers.
@@ -292,6 +300,58 @@ std::optional<Metrics> MetricsFromJson(const JsonValue& json) {
   metrics.ftl_enabled = ftl_enabled->AsBool();
   metrics.ftl_write_amplification = ftl_wa->AsDouble();
   return metrics;
+}
+
+namespace {
+
+// Runs `emit` against `path`, or stdout when path is "-".
+template <typename Emit>
+bool EmitToPath(const std::string& path, std::string* error, Emit emit) {
+  if (path == "-") {
+    emit(std::cout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  emit(out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) {
+      *error = "write to " + path + " failed";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteStatsJsonFile(const std::string& path, const Metrics& metrics,
+                        const obs::Telemetry* telemetry, std::string* error) {
+  JsonValue json = JsonValue::Object();
+  json.Set("metrics", MetricsToJson(metrics));
+  if (telemetry != nullptr) {
+    json.Set("telemetry", telemetry->StatsJson());
+  }
+  return EmitToPath(path, error,
+                    [&json](std::ostream& os) { os << json.Dump(2) << "\n"; });
+}
+
+bool WriteChromeTraceFile(const std::string& path, const obs::Telemetry& telemetry,
+                          std::string* error) {
+  if (telemetry.trace() == nullptr) {
+    if (error != nullptr) {
+      *error = "trace export requested but span capture was not armed";
+    }
+    return false;
+  }
+  return EmitToPath(path, error,
+                    [&telemetry](std::ostream& os) { telemetry.WriteChromeTrace(os); });
 }
 
 }  // namespace flashsim

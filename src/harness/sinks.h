@@ -11,7 +11,8 @@
 #include <string>
 
 #include "src/core/metrics.h"
-#include "src/harness/json.h"
+#include "src/obs/telemetry.h"
+#include "src/util/json.h"
 #include "src/util/table.h"
 
 namespace flashsim {
@@ -38,6 +39,18 @@ JsonValue TableToJson(const Table& table);
 // MetricsFromJson(MetricsToJson(m)) reproduces m (see harness_test).
 JsonValue MetricsToJson(const Metrics& metrics);
 std::optional<Metrics> MetricsFromJson(const JsonValue& json);
+
+// Writes {"metrics": ..., "telemetry": ...} to `path` ("-" = stdout). The
+// telemetry key is present only when `telemetry` is non-null. Returns false
+// (and fills *error) when the file cannot be written.
+bool WriteStatsJsonFile(const std::string& path, const Metrics& metrics,
+                        const obs::Telemetry* telemetry, std::string* error);
+
+// Writes the run's Chrome trace_event JSON to `path` ("-" = stdout); load
+// it in chrome://tracing or https://ui.perfetto.dev. Requires telemetry
+// with spans armed.
+bool WriteChromeTraceFile(const std::string& path, const obs::Telemetry& telemetry,
+                          std::string* error);
 
 }  // namespace flashsim
 

@@ -1,0 +1,79 @@
+// Telemetry histogram: log-bucketed latency distribution with exact
+// integer state.
+//
+// Reuses LatencyHistogram's bucket geometry (8 linear sub-buckets per
+// octave, 512 buckets over the full int64 range) but keeps every
+// accumulator — count, sum, min, max, buckets — as an integer. That makes
+// Merge exactly associative and commutative: merging a set of histograms in
+// any order yields bit-identical state, which is what lets a --jobs=N sweep
+// aggregate per-run telemetry into byte-identical output (DESIGN.md §10).
+#ifndef FLASHSIM_SRC_OBS_HISTOGRAM_H_
+#define FLASHSIM_SRC_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/json.h"
+#include "src/util/stats.h"
+
+namespace flashsim {
+namespace obs {
+
+class Histogram {
+ public:
+  // Records one non-negative duration (negative values clamp to 0, matching
+  // LatencyHistogram::Add).
+  void Record(int64_t value_ns) {
+    buckets_.Add(value_ns);
+    if (value_ns < 0) {
+      value_ns = 0;
+    }
+    sum_ += value_ns;
+    if (count() == 1 || value_ns < min_) {
+      min_ = value_ns;
+    }
+    if (count() == 1 || value_ns > max_) {
+      max_ = value_ns;
+    }
+  }
+
+  // Exact integer merge: commutative and associative.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return buckets_.count(); }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count() == 0 ? 0 : min_; }
+  int64_t max() const { return count() == 0 ? 0 : max_; }
+  double mean() const {
+    return count() == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count());
+  }
+
+  // Approximate quantiles from the log buckets (worst-case error < 13%).
+  int64_t Quantile(double q) const { return buckets_.Quantile(q); }
+  int64_t p50() const { return Quantile(0.50); }
+  int64_t p90() const { return Quantile(0.90); }
+  int64_t p99() const { return Quantile(0.99); }
+  int64_t p999() const { return Quantile(0.999); }
+
+  const LatencyHistogram& buckets() const { return buckets_; }
+
+  // Canonical text form: "count sum min max i:c,i:c,..." with sparse
+  // buckets in index order. Two histograms with equal state serialize to
+  // the same bytes — the determinism tests' comparison surface.
+  std::string Serialize() const;
+
+  // {"count":..,"sum_ns":..,"min_ns":..,"max_ns":..,"mean_us":..,
+  //  "p50_us":..,"p90_us":..,"p99_us":..,"p999_us":..,"buckets":[[i,c],..]}
+  JsonValue ToJson() const;
+
+ private:
+  LatencyHistogram buckets_;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace obs
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_OBS_HISTOGRAM_H_

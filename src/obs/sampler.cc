@@ -1,0 +1,31 @@
+#include "src/obs/sampler.h"
+
+namespace flashsim {
+namespace obs {
+
+JsonValue Sampler::ToJson() const {
+  JsonValue rows = JsonValue::Array();
+  Sample prev;  // zero origin: the first window covers [0, first stride]
+  for (const Sample& s : samples_) {
+    const uint64_t ram = s.ram_hits - prev.ram_hits;
+    const uint64_t flash = s.flash_hits - prev.flash_hits;
+    const uint64_t filer = s.filer_reads - prev.filer_reads;
+    const uint64_t reads = ram + flash + filer;
+    JsonValue row = JsonValue::Object();
+    row.Set("t_ms", static_cast<double>(s.t) / 1e6);
+    row.Set("read_blocks", reads);
+    row.Set("ram_hit_rate",
+            reads == 0 ? 0.0 : static_cast<double>(ram) / static_cast<double>(reads));
+    row.Set("flash_hit_rate",
+            reads == 0 ? 0.0 : static_cast<double>(flash) / static_cast<double>(reads));
+    row.Set("dirty_resident", s.dirty_resident);
+    row.Set("writeback_in_flight", s.writeback_in_flight);
+    row.Set("queue_depth", s.queue_depth);
+    rows.Append(std::move(row));
+    prev = s;
+  }
+  return rows;
+}
+
+}  // namespace obs
+}  // namespace flashsim

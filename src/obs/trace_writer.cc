@@ -1,0 +1,204 @@
+#include "src/obs/trace_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+namespace flashsim {
+namespace obs {
+
+namespace {
+
+// Chrome trace timestamps are microseconds; print ns via integer math so
+// the bytes are an exact function of the simulated time.
+void AppendMicros(std::string* out, SimTime ns) {
+  FLASHSIM_DCHECK(ns >= 0);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  *out += buf;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+    }
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+int TraceWriter::RegisterProcess(std::string name) {
+  processes_.push_back(std::move(name));
+  next_tid_.push_back(0);
+  return static_cast<int>(processes_.size()) - 1;
+}
+
+int TraceWriter::RegisterTrack(int pid, std::string name) {
+  FLASHSIM_CHECK(pid >= 0 && pid < static_cast<int>(processes_.size()));
+  tracks_.push_back(Track{pid, next_tid_[static_cast<size_t>(pid)]++, std::move(name)});
+  return static_cast<int>(tracks_.size()) - 1;
+}
+
+int TraceWriter::RegisterLaneGroup(int pid, std::string name, int expected_lanes) {
+  FLASHSIM_CHECK(pid >= 0 && pid < static_cast<int>(processes_.size()));
+  FLASHSIM_CHECK(expected_lanes >= 1);
+  groups_.push_back(LaneGroup{pid, std::move(name), {}});
+  return static_cast<int>(groups_.size()) - 1;
+}
+
+int TraceWriter::RegisterName(std::string name) {
+  names_.push_back(std::move(name));
+  return static_cast<int>(names_.size()) - 1;
+}
+
+void TraceWriter::AddSpan(int track, int name, SimTime start, SimTime end) {
+  FLASHSIM_DCHECK(end >= start);
+  if (spans_.size() >= max_spans_) {
+    ++spans_dropped_;
+    return;
+  }
+  spans_.push_back(SpanRecord{track, name, start, end});
+}
+
+void TraceWriter::AddGroupSpan(int group, int name, SimTime start, SimTime end) {
+  FLASHSIM_DCHECK(end >= start);
+  if (spans_.size() + group_span_count_ >= max_spans_) {
+    ++spans_dropped_;
+    return;
+  }
+  ++group_span_count_;
+  groups_[static_cast<size_t>(group)].spans.push_back(GroupSpan{name, start, end});
+}
+
+void TraceWriter::AddCounter(int track, int name, SimTime t, double value) {
+  counters_.push_back(CounterRecord{track, name, t, value});
+}
+
+void TraceWriter::WriteJson(std::ostream& os) const {
+  // Assign every group span a lane now that all spans are known: sorted by
+  // start time, first-fit onto the earliest-free lane (a min-heap of lane
+  // end times). In start order this is the optimal interval partitioning —
+  // the lane count equals the group's true peak concurrency — and every
+  // lane's spans are non-overlapping by construction. All inputs and
+  // tie-breaks are deterministic, so the export is too.
+  struct PlacedSpan {
+    int pid;
+    int tid;
+    int32_t name;
+    SimTime start;
+    SimTime end;
+  };
+  std::vector<PlacedSpan> placed;
+  placed.reserve(group_span_count_);
+  struct LaneTrack {
+    int pid;
+    int tid;
+    std::string name;
+  };
+  std::vector<LaneTrack> lane_tracks;
+  std::vector<int> next_tid = next_tid_;  // lane tids follow registered ones
+  for (const LaneGroup& g : groups_) {
+    std::vector<uint32_t> order(g.spans.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(), [&g](uint32_t a, uint32_t b) {
+      return g.spans[a].start < g.spans[b].start;
+    });
+    using LaneAt = std::pair<SimTime, int>;  // (free time, lane tid)
+    std::priority_queue<LaneAt, std::vector<LaneAt>, std::greater<LaneAt>> lanes;
+    for (const uint32_t idx : order) {
+      const GroupSpan& span = g.spans[idx];
+      int tid;
+      if (!lanes.empty() && lanes.top().first <= span.start) {
+        tid = lanes.top().second;
+        lanes.pop();
+      } else {
+        tid = next_tid[static_cast<size_t>(g.pid)]++;
+        char lane_name[96];
+        std::snprintf(lane_name, sizeof(lane_name), "%s.%zu", g.name.c_str(), lanes.size());
+        lane_tracks.push_back(LaneTrack{g.pid, tid, lane_name});
+      }
+      lanes.push(LaneAt{span.end, tid});
+      placed.push_back(PlacedSpan{g.pid, tid, span.name, span.start, span.end});
+    }
+  }
+
+  std::string out;
+  out.reserve(256 + (spans_.size() + placed.size()) * 96 + counters_.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto comma = [&out, &first]() {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+  };
+  char buf[128];
+  for (size_t pid = 0; pid < processes_.size(); ++pid) {
+    comma();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%zu,\"name\":\"process_name\",\"args\":{\"name\":",
+                  pid);
+    out += buf;
+    AppendEscaped(&out, processes_[pid]);
+    out += "}}";
+  }
+  const auto track_meta = [&](int pid, int tid, const std::string& name) {
+    comma();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":",
+                  pid, tid);
+    out += buf;
+    AppendEscaped(&out, name);
+    out += "}}";
+  };
+  for (const Track& track : tracks_) {
+    track_meta(track.pid, track.tid, track.name);
+  }
+  for (const LaneTrack& track : lane_tracks) {
+    track_meta(track.pid, track.tid, track.name);
+  }
+  const auto span_event = [&](int pid, int tid, int32_t name, SimTime start, SimTime end) {
+    comma();
+    std::snprintf(buf, sizeof(buf), "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":", pid, tid);
+    out += buf;
+    AppendEscaped(&out, names_[static_cast<size_t>(name)]);
+    out += ",\"ts\":";
+    AppendMicros(&out, start);
+    out += ",\"dur\":";
+    AppendMicros(&out, end - start);
+    out += "}";
+  };
+  for (const SpanRecord& span : spans_) {
+    const Track& track = tracks_[static_cast<size_t>(span.track)];
+    span_event(track.pid, track.tid, span.name, span.start, span.end);
+  }
+  for (const PlacedSpan& span : placed) {
+    span_event(span.pid, span.tid, span.name, span.start, span.end);
+  }
+  for (const CounterRecord& counter : counters_) {
+    const Track& track = tracks_[static_cast<size_t>(counter.track)];
+    comma();
+    std::snprintf(buf, sizeof(buf), "{\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"name\":",
+                  track.pid, track.tid);
+    out += buf;
+    AppendEscaped(&out, names_[static_cast<size_t>(counter.name)]);
+    out += ",\"ts\":";
+    AppendMicros(&out, counter.t);
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%.17g}}", counter.value);
+    out += buf;
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+}  // namespace obs
+}  // namespace flashsim

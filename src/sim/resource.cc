@@ -1,6 +1,7 @@
 #include "src/sim/resource.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "src/util/assert.h"
 
@@ -11,24 +12,31 @@ void Resource::Prune() {
     return;
   }
   // Any future Acquire's start time is >= the current event time, so
-  // intervals ending at or before it can never conflict again.
-  auto it = intervals_.begin();
-  while (it != intervals_.end() && it->second <= clock_->now) {
-    it = intervals_.erase(it);
+  // intervals ending at or before it can never conflict again. Intervals
+  // are disjoint and sorted by start, so ends are sorted too and the dead
+  // ones form a prefix.
+  size_t dead = 0;
+  while (dead < intervals_.size() && intervals_[dead].end <= clock_->now) {
+    ++dead;
+  }
+  if (dead > 0) {
+    intervals_.erase(intervals_.begin(),
+                     intervals_.begin() + static_cast<ptrdiff_t>(dead));
   }
 }
 
 SimTime Resource::FindGap(SimTime now, SimDuration service) const {
   SimTime cursor = now;
-  auto it = intervals_.upper_bound(cursor);
+  auto it = std::upper_bound(intervals_.begin(), intervals_.end(), cursor,
+                             [](SimTime t, const Interval& iv) { return t < iv.start; });
   if (it != intervals_.begin()) {
     auto prev = std::prev(it);
-    if (prev->second > cursor) {
-      cursor = prev->second;
+    if (prev->end > cursor) {
+      cursor = prev->end;
     }
   }
-  while (it != intervals_.end() && it->first < cursor + service) {
-    cursor = std::max(cursor, it->second);
+  while (it != intervals_.end() && it->start < cursor + service) {
+    cursor = std::max(cursor, it->end);
     ++it;
   }
   return cursor;
@@ -43,29 +51,27 @@ SimTime Resource::Acquire(SimTime now, SimDuration service) {
   // Book [start, end), merging with touching neighbors to keep the set
   // small. Zero-length bookings still count for stats but occupy nothing.
   if (service > 0) {
-    auto it = intervals_.upper_bound(start);
+    auto it = std::upper_bound(intervals_.begin(), intervals_.end(), start,
+                               [](SimTime t, const Interval& iv) { return t < iv.start; });
     bool merged = false;
     if (it != intervals_.begin()) {
       auto prev = std::prev(it);
-      if (prev->second == start) {
-        prev->second = end;
+      if (prev->end == start) {
+        prev->end = end;
         merged = true;
-        it = std::next(prev);
         // Absorb a touching successor.
-        if (it != intervals_.end() && it->first == end) {
-          prev->second = it->second;
+        if (it != intervals_.end() && it->start == end) {
+          prev->end = it->end;
           intervals_.erase(it);
         }
       }
     }
     if (!merged) {
-      if (it != intervals_.end() && it->first == end) {
-        // Extend the successor backwards: erase + reinsert with new start.
-        const SimTime succ_end = it->second;
-        intervals_.erase(it);
-        intervals_.emplace(start, succ_end);
+      if (it != intervals_.end() && it->start == end) {
+        // Extend the successor backwards; order by start is preserved.
+        it->start = start;
       } else {
-        intervals_.emplace(start, end);
+        intervals_.insert(it, Interval{start, end});
       }
     }
   }

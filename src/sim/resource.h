@@ -18,7 +18,6 @@
 #ifndef FLASHSIM_SRC_SIM_RESOURCE_H_
 #define FLASHSIM_SRC_SIM_RESOURCE_H_
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -55,6 +54,11 @@ class Resource {
   void Reset();
 
  private:
+  struct Interval {
+    SimTime start;
+    SimTime end;
+  };
+
   // Start of the first gap >= now that fits `service`; prunes dead
   // intervals as a side effect when const_cast-free (Acquire only).
   SimTime FindGap(SimTime now, SimDuration service) const;
@@ -62,7 +66,11 @@ class Resource {
 
   std::string name_;
   const SimClock* clock_;
-  std::map<SimTime, SimTime> intervals_;  // start -> end, disjoint, sorted
+  // Disjoint busy intervals sorted by start. A flat vector rather than a
+  // tree: pruning keeps the set tiny (a handful of entries), inserts shift
+  // a few PODs, and — unlike per-node tree allocation — the steady state
+  // never touches the heap (tests/telemetry_alloc_test.cc counts on this).
+  std::vector<Interval> intervals_;
   SimDuration busy_time_ = 0;
   SimDuration wait_time_ = 0;
   uint64_t requests_ = 0;

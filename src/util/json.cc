@@ -1,4 +1,4 @@
-#include "src/harness/json.h"
+#include "src/util/json.h"
 
 #include <cctype>
 #include <cmath>

@@ -2,8 +2,8 @@
 // round-trip Metrics snapshots. Objects preserve insertion order so emitted
 // documents are deterministic; numbers are stored as int64 or double and
 // printed so they parse back bit-identically.
-#ifndef FLASHSIM_SRC_HARNESS_JSON_H_
-#define FLASHSIM_SRC_HARNESS_JSON_H_
+#ifndef FLASHSIM_SRC_UTIL_JSON_H_
+#define FLASHSIM_SRC_UTIL_JSON_H_
 
 #include <cstdint>
 #include <memory>
@@ -81,4 +81,4 @@ class JsonValue {
 
 }  // namespace flashsim
 
-#endif  // FLASHSIM_SRC_HARNESS_JSON_H_
+#endif  // FLASHSIM_SRC_UTIL_JSON_H_

@@ -65,9 +65,26 @@ void Table::PrintAligned(std::ostream& os) const {
 }
 
 void Table::PrintCsv(std::ostream& os) const {
+  // RFC 4180: fields containing the separator, quotes, or line breaks are
+  // quoted, with embedded quotes doubled. Everything else passes through
+  // unquoted, so purely numeric output is unchanged.
+  auto print_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (const char ch : cell) {
+      if (ch == '"') {
+        os << '"';
+      }
+      os << ch;
+    }
+    os << '"';
+  };
   auto print_row = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
-      os << row[c];
+      print_cell(row[c]);
       if (c + 1 < row.size()) {
         os << ',';
       }

@@ -167,6 +167,32 @@ TEST(Sinks, TableToJsonTypesCells) {
   EXPECT_DOUBLE_EQ(row.Get("ratio")->AsDouble(), 0.25);
 }
 
+TEST(Sinks, TableToJsonKeepsNonFiniteLookingCellsAsStrings) {
+  // strtod parses "nan"/"inf"/"infinity" as doubles, but JSON has no
+  // representation for them — such cells must stay strings, not turn into
+  // an unparseable bare `nan` token.
+  Table table({"a", "b", "c", "d"});
+  table.AddRow({"nan", "inf", "-inf", "infinity"});
+  const JsonValue rows = TableToJson(table);
+  ASSERT_EQ(rows.size(), 1u);
+  const JsonValue& row = rows.at(0);
+  EXPECT_EQ(row.Get("a")->AsString(), "nan");
+  EXPECT_EQ(row.Get("b")->AsString(), "inf");
+  EXPECT_EQ(row.Get("c")->AsString(), "-inf");
+  EXPECT_EQ(row.Get("d")->AsString(), "infinity");
+  // The emitted document parses back.
+  EXPECT_TRUE(JsonValue::Parse(rows.Dump()).has_value());
+}
+
+TEST(Sinks, JsonStringsEscapeQuotesAndControlCharacters) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("label", "say \"hi\",\n\ttab");
+  const std::string dumped = obj.Dump();
+  const auto parsed = JsonValue::Parse(dumped);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Get("label")->AsString(), "say \"hi\",\n\ttab");
+}
+
 TEST(Sinks, ParseOutputFormatAcceptsAliases) {
   EXPECT_EQ(ParseOutputFormat("table"), OutputFormat::kAligned);
   EXPECT_EQ(ParseOutputFormat("aligned"), OutputFormat::kAligned);

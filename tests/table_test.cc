@@ -37,6 +37,31 @@ TEST(Table, CellFormatting) {
   EXPECT_EQ(Table::Cell(static_cast<uint64_t>(12345)), "12345");
 }
 
+TEST(Table, CsvEscapesDelimitersQuotesAndNewlines) {
+  // RFC 4180: fields containing commas, quotes, or line breaks are wrapped
+  // in double quotes, with embedded quotes doubled; plain fields pass
+  // through unquoted.
+  Table table({"label", "note"});
+  table.AddRow({"a,b", "plain"});
+  table.AddRow({"say \"hi\"", "line1\nline2"});
+  table.AddRow({"cr\rhere", "trailing,comma,"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(),
+            "label,note\n"
+            "\"a,b\",plain\n"
+            "\"say \"\"hi\"\"\",\"line1\nline2\"\n"
+            "\"cr\rhere\",\"trailing,comma,\"\n");
+}
+
+TEST(Table, CsvEscapesHeaderCells) {
+  Table table({"wss, GiB", "p99 \"us\""});
+  table.AddRow({"5", "120"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "\"wss, GiB\",\"p99 \"\"us\"\"\"\n5,120\n");
+}
+
 TEST(Table, CountsRowsAndColumns) {
   Table table({"a", "b", "c"});
   EXPECT_EQ(table.num_columns(), 3u);
