@@ -193,6 +193,18 @@ inline std::vector<Sweep::AxisValue> FlashPolicyAxis(
   return values;
 }
 
+// Storage-backend shard counts (SimConfig::num_filers); 1 is the paper's
+// single-filer topology.
+inline std::vector<Sweep::AxisValue> FilersAxis(const std::vector<int>& counts) {
+  std::vector<Sweep::AxisValue> values;
+  values.reserve(counts.size());
+  for (int filers : counts) {
+    values.push_back({Table::Cell(static_cast<int64_t>(filers)),
+                      [filers](ExperimentParams& p) { p.num_filers = filers; }});
+  }
+  return values;
+}
+
 inline std::vector<WritebackPolicy> AllWritebackPolicies() {
   return std::vector<WritebackPolicy>(kAllWritebackPolicies.begin(),
                                       kAllWritebackPolicies.end());

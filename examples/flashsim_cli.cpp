@@ -12,6 +12,7 @@
 //     --ram-policy=POL --flash-policy=POL      (s a p1 p5 p15 p30 n)
 //     --ram-gib=N --flash-gib=N --ws-gib=N --filer-tib=N
 //     --hosts=N --threads=N --write-pct=N --scale=N --seed=N
+//     --filers=N --shard-strategy=hash|modulo   sharded storage backend
 //     --prefetch-pct=N        filer fast-read rate
 //     --flash-read-us=N --flash-write-us=N
 //     --persistent            doubled flash writes (recoverable cache)
@@ -124,6 +125,16 @@ void RegisterFlags(FlagParser& parser, CliOptions* options) {
                    });
   parser.AddInt("hosts", "number of hosts", &params.hosts);
   parser.AddInt("threads", "threads per host", &params.threads_per_host);
+  parser.AddInt("filers", "filer shards in the storage backend", &params.num_filers);
+  parser.AddCustom("shard-strategy", "hash|modulo", "block -> filer shard routing",
+                   [&params](const std::string& value) {
+                     const auto strategy = ParseShardStrategy(value);
+                     if (!strategy) {
+                       return false;
+                     }
+                     params.shard_strategy = *strategy;
+                     return true;
+                   });
   parser.AddUint64("scale", "capacity scale divisor", &params.scale);
   parser.AddUint64("seed", "workload seed", &params.seed);
   parser.AddCustom("series-ms", "N", "read-latency time series window (ms)",
@@ -177,6 +188,18 @@ void PrintMetrics(const Metrics& m) {
               static_cast<unsigned long long>(m.stack_totals.filer_writebacks),
               static_cast<unsigned long long>(m.stack_totals.sync_ram_evictions),
               static_cast<unsigned long long>(m.stack_totals.sync_flash_evictions));
+  if (m.filer_shards.size() > 1) {
+    for (size_t s = 0; s < m.filer_shards.size(); ++s) {
+      const ShardMetrics& shard = m.filer_shards[s];
+      std::printf("  shard %zu: %llu reads (%llu fast), %llu writes, "
+                  "%llu queued, max wait %.1f us\n",
+                  s, static_cast<unsigned long long>(shard.fast_reads + shard.slow_reads),
+                  static_cast<unsigned long long>(shard.fast_reads),
+                  static_cast<unsigned long long>(shard.writes),
+                  static_cast<unsigned long long>(shard.queued_requests),
+                  static_cast<double>(shard.max_wait_ns) / 1000.0);
+    }
+  }
   if (m.consistency_writes > 0) {
     std::printf("consistency: %.1f%% of writes invalidate (%llu invalidations, "
                 "%llu protocol messages)\n",

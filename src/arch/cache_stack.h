@@ -19,13 +19,14 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "src/backend/storage_service.h"
 #include "src/cache/lru_cache.h"
 #include "src/cache/policy.h"
 #include "src/device/background_writer.h"
 #include "src/device/flash_device.h"
 #include "src/device/ram_device.h"
-#include "src/device/remote_store.h"
 #include "src/sim/sim_time.h"
 #include "src/trace/record.h"
 
@@ -72,11 +73,24 @@ struct StackCounters {
   uint64_t sync_flash_evictions = 0;
   uint64_t flash_installs = 0;     // data blocks written into the flash
   uint64_t filer_writebacks = 0;   // blocks written back to the filer
-  // Writebacks issued as synchronous RemoteStore writes (the rest drain
+  // Writebacks issued as synchronous StorageService writes (the rest drain
   // through the background writer).
   uint64_t sync_filer_writes = 0;
 
-  bool operator==(const StackCounters&) const = default;
+  // Per-shard routing breakdown of filer_reads / filer_writebacks; sized to
+  // the backend's shard count when sharding is on, empty on the single-filer
+  // path. Excluded from equality: the differential oracle compares counters
+  // against a shard-agnostic model, and routing metadata is not behavior.
+  std::vector<uint64_t> shard_reads;
+  std::vector<uint64_t> shard_writes;
+
+  bool operator==(const StackCounters& o) const {
+    return ram_hits == o.ram_hits && flash_hits == o.flash_hits &&
+           filer_reads == o.filer_reads && sync_ram_evictions == o.sync_ram_evictions &&
+           sync_flash_evictions == o.sync_flash_evictions &&
+           flash_installs == o.flash_installs && filer_writebacks == o.filer_writebacks &&
+           sync_filer_writes == o.sync_filer_writes;
+  }
 };
 
 struct StackConfig {
@@ -90,12 +104,17 @@ struct StackConfig {
 class CacheStack {
  public:
   CacheStack(const StackConfig& config, RamDevice& ram_dev, FlashDevice& flash_dev,
-             RemoteStore& remote, BackgroundWriter& writer)
+             StorageService& remote, BackgroundWriter& writer)
       : config_(config),
         ram_dev_(&ram_dev),
         flash_dev_(&flash_dev),
         remote_(&remote),
-        writer_(&writer) {}
+        writer_(&writer) {
+    if (remote.num_shards() > 1) {
+      counters_.shard_reads.resize(static_cast<size_t>(remote.num_shards()), 0);
+      counters_.shard_writes.resize(static_cast<size_t>(remote.num_shards()), 0);
+    }
+  }
   virtual ~CacheStack() = default;
 
   CacheStack(const CacheStack&) = delete;
@@ -172,10 +191,23 @@ class CacheStack {
     }
   }
 
+  // Attribute a filer read/writeback to its routing shard. No-ops on the
+  // single-filer path, where the breakdown vectors stay empty.
+  void NoteShardRead(BlockKey key) {
+    if (!counters_.shard_reads.empty()) {
+      ++counters_.shard_reads[static_cast<size_t>(remote_->ShardOf(key))];
+    }
+  }
+  void NoteShardWrite(BlockKey key) {
+    if (!counters_.shard_writes.empty()) {
+      ++counters_.shard_writes[static_cast<size_t>(remote_->ShardOf(key))];
+    }
+  }
+
   StackConfig config_;
   RamDevice* ram_dev_;
   FlashDevice* flash_dev_;
-  RemoteStore* remote_;
+  StorageService* remote_;
   BackgroundWriter* writer_;
   ResidencyListener* listener_ = nullptr;
   StackCounters counters_;

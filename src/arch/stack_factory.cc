@@ -42,7 +42,7 @@ std::optional<Architecture> ParseArchitecture(const std::string& name) {
 
 std::unique_ptr<CacheStack> MakeCacheStack(Architecture arch, const StackConfig& config,
                                            RamDevice& ram_dev, FlashDevice& flash_dev,
-                                           RemoteStore& remote, BackgroundWriter& writer) {
+                                           StorageService& remote, BackgroundWriter& writer) {
   switch (arch) {
     case Architecture::kNaive:
       return std::make_unique<NaiveStack>(config, ram_dev, flash_dev, remote, writer);

@@ -25,7 +25,7 @@ std::optional<Architecture> ParseArchitecture(const std::string& name);
 
 std::unique_ptr<CacheStack> MakeCacheStack(Architecture arch, const StackConfig& config,
                                            RamDevice& ram_dev, FlashDevice& flash_dev,
-                                           RemoteStore& remote, BackgroundWriter& writer);
+                                           StorageService& remote, BackgroundWriter& writer);
 
 }  // namespace flashsim
 

@@ -3,7 +3,7 @@
 namespace flashsim {
 
 SubsetStackBase::SubsetStackBase(const StackConfig& config, RamDevice& ram_dev,
-                                 FlashDevice& flash_dev, RemoteStore& remote,
+                                 FlashDevice& flash_dev, StorageService& remote,
                                  BackgroundWriter& writer)
     : CacheStack(config, ram_dev, flash_dev, remote, writer),
       ram_("ram", config.ram_blocks, 0, config.replacement),
@@ -35,8 +35,9 @@ SimTime SubsetStackBase::Read(SimTime now, BlockKey key, HitLevel* level) {
   }
   // Miss: fetch from the filer.
   bool fast = true;
-  t = remote_->Read(t, &fast);
+  t = remote_->Read(t, key, &fast);
   ++counters_.filer_reads;
+  NoteShardRead(key);
   if (HasFlash()) {
     uint32_t fslot = kInvalidSlot;
     t = EnsureFlashSlot(t, key, &fslot);
@@ -60,7 +61,8 @@ SimTime SubsetStackBase::Write(SimTime now, BlockKey key) {
       // No caching at all: synchronous filer write.
       ++counters_.filer_writebacks;
       ++counters_.sync_filer_writes;
-      return remote_->Write(t);
+      NoteShardWrite(key);
+      return remote_->Write(t, key);
     }
     return WriteWithoutRam(t, key);
   }
@@ -117,7 +119,8 @@ SimTime SubsetStackBase::EnsureFlashSlot(SimTime t, BlockKey key, uint32_t* slot
       ++counters_.sync_flash_evictions;
       ++counters_.filer_writebacks;
       ++counters_.sync_filer_writes;
-      t = remote_->Write(t);
+      NoteShardWrite(evicted->key);
+      t = remote_->Write(t, evicted->key);
     }
     flash_dev_->Trim(evicted->key);
     NotifyDropped(evicted->key);
@@ -153,11 +156,12 @@ SimTime SubsetStackBase::InstallInRam(SimTime t, BlockKey key, uint32_t* slot_ou
 SimTime SubsetStackBase::WritebackFromRam(SimTime t, BlockKey key, bool requester_waits) {
   if (!HasFlash()) {
     ++counters_.filer_writebacks;
+    NoteShardWrite(key);
     if (requester_waits) {
       ++counters_.sync_filer_writes;
-      return remote_->Write(t);
+      return remote_->Write(t, key);
     }
-    writer_->EnqueueFilerWrite(t, /*then_flash=*/false);
+    writer_->EnqueueFilerWrite(t, /*then_flash=*/false, key);
     return t;
   }
   return WritebackFromRamToBelow(t, key, requester_waits);
@@ -211,19 +215,22 @@ void SubsetStackBase::CheckInvariants() const {
 // ----------------------------------------------------------------------------
 // NaiveStack
 
-SimTime NaiveStack::ApplyFlashArrival(SimTime t, uint32_t slot, bool requester_waits) {
+SimTime NaiveStack::ApplyFlashArrival(SimTime t, BlockKey key, uint32_t slot,
+                                      bool requester_waits) {
   switch (config_.flash_policy) {
     case WritebackPolicy::kSync:
       ++counters_.filer_writebacks;
+      NoteShardWrite(key);
       if (requester_waits) {
         ++counters_.sync_filer_writes;
-        return remote_->Write(t);
+        return remote_->Write(t, key);
       }
-      writer_->EnqueueFilerWrite(t, /*then_flash=*/false);
+      writer_->EnqueueFilerWrite(t, /*then_flash=*/false, key);
       return t;
     case WritebackPolicy::kAsync:
       ++counters_.filer_writebacks;
-      writer_->EnqueueFilerWrite(t, /*then_flash=*/false);
+      NoteShardWrite(key);
+      writer_->EnqueueFilerWrite(t, /*then_flash=*/false, key);
       return t;
     default:
       flash_.MarkDirty(slot, t);
@@ -237,7 +244,7 @@ SimTime NaiveStack::WritebackFromRamToBelow(SimTime t, BlockKey key, bool reques
   FLASHSIM_CHECK(slot != kInvalidSlot);
   const SimTime tw = flash_dev_->Write(t, key);
   ++counters_.flash_installs;
-  return ApplyFlashArrival(tw, slot, requester_waits);
+  return ApplyFlashArrival(tw, key, slot, requester_waits);
 }
 
 SimTime NaiveStack::WriteWithoutRam(SimTime t, BlockKey key) {
@@ -246,7 +253,7 @@ SimTime NaiveStack::WriteWithoutRam(SimTime t, BlockKey key) {
   // With no RAM buffer the application pays the flash write itself.
   t = flash_dev_->Write(t, key);
   ++counters_.flash_installs;
-  return ApplyFlashArrival(t, slot, /*requester_waits=*/true);
+  return ApplyFlashArrival(t, key, slot, /*requester_waits=*/true);
 }
 
 std::optional<SimTime> NaiveStack::FlushOneFlashBlock(SimTime now, SimTime dirtied_before) {
@@ -254,10 +261,12 @@ std::optional<SimTime> NaiveStack::FlushOneFlashBlock(SimTime now, SimTime dirti
   if (slot == kInvalidSlot || flash_.dirtied_at(slot) > dirtied_before) {
     return std::nullopt;
   }
+  const BlockKey key = flash_.key_of(slot);
   flash_.MarkClean(slot);
   ++counters_.filer_writebacks;
   ++counters_.sync_filer_writes;
-  return remote_->Write(now);
+  NoteShardWrite(key);
+  return remote_->Write(now, key);
 }
 
 // ----------------------------------------------------------------------------
@@ -267,13 +276,14 @@ SimTime LookasideStack::WritebackFromRamToBelow(SimTime t, BlockKey key, bool re
   // Writes go directly from RAM to the filer; the flash copy is refreshed
   // only after the filer write completes, so flash never holds dirty data.
   ++counters_.filer_writebacks;
+  NoteShardWrite(key);
   if (!requester_waits) {
     writer_->EnqueueFilerWrite(t, /*then_flash=*/true, key);
     ++counters_.flash_installs;
     return t;
   }
   ++counters_.sync_filer_writes;
-  const SimTime tw = remote_->Write(t);
+  const SimTime tw = remote_->Write(t, key);
   const uint32_t slot = flash_.Lookup(key);
   if (slot != kInvalidSlot) {
     flash_dev_->Write(tw, key);
@@ -285,7 +295,8 @@ SimTime LookasideStack::WritebackFromRamToBelow(SimTime t, BlockKey key, bool re
 SimTime LookasideStack::WriteWithoutRam(SimTime t, BlockKey key) {
   ++counters_.filer_writebacks;
   ++counters_.sync_filer_writes;
-  t = remote_->Write(t);
+  NoteShardWrite(key);
+  t = remote_->Write(t, key);
   uint32_t slot = kInvalidSlot;
   const SimTime after_evictions = EnsureFlashSlot(t, key, &slot);
   flash_dev_->Write(after_evictions, key);

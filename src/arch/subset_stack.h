@@ -21,7 +21,7 @@ namespace flashsim {
 class SubsetStackBase : public CacheStack {
  public:
   SubsetStackBase(const StackConfig& config, RamDevice& ram_dev, FlashDevice& flash_dev,
-                  RemoteStore& remote, BackgroundWriter& writer);
+                  StorageService& remote, BackgroundWriter& writer);
 
   SimTime Read(SimTime now, BlockKey key, HitLevel* level) override;
   SimTime Write(SimTime now, BlockKey key) override;
@@ -101,11 +101,11 @@ class NaiveStack : public SubsetStackBase {
   SimTime WriteWithoutRam(SimTime t, BlockKey key) override;
 
  private:
-  // Dirty data has just landed in flash slot `slot` at time `t`; applies
-  // the flash writeback policy. Synchronous write-through blocks the
-  // requester only when one is waiting; otherwise it drains through the
+  // Dirty data for `key` has just landed in flash slot `slot` at time `t`;
+  // applies the flash writeback policy. Synchronous write-through blocks
+  // the requester only when one is waiting; otherwise it drains through the
   // background writer like asynchronous write-through.
-  SimTime ApplyFlashArrival(SimTime t, uint32_t slot, bool requester_waits);
+  SimTime ApplyFlashArrival(SimTime t, BlockKey key, uint32_t slot, bool requester_waits);
 };
 
 // Lookaside architecture (Mercury, §2): writes go RAM -> filer; the flash

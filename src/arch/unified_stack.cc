@@ -3,7 +3,8 @@
 namespace flashsim {
 
 UnifiedStack::UnifiedStack(const StackConfig& config, RamDevice& ram_dev,
-                           FlashDevice& flash_dev, RemoteStore& remote, BackgroundWriter& writer)
+                           FlashDevice& flash_dev, StorageService& remote,
+                           BackgroundWriter& writer)
     : CacheStack(config, ram_dev, flash_dev, remote, writer),
       cache_("unified", config.ram_blocks, config.flash_blocks, config.replacement) {}
 
@@ -22,7 +23,8 @@ SimTime UnifiedStack::InsertBlock(SimTime t, BlockKey key, uint32_t* slot_out) {
       ++counters_.sync_flash_evictions;
       ++counters_.filer_writebacks;
       ++counters_.sync_filer_writes;
-      t = remote_->Write(t);
+      NoteShardWrite(evicted->key);
+      t = remote_->Write(t, evicted->key);
     }
     flash_dev_->Trim(evicted->key);
     NotifyDropped(evicted->key);
@@ -47,8 +49,9 @@ SimTime UnifiedStack::Read(SimTime now, BlockKey key, HitLevel* level) {
     return flash_dev_->Read(t, key);
   }
   bool fast = true;
-  t = remote_->Read(t, &fast);
+  t = remote_->Read(t, key, &fast);
   ++counters_.filer_reads;
+  NoteShardRead(key);
   t = InsertBlock(t, key, &slot);
   if (slot != kInvalidSlot) {
     if (cache_.medium_of(slot) == Medium::kRam) {
@@ -73,7 +76,8 @@ SimTime UnifiedStack::Write(SimTime now, BlockKey key) {
       // Zero-capacity cache: synchronous filer write.
       ++counters_.filer_writebacks;
       ++counters_.sync_filer_writes;
-      return remote_->Write(t);
+      NoteShardWrite(key);
+      return remote_->Write(t, key);
     }
   } else {
     cache_.Touch(slot);
@@ -91,11 +95,13 @@ SimTime UnifiedStack::Write(SimTime now, BlockKey key) {
     case WritebackPolicy::kSync:
       ++counters_.filer_writebacks;
       ++counters_.sync_filer_writes;
-      t = remote_->Write(t);
+      NoteShardWrite(key);
+      t = remote_->Write(t, key);
       break;
     case WritebackPolicy::kAsync:
       ++counters_.filer_writebacks;
-      writer_->EnqueueFilerWrite(t, /*then_flash=*/false);
+      NoteShardWrite(key);
+      writer_->EnqueueFilerWrite(t, /*then_flash=*/false, key);
       break;
     default:
       cache_.MarkDirty(slot, t);
@@ -110,10 +116,12 @@ std::optional<SimTime> UnifiedStack::FlushOneOf(SimTime now, Medium medium,
   if (slot == kInvalidSlot || cache_.dirtied_at(slot) > dirtied_before) {
     return std::nullopt;
   }
+  const BlockKey key = cache_.key_of(slot);
   cache_.MarkClean(slot);
   ++counters_.filer_writebacks;
   ++counters_.sync_filer_writes;
-  return remote_->Write(now);
+  NoteShardWrite(key);
+  return remote_->Write(now, key);
 }
 
 std::optional<SimTime> UnifiedStack::FlushOneRamBlock(SimTime now, SimTime dirtied_before) {

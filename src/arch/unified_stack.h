@@ -20,7 +20,7 @@ namespace flashsim {
 class UnifiedStack : public CacheStack {
  public:
   UnifiedStack(const StackConfig& config, RamDevice& ram_dev, FlashDevice& flash_dev,
-               RemoteStore& remote, BackgroundWriter& writer);
+               StorageService& remote, BackgroundWriter& writer);
 
   SimTime Read(SimTime now, BlockKey key, HitLevel* level) override;
   SimTime Write(SimTime now, BlockKey key) override;

@@ -1,32 +1,39 @@
-// End-to-end path from one host to the shared filer: network request packet,
-// filer service, network response packet. This is the composition every
-// cache stack uses for misses and writebacks.
-#ifndef FLASHSIM_SRC_DEVICE_REMOTE_STORE_H_
-#define FLASHSIM_SRC_DEVICE_REMOTE_STORE_H_
+// Single-filer storage service: the paper's deployment (§5), and the
+// reference packet/filer/packet composition every other backend reuses.
+// Lived in src/device/ before the backend layer existed; the block key is
+// accepted (StorageService routes by key) and ignored — one filer serves
+// every block, so the default configuration stays byte-identical to the
+// pre-backend simulator.
+#ifndef FLASHSIM_SRC_BACKEND_REMOTE_STORE_H_
+#define FLASHSIM_SRC_BACKEND_REMOTE_STORE_H_
 
+#include "src/backend/storage_service.h"
 #include "src/device/filer.h"
 #include "src/device/network_link.h"
 #include "src/sim/sim_time.h"
 
 namespace flashsim {
 
-class RemoteStore {
+class RemoteStore final : public StorageService {
  public:
   RemoteStore(NetworkLink& link, Filer& filer) : link_(&link), filer_(&filer) {}
 
   // Fetches one block: small request out, filer read, data packet back.
-  SimTime Read(SimTime now, bool* was_fast) {
+  SimTime Read(SimTime now, BlockKey /*key*/, bool* was_fast) override {
     const SimTime at_filer = link_->SendToFiler(now, /*carries_data=*/false);
     const SimTime served = filer_->Read(at_filer, was_fast);
     return link_->SendToHost(served, /*carries_data=*/true);
   }
 
   // Writes one block: data packet out, filer write, small ack back.
-  SimTime Write(SimTime now) {
+  SimTime Write(SimTime now, BlockKey /*key*/) override {
     const SimTime at_filer = link_->SendToFiler(now, /*carries_data=*/true);
     const SimTime served = filer_->Write(at_filer);
     return link_->SendToHost(served, /*carries_data=*/false);
   }
+
+  int num_shards() const override { return 1; }
+  int ShardOf(BlockKey /*key*/) const override { return 0; }
 
   NetworkLink& link() { return *link_; }
   Filer& filer() { return *filer_; }
@@ -38,4 +45,4 @@ class RemoteStore {
 
 }  // namespace flashsim
 
-#endif  // FLASHSIM_SRC_DEVICE_REMOTE_STORE_H_
+#endif  // FLASHSIM_SRC_BACKEND_REMOTE_STORE_H_

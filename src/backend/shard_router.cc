@@ -1,0 +1,32 @@
+#include "src/backend/shard_router.h"
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+const char* ShardStrategyName(ShardStrategy strategy) {
+  switch (strategy) {
+    case ShardStrategy::kHash:
+      return "hash";
+    case ShardStrategy::kModulo:
+      return "modulo";
+  }
+  return "?";
+}
+
+std::optional<ShardStrategy> ParseShardStrategy(const std::string& name) {
+  if (name == "hash") {
+    return ShardStrategy::kHash;
+  }
+  if (name == "modulo" || name == "mod") {
+    return ShardStrategy::kModulo;
+  }
+  return std::nullopt;
+}
+
+ShardRouter::ShardRouter(int num_shards, ShardStrategy strategy)
+    : num_shards_(num_shards), strategy_(strategy) {
+  FLASHSIM_CHECK(num_shards >= 1 && num_shards <= kMaxShards);
+}
+
+}  // namespace flashsim

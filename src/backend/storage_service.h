@@ -1,0 +1,39 @@
+// Storage-service interface: one host's path to the shared storage backend.
+//
+// A cache stack's misses and writebacks leave the host through exactly one
+// of these. The service owns the full host→storage composition — request
+// packet out, filer service, response packet back — and is the seam that
+// lets the backend behind it vary: a single shared filer (the paper's §5
+// model, src/backend/remote_store.h) or a block-sharded filer cluster
+// (src/backend/storage_backend.h). Stacks pass the block key so a sharded
+// implementation can route; the single-filer implementation ignores it,
+// which keeps the default path byte-identical to the pre-backend simulator.
+#ifndef FLASHSIM_SRC_BACKEND_STORAGE_SERVICE_H_
+#define FLASHSIM_SRC_BACKEND_STORAGE_SERVICE_H_
+
+#include "src/sim/sim_time.h"
+#include "src/trace/record.h"
+
+namespace flashsim {
+
+class StorageService {
+ public:
+  virtual ~StorageService() = default;
+
+  // Fetches one block: small request out, filer read, data packet back.
+  // Sets *was_fast (may be null) to whether the filer's read-ahead hit.
+  virtual SimTime Read(SimTime now, BlockKey key, bool* was_fast) = 0;
+
+  // Writes one block: data packet out, filer write, small ack back.
+  virtual SimTime Write(SimTime now, BlockKey key) = 0;
+
+  // Routing introspection. ShardOf is stable for the service's lifetime
+  // (the consistency of every per-shard counter depends on it) and returns
+  // 0 for every key when num_shards() == 1.
+  virtual int num_shards() const = 0;
+  virtual int ShardOf(BlockKey key) const = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_BACKEND_STORAGE_SERVICE_H_

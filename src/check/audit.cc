@@ -34,6 +34,22 @@ void InvariantAuditor::AuditCounters(int host, const CacheStack& stack,
   FLASHSIM_CHECK(writer.started() <= writer.enqueued());
   // Dirty blocks are resident blocks.
   FLASHSIM_CHECK(stack.DirtyBlocks() <= stack.RamResident() + stack.FlashResident());
+  // When the stack keeps per-shard routing breakdowns, they must partition
+  // the aggregate counters exactly.
+  if (!c.shard_reads.empty()) {
+    uint64_t shard_reads = 0;
+    for (const uint64_t n : c.shard_reads) {
+      shard_reads += n;
+    }
+    FLASHSIM_CHECK(shard_reads == c.filer_reads);
+  }
+  if (!c.shard_writes.empty()) {
+    uint64_t shard_writes = 0;
+    for (const uint64_t n : c.shard_writes) {
+      shard_writes += n;
+    }
+    FLASHSIM_CHECK(shard_writes == c.filer_writebacks);
+  }
 }
 
 void InvariantAuditor::AuditStructure(int host, const CacheStack& stack,
@@ -83,18 +99,29 @@ void InvariantAuditor::AuditStructure(int host, const CacheStack& stack,
   }
 }
 
-void InvariantAuditor::AuditGlobal(const std::vector<HostRefs>& hosts, const Filer& filer) {
+void InvariantAuditor::AuditGlobal(const std::vector<HostRefs>& hosts,
+                                   const StorageBackend& backend) {
   uint64_t filer_reads = 0;
   uint64_t filer_writes = 0;
   for (const HostRefs& h : hosts) {
     filer_reads += h.stack->counters().filer_reads;
     filer_writes += h.stack->counters().sync_filer_writes + h.writer->started();
   }
-  // The filer serves exactly the reads the stacks missed on...
-  FLASHSIM_CHECK(filer.reads() == filer_reads);
-  // ...and exactly the writes the stacks issued synchronously plus those
-  // the writers have started (completed or on the wire).
-  FLASHSIM_CHECK(filer.writes() == filer_writes);
+  // The shards together serve exactly the reads the stacks missed on and
+  // exactly the writes the stacks issued synchronously plus those the
+  // writers have started (completed or on the wire); no shard invents or
+  // drops requests.
+  uint64_t shard_reads = 0;
+  uint64_t shard_writes = 0;
+  for (int s = 0; s < backend.num_shards(); ++s) {
+    shard_reads += backend.shard(s).reads();
+    shard_writes += backend.shard(s).writes();
+  }
+  FLASHSIM_CHECK(shard_reads == filer_reads);
+  FLASHSIM_CHECK(shard_writes == filer_writes);
+  // The backend's aggregates are definitionally the shard sums.
+  FLASHSIM_CHECK(backend.reads() == shard_reads);
+  FLASHSIM_CHECK(backend.writes() == shard_writes);
 }
 
 }  // namespace flashsim

@@ -17,8 +17,12 @@
 //   accounting      — reads issued == ram_hits + flash_hits + filer_reads,
 //       filer_writebacks == sync_filer_writes + writer.enqueued(),
 //       writer.enqueued() == writer.completed() + writer.pending(), and
-//       globally filer.writes() == Σ_host (sync_filer_writes +
-//       writer.started()) and filer.reads() == Σ_host filer_reads.
+//       globally the backend's filer shards together served exactly
+//       Σ_host (sync_filer_writes + writer.started()) writes and
+//       Σ_host filer_reads reads (with one filer this is the historical
+//       single-filer conservation; with N shards the per-shard totals must
+//       also sum to the backend aggregates, so no shard invents or drops
+//       requests).
 //
 // The auditor is wired into Simulation behind SimConfig::audit_stride (and
 // forced on by the FLASHSIM_AUDIT build option): the O(1) accounting checks
@@ -34,6 +38,7 @@
 
 #include "src/arch/cache_stack.h"
 #include "src/arch/stack_factory.h"
+#include "src/backend/storage_backend.h"
 #include "src/consistency/directory.h"
 #include "src/device/background_writer.h"
 #include "src/device/filer.h"
@@ -64,9 +69,10 @@ class InvariantAuditor {
     const BackgroundWriter* writer;
   };
 
-  // Global conservation: the shared filer's request totals must equal the
-  // sum of what every host's stack and writer claim to have sent it.
-  void AuditGlobal(const std::vector<HostRefs>& hosts, const Filer& filer);
+  // Global conservation: the storage backend's request totals — summed
+  // across its filer shards — must equal the sum of what every host's stack
+  // and writer claim to have sent it.
+  void AuditGlobal(const std::vector<HostRefs>& hosts, const StorageBackend& backend);
 
   uint64_t counter_audits() const { return counter_audits_; }
   uint64_t structure_audits() const { return structure_audits_; }

@@ -12,7 +12,7 @@
 #include "src/device/flash_device.h"
 #include "src/device/network_link.h"
 #include "src/device/ram_device.h"
-#include "src/device/remote_store.h"
+#include "src/backend/remote_store.h"
 #include "src/device/timing.h"
 #include "src/sim/event_queue.h"
 #include "src/util/rng.h"

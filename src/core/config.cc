@@ -23,6 +23,9 @@ void SimConfig::Validate() const {
   FLASHSIM_CHECK(block_bytes > 0);
   FLASHSIM_CHECK(num_hosts >= 1 && num_hosts <= Directory::kMaxHosts);
   FLASHSIM_CHECK(threads_per_host >= 1);
+  // The shard router maps block hashes onto at most kMaxShards filers;
+  // larger counts are not representable under the shard map.
+  FLASHSIM_CHECK(num_filers >= 1 && num_filers <= ShardRouter::kMaxShards);
   FLASHSIM_CHECK(timing.ram_access_ns >= 0);
   FLASHSIM_CHECK(timing.flash_read_ns >= 0 && timing.flash_write_ns >= 0);
   FLASHSIM_CHECK(timing.filer_fast_read_rate >= 0.0 && timing.filer_fast_read_rate <= 1.0);
@@ -37,7 +40,13 @@ std::string SimConfig::Summary() const {
                 FormatSize(flash_bytes).c_str(), num_hosts, threads_per_host,
                 PolicyName(ram_policy), PolicyName(flash_policy),
                 timing.persistent_flash ? " persistent" : "");
-  return buf;
+  std::string out = buf;
+  if (num_filers > 1) {
+    std::snprintf(buf, sizeof(buf), " filers=%d(%s)", num_filers,
+                  ShardStrategyName(shard_strategy));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace flashsim

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/arch/stack_factory.h"
+#include "src/backend/shard_router.h"
 #include "src/cache/policy.h"
 #include "src/device/timing.h"
 #include "src/obs/telemetry.h"
@@ -36,6 +37,13 @@ struct SimConfig {
   uint64_t flash_bytes = 64 * kGiB;
   int num_hosts = 1;
   int threads_per_host = 8;
+
+  // Storage backend shape (src/backend/). 1 filer is the paper's topology
+  // and is byte-identical to the pre-backend single-filer path; N > 1 runs
+  // independent filer shards behind a stable block->shard router, the §7.7
+  // "add filers until the knee moves" experiment.
+  int num_filers = 1;
+  ShardStrategy shard_strategy = ShardStrategy::kHash;
 
   Architecture arch = Architecture::kNaive;
   WritebackPolicy ram_policy = WritebackPolicy::kPeriodic1;

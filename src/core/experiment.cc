@@ -27,6 +27,8 @@ SimConfig BuildSimConfig(const ExperimentParams& params) {
   config.flash_bytes = ScaledBytes(params.flash_gib, params.scale);
   config.num_hosts = params.hosts;
   config.threads_per_host = params.threads_per_host;
+  config.num_filers = params.num_filers;
+  config.shard_strategy = params.shard_strategy;
   config.arch = params.arch;
   config.ram_policy = params.ram_policy;
   config.flash_policy = params.flash_policy;

@@ -40,6 +40,10 @@ struct ExperimentParams {
 
   int hosts = 1;
   int threads_per_host = 8;
+  // Storage backend shape: number of filer shards (1 = paper topology) and
+  // the block->shard routing strategy.
+  int num_filers = 1;
+  ShardStrategy shard_strategy = ShardStrategy::kHash;
   InvalidationTraffic invalidation_traffic = InvalidationTraffic::kNone;
   double write_fraction = 0.30;
   double working_set_io_fraction = 0.80;

@@ -10,12 +10,30 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/arch/cache_stack.h"
 #include "src/sim/sim_time.h"
 #include "src/util/stats.h"
 
 namespace flashsim {
+
+// End-of-run snapshot of one filer shard (src/backend/). With one filer
+// this is the whole storage side; with N shards the vector exposes the
+// per-shard load split and queueing depth behind the aggregate counters.
+struct ShardMetrics {
+  uint64_t fast_reads = 0;
+  uint64_t slow_reads = 0;
+  uint64_t writes = 0;
+  // Requests that queued behind the shard's full server pool, and the
+  // worst such wait — the shard-level saturation signals (§7.7).
+  uint64_t queued_requests = 0;
+  SimDuration max_wait_ns = 0;
+  SimDuration busy_ns = 0;
+  SimDuration wait_ns = 0;
+
+  bool operator==(const ShardMetrics&) const = default;
+};
 
 struct Metrics {
   // Application-observed per-operation latency, measured phase only.
@@ -47,6 +65,9 @@ struct Metrics {
   uint64_t filer_fast_reads = 0;
   uint64_t filer_slow_reads = 0;
   uint64_t filer_writes = 0;
+  // One entry per filer shard (size == SimConfig::num_filers); the scalar
+  // filer_* fields above are always the sums across this vector.
+  std::vector<ShardMetrics> filer_shards;
   StackCounters stack_totals;  // summed over hosts
 
   // Writeback-pipeline accounting, summed over hosts (the conservation

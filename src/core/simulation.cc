@@ -21,13 +21,13 @@ class Simulation::HostResidencyBridge : public ResidencyListener {
 };
 
 struct Simulation::HostState {
-  HostState(const SimConfig& config, EventQueue& queue, Filer& filer, Directory& directory,
-            int host_id)
+  HostState(const SimConfig& config, EventQueue& queue, StorageBackend& backend,
+            Directory& directory, int host_id)
       : ram_dev(config.timing),
         flash_dev(config.timing),
         link(config.timing, config.block_bytes, queue.clock()),
-        remote(link, filer),
-        writer(queue, remote, &flash_dev, config.timing.writeback_window),
+        remote(backend.Connect(link)),
+        writer(queue, *remote, &flash_dev, config.timing.writeback_window),
         bridge(directory, host_id) {
     StackConfig stack_config;
     stack_config.ram_blocks = config.ram_blocks();
@@ -46,14 +46,15 @@ struct Simulation::HostState {
       ftl_timings.block_erase_ns = config.timing.ftl_block_erase_ns;
       flash_dev.EnableFtl(stack_config.flash_blocks, ftl_params, ftl_timings);
     }
-    stack = MakeCacheStack(config.arch, stack_config, ram_dev, flash_dev, remote, writer);
+    stack = MakeCacheStack(config.arch, stack_config, ram_dev, flash_dev, *remote, writer);
     stack->set_residency_listener(&bridge);
   }
 
   RamDevice ram_dev;
   FlashDevice flash_dev;
   NetworkLink link;
-  RemoteStore remote;
+  // This host's channel to the storage backend (single filer or sharded).
+  std::unique_ptr<StorageService> remote;
   BackgroundWriter writer;
   HostResidencyBridge bridge;
   std::unique_ptr<CacheStack> stack;
@@ -61,14 +62,17 @@ struct Simulation::HostState {
 
 Simulation::Simulation(const SimConfig& config) : config_(config) {
   config_.Validate();
-  filer_ = std::make_unique<Filer>(config_.timing, Mix64(config_.seed ^ 0xf11e5ULL));
+  // ShardSeed(seed, 0) reproduces the historical single-filer RNG stream,
+  // so num_filers == 1 stays byte-identical to the pre-backend simulator.
+  backend_ = MakeStorageBackend(config_.timing, config_.num_filers, config_.shard_strategy,
+                                config_.seed);
   directory_ = std::make_unique<Directory>(config_.num_hosts);
   // Pre-size the directory's holders index for the most blocks that can be
   // cached anywhere at once, so it never rehashes mid-trace.
   directory_->Reserve((config_.ram_blocks() + config_.flash_blocks()) *
                       static_cast<uint64_t>(config_.num_hosts));
   for (int h = 0; h < config_.num_hosts; ++h) {
-    hosts_.push_back(std::make_unique<HostState>(config_, queue_, *filer_, *directory_, h));
+    hosts_.push_back(std::make_unique<HostState>(config_, queue_, *backend_, *directory_, h));
   }
   backlog_.resize(static_cast<size_t>(NumThreads()));
 #ifdef FLASHSIM_AUDIT
@@ -119,14 +123,22 @@ void Simulation::ArmTelemetry() {
     host.link.set_from_filer_probe(
         telemetry_->RegisterProbe(prefix + "net.from_filer", pid, "net.from_filer", 1));
   }
-  int filer_pid = 0;
-  if (trace != nullptr) {
-    filer_pid = trace->RegisterProcess("filer");
-  }
-  filer_->set_read_probe(telemetry_->RegisterProbe("filer.read", filer_pid, "filer.read",
+  // One probe pair per filer shard. The single-filer names ("filer.read",
+  // process "filer") are pinned by the golden Chrome-trace fixture; sharded
+  // runs get per-shard names so saturation is attributable per filer.
+  const int shards = backend_->num_shards();
+  for (int s = 0; s < shards; ++s) {
+    const std::string base = shards == 1 ? "filer" : "filer.s" + std::to_string(s);
+    int filer_pid = 0;
+    if (trace != nullptr) {
+      filer_pid = trace->RegisterProcess(shards == 1 ? "filer" : "filer" + std::to_string(s));
+    }
+    Filer& shard = backend_->shard(s);
+    shard.set_read_probe(telemetry_->RegisterProbe(base + ".read", filer_pid, base + ".read",
                                                    config_.timing.filer_concurrency));
-  filer_->set_write_probe(telemetry_->RegisterProbe("filer.write", filer_pid, "filer.write",
+    shard.set_write_probe(telemetry_->RegisterProbe(base + ".write", filer_pid, base + ".write",
                                                     config_.timing.filer_concurrency));
+  }
 }
 
 Simulation::~Simulation() = default;
@@ -305,7 +317,7 @@ void Simulation::AuditStructures() {
     auditor_->AuditStructure(static_cast<int>(h), *hosts_[h]->stack, directory_.get());
     refs.push_back({hosts_[h]->stack.get(), &hosts_[h]->writer});
   }
-  auditor_->AuditGlobal(refs, *filer_);
+  auditor_->AuditGlobal(refs, *backend_);
 }
 
 void Simulation::SyncerStep(int host, bool ram_tier, SimTime now) {
@@ -427,9 +439,22 @@ Metrics Simulation::Run(TraceSource& source) {
   // syncer wake-ups that found nothing to do are not workload time.
   metrics_.end_time = last_op_completion_;
 
-  metrics_.filer_fast_reads = filer_->fast_reads();
-  metrics_.filer_slow_reads = filer_->slow_reads();
-  metrics_.filer_writes = filer_->writes();
+  metrics_.filer_fast_reads = backend_->fast_reads();
+  metrics_.filer_slow_reads = backend_->slow_reads();
+  metrics_.filer_writes = backend_->writes();
+  metrics_.filer_shards.reserve(static_cast<size_t>(backend_->num_shards()));
+  for (int s = 0; s < backend_->num_shards(); ++s) {
+    const Filer& shard = backend_->shard(s);
+    ShardMetrics sm;
+    sm.fast_reads = shard.fast_reads();
+    sm.slow_reads = shard.slow_reads();
+    sm.writes = shard.writes();
+    sm.queued_requests = shard.queued_requests();
+    sm.max_wait_ns = shard.max_wait();
+    sm.busy_ns = shard.busy_time();
+    sm.wait_ns = shard.wait_time();
+    metrics_.filer_shards.push_back(sm);
+  }
   metrics_.consistency_writes = directory_->measured_writes();
   metrics_.invalidating_writes = directory_->invalidating_writes();
   metrics_.invalidations = directory_->invalidations();
@@ -454,6 +479,14 @@ Metrics Simulation::Run(TraceSource& source) {
     metrics_.stack_totals.flash_installs += c.flash_installs;
     metrics_.stack_totals.filer_writebacks += c.filer_writebacks;
     metrics_.stack_totals.sync_filer_writes += c.sync_filer_writes;
+    if (!c.shard_reads.empty()) {
+      metrics_.stack_totals.shard_reads.resize(c.shard_reads.size(), 0);
+      metrics_.stack_totals.shard_writes.resize(c.shard_writes.size(), 0);
+      for (size_t s = 0; s < c.shard_reads.size(); ++s) {
+        metrics_.stack_totals.shard_reads[s] += c.shard_reads[s];
+        metrics_.stack_totals.shard_writes[s] += c.shard_writes[s];
+      }
+    }
     metrics_.writebacks_enqueued += host->writer.enqueued();
     metrics_.writebacks_completed += host->writer.completed();
     metrics_.writebacks_in_flight += host->writer.pending();

@@ -19,6 +19,7 @@
 
 #include "src/arch/cache_stack.h"
 #include "src/arch/stack_factory.h"
+#include "src/backend/storage_backend.h"
 #include "src/check/audit.h"
 #include "src/consistency/directory.h"
 #include "src/core/config.h"
@@ -27,7 +28,6 @@
 #include "src/device/flash_device.h"
 #include "src/device/network_link.h"
 #include "src/device/ram_device.h"
-#include "src/device/remote_store.h"
 #include "src/obs/telemetry.h"
 #include "src/sim/event_queue.h"
 #include "src/trace/source.h"
@@ -56,7 +56,12 @@ class Simulation : private EventHandler {
   NetworkLink& link(int host);
   FlashDevice& flash_device(int host);
   const BackgroundWriter& writer(int host) const;
-  Filer& filer() { return *filer_; }
+  // Filer shard accessors; the default argument keeps single-filer callers
+  // (`sim.filer()`) unchanged.
+  Filer& filer(int shard = 0) { return backend_->shard(shard); }
+  StorageBackend& backend() { return *backend_; }
+  const StorageBackend& backend() const { return *backend_; }
+  int num_filer_shards() const { return backend_->num_shards(); }
   const SimConfig& config() const { return config_; }
   const Directory& directory() const { return *directory_; }
   uint64_t events_processed() const { return queue_.events_processed(); }
@@ -125,7 +130,7 @@ class Simulation : private EventHandler {
 
   SimConfig config_;
   EventQueue queue_;
-  std::unique_ptr<Filer> filer_;
+  std::unique_ptr<StorageBackend> backend_;
   std::unique_ptr<Directory> directory_;
   std::vector<std::unique_ptr<HostState>> hosts_;
   TraceSource* source_ = nullptr;

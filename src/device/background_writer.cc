@@ -6,8 +6,8 @@
 
 namespace flashsim {
 
-BackgroundWriter::BackgroundWriter(EventQueue& queue, RemoteStore& remote, FlashDevice* flash,
-                                   int window)
+BackgroundWriter::BackgroundWriter(EventQueue& queue, StorageService& remote,
+                                   FlashDevice* flash, int window)
     : queue_(&queue), remote_(&remote), flash_(flash), window_(window) {
   FLASHSIM_CHECK(window >= 1);
 }
@@ -30,7 +30,7 @@ void BackgroundWriter::Pump(SimTime now) {
     const Pending item = pending_.front();
     pending_.pop_front();
     ++active_;
-    const SimTime done = remote_->Write(now);
+    const SimTime done = remote_->Write(now, item.key);
     if (item.then_flash && flash_ != nullptr) {
       flash_->Write(done, item.key);
     }

@@ -17,9 +17,9 @@
 
 #include <cstdint>
 
+#include "src/backend/storage_service.h"
 #include "src/device/flash_device.h"
 #include "src/trace/record.h"
-#include "src/device/remote_store.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/sim_time.h"
 #include "src/util/ring_deque.h"
@@ -29,11 +29,13 @@ namespace flashsim {
 class BackgroundWriter : public EventHandler {
  public:
   // `flash` may be null if no post-write flash refresh is ever requested.
-  BackgroundWriter(EventQueue& queue, RemoteStore& remote, FlashDevice* flash, int window = 1);
+  BackgroundWriter(EventQueue& queue, StorageService& remote, FlashDevice* flash,
+                   int window = 1);
 
   // Queues one block writeback to the filer, optionally refreshing the
   // flash copy of `key` once the filer write completes. Never blocks the
-  // caller.
+  // caller. The key also routes the write when the backend is sharded, so
+  // callers must pass the real block even without a flash refresh.
   void EnqueueFilerWrite(SimTime now, bool then_flash, BlockKey key = 0);
 
   // Typed-event dispatch: one in-flight filer write finished.
@@ -52,7 +54,7 @@ class BackgroundWriter : public EventHandler {
   void Pump(SimTime now);
 
   EventQueue* queue_;
-  RemoteStore* remote_;
+  StorageService* remote_;
   FlashDevice* flash_;
   struct Pending {
     bool then_flash;

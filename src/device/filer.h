@@ -61,6 +61,10 @@ class Filer {
   uint64_t writes() const { return writes_; }
   SimDuration busy_time() const { return servers_.busy_time(); }
   SimDuration wait_time() const { return servers_.wait_time(); }
+  // Requests that queued behind a full server pool, and the worst such
+  // wait; per-shard saturation depth for the sharded backend's metrics.
+  uint64_t queued_requests() const { return servers_.queued_requests(); }
+  SimDuration max_wait() const { return servers_.max_wait(); }
 
   void Reset() {
     servers_.Reset();

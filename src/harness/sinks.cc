@@ -178,6 +178,21 @@ JsonValue CountersToJson(const StackCounters& counters) {
   json.Set("flash_installs", counters.flash_installs);
   json.Set("filer_writebacks", counters.filer_writebacks);
   json.Set("sync_filer_writes", counters.sync_filer_writes);
+  // Shard breakdowns exist only for sharded backends; omit them otherwise
+  // so single-filer documents stay byte-identical to pre-backend ones.
+  const auto append_all = [](const std::vector<uint64_t>& values) {
+    JsonValue array = JsonValue::Array();
+    for (const uint64_t v : values) {
+      array.Append(v);
+    }
+    return array;
+  };
+  if (!counters.shard_reads.empty()) {
+    json.Set("shard_reads", append_all(counters.shard_reads));
+  }
+  if (!counters.shard_writes.empty()) {
+    json.Set("shard_writes", append_all(counters.shard_writes));
+  }
   return json;
 }
 
@@ -192,12 +207,60 @@ bool JsonToCounters(const JsonValue& json, StackCounters* out) {
   };
   // Absent in snapshots written before the counter existed; default 0.
   get("sync_filer_writes", &out->sync_filer_writes);
+  // Shard breakdowns are optional: absent means single filer (empty).
+  const auto get_array = [&json](const char* key, std::vector<uint64_t>* field) {
+    const JsonValue* value = json.Get(key);
+    if (value == nullptr) {
+      return;
+    }
+    field->clear();
+    for (size_t i = 0; i < value->size(); ++i) {
+      field->push_back(value->at(i).AsUint());
+    }
+  };
+  get_array("shard_reads", &out->shard_reads);
+  get_array("shard_writes", &out->shard_writes);
   return get("ram_hits", &out->ram_hits) && get("flash_hits", &out->flash_hits) &&
          get("filer_reads", &out->filer_reads) &&
          get("sync_ram_evictions", &out->sync_ram_evictions) &&
          get("sync_flash_evictions", &out->sync_flash_evictions) &&
          get("flash_installs", &out->flash_installs) &&
          get("filer_writebacks", &out->filer_writebacks);
+}
+
+JsonValue ShardToJson(const ShardMetrics& shard) {
+  JsonValue json = JsonValue::Object();
+  json.Set("fast_reads", shard.fast_reads);
+  json.Set("slow_reads", shard.slow_reads);
+  json.Set("writes", shard.writes);
+  json.Set("queued_requests", shard.queued_requests);
+  json.Set("max_wait_ns", static_cast<uint64_t>(shard.max_wait_ns));
+  json.Set("busy_ns", static_cast<uint64_t>(shard.busy_ns));
+  json.Set("wait_ns", static_cast<uint64_t>(shard.wait_ns));
+  return json;
+}
+
+bool JsonToShard(const JsonValue& json, ShardMetrics* out) {
+  const auto get = [&json](const char* key, uint64_t* field) {
+    const JsonValue* value = json.Get(key);
+    if (value == nullptr) {
+      return false;
+    }
+    *field = value->AsUint();
+    return true;
+  };
+  uint64_t max_wait = 0;
+  uint64_t busy = 0;
+  uint64_t wait = 0;
+  if (!get("fast_reads", &out->fast_reads) || !get("slow_reads", &out->slow_reads) ||
+      !get("writes", &out->writes) || !get("queued_requests", &out->queued_requests) ||
+      !get("max_wait_ns", &max_wait) || !get("busy_ns", &busy) || !get("wait_ns", &wait)) {
+    return false;
+  }
+  out->max_wait_ns = static_cast<SimDuration>(max_wait);
+  out->busy_ns = static_cast<SimDuration>(busy);
+  out->wait_ns = static_cast<SimDuration>(wait);
+  return true;
 }
 
 }  // namespace
@@ -226,6 +289,13 @@ JsonValue MetricsToJson(const Metrics& metrics) {
   json.Set("filer_fast_reads", metrics.filer_fast_reads);
   json.Set("filer_slow_reads", metrics.filer_slow_reads);
   json.Set("filer_writes", metrics.filer_writes);
+  if (!metrics.filer_shards.empty()) {
+    JsonValue shards = JsonValue::Array();
+    for (const ShardMetrics& shard : metrics.filer_shards) {
+      shards.Append(ShardToJson(shard));
+    }
+    json.Set("filer_shards", std::move(shards));
+  }
   json.Set("stack_totals", CountersToJson(metrics.stack_totals));
   json.Set("writebacks_enqueued", metrics.writebacks_enqueued);
   json.Set("writebacks_completed", metrics.writebacks_completed);
@@ -296,6 +366,16 @@ std::optional<Metrics> MetricsFromJson(const JsonValue& json) {
   get_u64("writebacks_completed", &metrics.writebacks_completed);
   get_u64("writebacks_in_flight", &metrics.writebacks_in_flight);
   get_u64("dirty_resident", &metrics.dirty_resident);
+  // Absent in single-filer snapshots and those written before sharding.
+  if (const JsonValue* shards = json.Get("filer_shards"); shards != nullptr) {
+    for (size_t i = 0; i < shards->size(); ++i) {
+      ShardMetrics shard;
+      if (!JsonToShard(shards->at(i), &shard)) {
+        return std::nullopt;
+      }
+      metrics.filer_shards.push_back(shard);
+    }
+  }
   metrics.end_time = static_cast<SimTime>(end_time);
   metrics.ftl_enabled = ftl_enabled->AsBool();
   metrics.ftl_write_amplification = ftl_wa->AsDouble();

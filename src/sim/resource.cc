@@ -107,7 +107,12 @@ SimTime MultiResource::Acquire(SimTime now, SimDuration service) {
   slot = start + service;
   std::push_heap(free_times_.begin(), free_times_.end(), std::greater<SimTime>());
   busy_time_ += service;
-  wait_time_ += start - now;
+  const SimDuration waited = start - now;
+  wait_time_ += waited;
+  if (waited > 0) {
+    ++queued_requests_;
+    max_wait_ = std::max(max_wait_, waited);
+  }
   ++requests_;
   return start + service;
 }
@@ -117,6 +122,8 @@ void MultiResource::Reset() {
   busy_time_ = 0;
   wait_time_ = 0;
   requests_ = 0;
+  queued_requests_ = 0;
+  max_wait_ = 0;
 }
 
 }  // namespace flashsim

@@ -89,6 +89,10 @@ class MultiResource {
   SimDuration busy_time() const { return busy_time_; }
   SimDuration wait_time() const { return wait_time_; }
   uint64_t requests() const { return requests_; }
+  // Requests that found every server occupied and had to queue, and the
+  // longest single wait — the saturation signals behind the §7.7 knee.
+  uint64_t queued_requests() const { return queued_requests_; }
+  SimDuration max_wait() const { return max_wait_; }
   int servers() const { return static_cast<int>(free_times_.size()); }
   const std::string& name() const { return name_; }
 
@@ -101,6 +105,8 @@ class MultiResource {
   SimDuration busy_time_ = 0;
   SimDuration wait_time_ = 0;
   uint64_t requests_ = 0;
+  uint64_t queued_requests_ = 0;
+  SimDuration max_wait_ = 0;
 };
 
 }  // namespace flashsim

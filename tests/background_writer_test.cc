@@ -2,10 +2,10 @@
 // semantics, interleaving fairness with foreground reads.
 #include <gtest/gtest.h>
 
+#include "src/backend/remote_store.h"
 #include "src/device/background_writer.h"
 #include "src/device/filer.h"
 #include "src/device/network_link.h"
-#include "src/device/remote_store.h"
 #include "src/sim/event_queue.h"
 #include "src/util/rng.h"
 
@@ -66,7 +66,7 @@ TEST(BackgroundWriter, ForegroundReadsInterleaveWithBacklog) {
   SimTime read_done = 0;
   rig.queue.ScheduleAt(kRoundTrip / 2, [&](SimTime now) {
     bool fast = false;
-    read_done = rig.remote->Read(now, &fast);
+    read_done = rig.remote->Read(now, /*key=*/0, &fast);
   });
   rig.queue.RunToCompletion();
   // The read finishes in ~1-2 round trips, not after the 50-write backlog.

@@ -53,6 +53,33 @@ TEST(SimConfigDeathTest, ValidateRejectsBadValues) {
   }
 }
 
+TEST(SimConfigDeathTest, ValidateRejectsBadShardCounts) {
+  {
+    SimConfig config;
+    config.num_filers = 0;
+    EXPECT_DEATH(config.Validate(), "CHECK failed");
+  }
+  {
+    SimConfig config;
+    config.num_filers = -1;
+    EXPECT_DEATH(config.Validate(), "CHECK failed");
+  }
+  {
+    // Shard counts above the router's map width are not representable.
+    SimConfig config;
+    config.num_filers = ShardRouter::kMaxShards + 1;
+    EXPECT_DEATH(config.Validate(), "CHECK failed");
+  }
+}
+
+TEST(SimConfig, ValidateAcceptsShardCountRange) {
+  for (int filers : {1, 2, ShardRouter::kMaxShards}) {
+    SimConfig config;
+    config.num_filers = filers;
+    config.Validate();  // must not abort
+  }
+}
+
 TEST(SimConfig, SummaryDescribesConfiguration) {
   SimConfig config;
   const std::string summary = config.Summary();

@@ -1,11 +1,11 @@
 #include <gtest/gtest.h>
 
+#include "src/backend/remote_store.h"
 #include "src/device/background_writer.h"
 #include "src/device/filer.h"
 #include "src/device/flash_device.h"
 #include "src/device/network_link.h"
 #include "src/device/ram_device.h"
-#include "src/device/remote_store.h"
 #include "src/sim/event_queue.h"
 
 namespace flashsim {
@@ -126,7 +126,7 @@ TEST(RemoteStore, ReadPathComposesStages) {
   Filer filer(t, 1);
   RemoteStore remote(link, filer);
   bool fast = false;
-  EXPECT_EQ(remote.Read(0, &fast), 8200 + 92000 + 40968);
+  EXPECT_EQ(remote.Read(0, /*key=*/1, &fast), 8200 + 92000 + 40968);
   EXPECT_TRUE(fast);
 }
 
@@ -136,7 +136,7 @@ TEST(RemoteStore, WritePathComposesStages) {
   NetworkLink link(t, 4096);
   Filer filer(t, 1);
   RemoteStore remote(link, filer);
-  EXPECT_EQ(remote.Write(0), 40968 + 92000 + 8200);
+  EXPECT_EQ(remote.Write(0, /*key=*/1), 40968 + 92000 + 8200);
 }
 
 TEST(BackgroundWriter, SingleWindowSerializesWrites) {

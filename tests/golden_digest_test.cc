@@ -135,6 +135,27 @@ TEST(GoldenDigest, SerialMatchesCommittedAndParallelMatchesSerial) {
   }
 }
 
+// Byte-identity contract for the storage backend (DESIGN.md §11): running
+// the same sweeps with num_filers pinned to 1 explicitly — through the
+// src/backend/ SingleFilerBackend rather than whatever the default happens
+// to be — must reproduce the committed digests bit-for-bit, serial and on
+// 4 workers. This is the guard that lets the sharded backend evolve without
+// silently perturbing every paper figure.
+TEST(GoldenDigest, ExplicitSingleFilerIsByteIdentical) {
+  const std::map<std::string, uint64_t> golden = LoadGoldenDigests();
+  for (SweepCase& c : GoldenCases()) {
+    c.sweep.AddAxis("filers", FilersAxis({1}));
+    const uint64_t serial = DigestSweep(c.sweep, 1, c.row);
+    const uint64_t parallel = DigestSweep(c.sweep, 4, c.row);
+    EXPECT_EQ(serial, parallel) << c.name << ": --jobs=4 diverged from serial with filers=1";
+    auto it = golden.find(c.name);
+    ASSERT_NE(it, golden.end()) << c.name << " missing from tests/golden/digests.txt";
+    EXPECT_EQ(serial, it->second)
+        << c.name << ": num_filers=1 is not byte-identical to the single-filer golden "
+        << "digest — the backend refactor changed the default path";
+  }
+}
+
 // Regeneration helper, skipped in normal runs.
 TEST(GoldenDigest, DISABLED_PrintDigests) {
   for (const SweepCase& c : GoldenCases()) {

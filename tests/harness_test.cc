@@ -156,6 +156,31 @@ TEST(Sinks, MetricsRoundTripThroughJson) {
   EXPECT_DOUBLE_EQ(restored->ftl_write_amplification, metrics.ftl_write_amplification);
 }
 
+TEST(Sinks, ShardedMetricsRoundTripThroughJson) {
+  // A sharded run additionally populates the per-shard filer snapshots and
+  // the stack totals' shard routing vectors; all of it must survive the
+  // serialize -> parse -> restore cycle bit-identically.
+  ExperimentParams params = SmallParams();
+  params.num_filers = 4;
+  const Metrics metrics = RunExperiment(params).metrics;
+  ASSERT_EQ(metrics.filer_shards.size(), 4u);
+  ASSERT_EQ(metrics.stack_totals.shard_reads.size(), 4u);
+
+  const std::string text = MetricsToJson(metrics).Dump(2);
+  const std::optional<JsonValue> reparsed = JsonValue::Parse(text);
+  ASSERT_TRUE(reparsed.has_value());
+  const std::optional<Metrics> restored = MetricsFromJson(*reparsed);
+  ASSERT_TRUE(restored.has_value());
+
+  EXPECT_EQ(MetricsToJson(*restored).Dump(2), text);
+  ASSERT_EQ(restored->filer_shards.size(), metrics.filer_shards.size());
+  for (size_t s = 0; s < metrics.filer_shards.size(); ++s) {
+    EXPECT_EQ(restored->filer_shards[s], metrics.filer_shards[s]) << s;
+  }
+  EXPECT_EQ(restored->stack_totals.shard_reads, metrics.stack_totals.shard_reads);
+  EXPECT_EQ(restored->stack_totals.shard_writes, metrics.stack_totals.shard_writes);
+}
+
 TEST(Sinks, TableToJsonTypesCells) {
   Table table({"name", "count", "ratio"});
   table.AddRow({"alpha", Table::Cell(static_cast<uint64_t>(42)), Table::Cell(0.25, 2)});

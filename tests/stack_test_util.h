@@ -17,6 +17,7 @@
 #include "src/arch/stack_factory.h"
 #include "src/arch/subset_stack.h"
 #include "src/arch/unified_stack.h"
+#include "src/backend/remote_store.h"
 #include "src/device/background_writer.h"
 #include "src/sim/event_queue.h"
 

@@ -111,6 +111,30 @@ TEST(TelemetryAllocation, HistogramRecordingIsAllocationFree) {
   EXPECT_EQ(hist_delta, off_delta) << "histogram Record allocated on the hot path";
 }
 
+TEST(TelemetryAllocation, MultiShardOffPathStaysAllocationFree) {
+  // A sharded backend adds per-shard routing counters and telemetry probes,
+  // but none of it may put allocations on the hot path: with num_filers=4
+  // and telemetry off, run allocations still must not scale with trace
+  // length, and arming histograms (which registers the per-shard filer
+  // probes up front) must not change the run-phase count either.
+  SimConfig sharded = TinyConfig();
+  sharded.num_filers = 4;
+  uint64_t short_records = 0;
+  uint64_t long_records = 0;
+  const uint64_t short_delta = RunAllocations(sharded, MakeTrace(20000), &short_records);
+  const uint64_t long_delta = RunAllocations(sharded, MakeTrace(80000), &long_records);
+  ASSERT_EQ(short_records, 20000u);
+  ASSERT_EQ(long_records, 80000u);
+  EXPECT_EQ(long_delta, short_delta)
+      << "sharded-backend run allocations grew with trace length";
+
+  SimConfig instrumented = sharded;
+  instrumented.telemetry.histograms = true;
+  const uint64_t hist_delta = RunAllocations(instrumented, MakeTrace(20000));
+  EXPECT_EQ(hist_delta, short_delta)
+      << "per-shard filer probes allocated on the hot path";
+}
+
 TEST(TelemetryAllocation, SamplerStaysWithinItsReserve) {
   // The sampler reserves room for 1024 rows at construction; a run that
   // takes fewer strides than that must not allocate for sampling either.
