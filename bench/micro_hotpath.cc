@@ -184,6 +184,45 @@ BenchRow BenchSimulation(Architecture arch, uint64_t ops,
                   m.measured_read_blocks + m.measured_write_blocks, SecondsSince(start)};
 }
 
+// Fleet-scale rows: a 16-host RAM-hit-heavy workload (the partitioned
+// engine's certified-batch fast path) through the legacy serial engine
+// (partitions=1) and the partitioned engine at 4 queues. The two rows
+// produce identical metrics by the DESIGN.md §12 contract; the
+// items_per_sec ratio is the engine's measured speedup on this machine
+// (bounded by core count — on a 1-core runner it isolates the batching
+// overhead instead).
+BenchRow BenchPartitionedSimulation(int partitions, uint64_t ops) {
+  SimConfig config;
+  config.ram_bytes = 4096ULL * 4096;
+  config.flash_bytes = 32768ULL * 4096;
+  config.num_hosts = 16;
+  config.threads_per_host = 4;
+  config.num_partitions = partitions;
+  config.arch = Architecture::kUnified;
+  Simulation sim(config);
+  std::vector<TraceRecord> records;
+  records.reserve(ops);
+  Rng rng(7);
+  for (uint64_t i = 0; i < ops; ++i) {
+    TraceRecord r;
+    // 2% writes, hot 2048-block set shared fleet-wide: after the first
+    // pass nearly every read is a pure RAM hit the coordinator can defer.
+    r.op = rng.NextBool(0.02) ? TraceOp::kWrite : TraceOp::kRead;
+    r.host = static_cast<uint16_t>(rng.NextBounded(16));
+    r.thread = static_cast<uint16_t>(rng.NextBounded(4));
+    r.file_id = 1;
+    r.block = rng.NextBounded(2048);
+    records.push_back(r);
+  }
+  VectorTraceSource source(std::move(records));
+  const auto start = Clock::now();
+  const Metrics m = sim.Run(source);
+  char name[32];
+  std::snprintf(name, sizeof(name), "sim_fleet_p%d", partitions);
+  return BenchRow{name, m.measured_read_blocks + m.measured_write_blocks,
+                  SecondsSince(start)};
+}
+
 // The telemetry-on counterpart of sim_naive: every collector armed. Its
 // items_per_sec next to sim_naive's IS the telemetry overhead; the
 // telemetry-off rows above must stay within the baseline tolerance.
@@ -322,6 +361,8 @@ int main(int argc, char** argv) {
     AddRow(&table, BenchSimulation(arch, ops));
   }
   AddRow(&table, BenchSimulationTelemetry(ops));
+  AddRow(&table, BenchPartitionedSimulation(1, ops));
+  AddRow(&table, BenchPartitionedSimulation(4, ops));
   AddRow(&table, BenchFlatHashFind(micro_items));
   AddRow(&table, BenchLruTouch(micro_items));
   AddRow(&table, BenchResourceAcquire(micro_items));

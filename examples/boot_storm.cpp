@@ -1,0 +1,105 @@
+// Scenario: Monday 9am at a 1024-seat VDI site — every desktop boots at
+// once off the same golden image, and the question is which axis keeps the
+// storm survivable: more filer shards, or more simulation partitions.
+//
+// Two different knobs are crossed here, and only one changes the answer:
+//
+//   filers=N (SimConfig::num_filers)     changes the MODELED system — the
+//       boot image's misses spread over N service pools, so storm latency
+//       really drops (DESIGN.md §11).
+//   partitions=P (SimConfig::num_partitions)  changes the ENGINE ONLY —
+//       the 1024 hosts are split into P event queues advanced by P worker
+//       threads, and by the §12 determinism contract every metric column
+//       must be bit-identical down a partitions block. Only wall_s and
+//       kops_s may move.
+//
+// A boot storm is the partitioned engine's best case: after each desktop
+// pulls the (small, shared) image once, the measured phase is almost pure
+// per-host RAM hits — exactly the events the coordinator certifies and
+// defers into parallel batches. The speedup column is the engine's payoff
+// on this machine (it tops out at the core count; on a 1-core box it shows
+// the batching overhead instead).
+//
+// The sweep runs on 1 harness job regardless of --jobs so that wall_s
+// times one experiment at a time — otherwise sweep workers and partition
+// workers fight for the same cores and the speedup column measures
+// contention, not the engine.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/core/experiment.h"
+#include "src/harness/harness.h"
+#include "src/util/table.h"
+
+using namespace flashsim;
+
+int main(int argc, char** argv) {
+  int hosts = 1024;
+  BenchFlags flags;
+  flags.parser().AddInt("hosts", "desktops booting simultaneously", &hosts);
+  const BenchOptions options = flags.ParseOrExit(argc, argv);
+
+  ExperimentParams base = BaselineParams(options);
+  // 1024 hosts: default to a much coarser scale than the figure benches so
+  // the grid stays minutes (still ~10M block I/Os across the fleet).
+  base.scale = std::max<uint64_t>(base.scale, 4096);
+  base.hosts = hosts;
+  base.threads_per_host = 2;
+  base.arch = Architecture::kUnified;
+  // The golden image: a 4 GB shared working set, far below the 8 GB
+  // per-desktop RAM, so the post-warmup storm is RAM-hit dominated. The
+  // storm is pure reads: a VDI boot writes to per-VM delta disks, never the
+  // shared image — and in this model an image write would invalidate the
+  // block in every other desktop's cache (§3.8), which is a different
+  // experiment (Fig 11's write-sharing sweep). Trace volume is fleet-total
+  // (generator.h: total = volume_multiplier x working set), so scale the
+  // multiplier with the host count: every desktop replays the image ~4x.
+  base.working_set_gib = 4.0;
+  base.shared_working_set = true;
+  base.write_fraction = 0.0;
+  base.working_set_io_fraction = 0.95;
+  base.volume_multiplier = 4.0 * hosts;
+  PrintExperimentHeader("boot storm: 1024 desktops, one golden image (partitions x filers)",
+                        base);
+  std::printf("hosts: %d x %d threads\n\n", base.hosts, base.threads_per_host);
+
+  Sweep sweep(base);
+  sweep.AddAxis("filers", FilersAxis({1, 4}))
+      .AddAxis("partitions", PartitionsAxis({1, 4, 16}));
+
+  Table table({"filers", "partitions", "read_us", "ram_hit_pct", "blocks", "wall_s",
+               "kops_s", "speedup"});
+  // partitions=1 wall time per filers= block, the speedup denominator.
+  std::map<int, double> serial_wall;
+  ParallelRunner(1).RunOrdered(
+      sweep.Expand(),
+      [](const SweepPoint& point) { return RunExperiment(point.params); },
+      [&](const SweepPoint& point, const ExperimentResult& result) {
+        const Metrics& m = result.metrics;
+        const uint64_t blocks = m.measured_read_blocks + m.measured_write_blocks;
+        const double kops = blocks / std::max(result.wall_seconds, 1e-9) / 1000.0;
+        const int filers = point.params.num_filers;
+        if (point.params.num_partitions == 1) {
+          serial_wall[filers] = result.wall_seconds;
+        }
+        const double speedup = serial_wall.count(filers)
+                                   ? serial_wall[filers] / std::max(result.wall_seconds, 1e-9)
+                                   : 0.0;
+        table.AddRow({point.label(0), point.label(1), Table::Cell(m.mean_read_us(), 2),
+                      Table::Cell(100.0 * m.ram_hit_rate(), 1), Table::Cell(blocks),
+                      Table::Cell(result.wall_seconds, 2), Table::Cell(kops, 1),
+                      Table::Cell(speedup, 2)});
+      });
+  PrintTable(table, options);
+
+  std::printf(
+      "\nDown a filers= block every metric column repeats exactly — that is\n"
+      "the DESIGN.md S12 contract (partitions change wall_s and kops_s,\n"
+      "never results). Across blocks, filers=4 cuts read_us during the\n"
+      "miss-heavy warmup tail: sharding fixes the storm, partitioning fixes\n"
+      "how long you wait for the simulation of it.\n");
+  return 0;
+}

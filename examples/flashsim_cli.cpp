@@ -13,6 +13,8 @@
 //     --ram-gib=N --flash-gib=N --ws-gib=N --filer-tib=N
 //     --hosts=N --threads=N --write-pct=N --scale=N --seed=N
 //     --filers=N --shard-strategy=hash|modulo   sharded storage backend
+//     --partitions=N          partitioned engine: N host groups on N worker
+//                             threads, byte-identical to the serial engine
 //     --prefetch-pct=N        filer fast-read rate
 //     --flash-read-us=N --flash-write-us=N
 //     --persistent            doubled flash writes (recoverable cache)
@@ -126,6 +128,8 @@ void RegisterFlags(FlagParser& parser, CliOptions* options) {
   parser.AddInt("hosts", "number of hosts", &params.hosts);
   parser.AddInt("threads", "threads per host", &params.threads_per_host);
   parser.AddInt("filers", "filer shards in the storage backend", &params.num_filers);
+  parser.AddInt("partitions", "partitioned-engine host groups (1 = serial engine)",
+                &params.num_partitions);
   parser.AddCustom("shard-strategy", "hash|modulo", "block -> filer shard routing",
                    [&params](const std::string& value) {
                      const auto strategy = ParseShardStrategy(value);

@@ -125,6 +125,16 @@ class CacheStack {
   virtual SimTime Read(SimTime now, BlockKey key, HitLevel* level) = 0;
   virtual SimTime Write(SimTime now, BlockKey key) = 0;
 
+  // Whether a Read of `key` right now would be a pure RAM hit: satisfied
+  // entirely from this host's RAM tier, touching only host-local state
+  // (recency chain, counters, RAM device timeline) — no eviction, install,
+  // directory callback, or filer traffic. The partitioned engine
+  // (DESIGN.md §12) uses this to certify reads that commute across hosts
+  // and may execute off the coordinator thread. Note a pure RAM hit never
+  // changes residency, so certification of one read cannot invalidate the
+  // certification of another at the same instant.
+  virtual bool ReadIsPureRamHit(BlockKey key) const = 0;
+
   // Syncer interface. A periodic writeback policy is a syncer *thread*
   // (§3.5) with one writeback in flight at a time; when it falls behind the
   // dirty-production rate, dirty data accumulates — the paper observes

@@ -29,6 +29,12 @@ class SubsetStackBase : public CacheStack {
                                           SimTime dirtied_before = kSimTimeNever) override;
   void Invalidate(BlockKey key) override;
   bool Holds(BlockKey key) const override;
+  // A RAM-resident block reads via Touch + RamDevice::Read only — no
+  // promotion, eviction, or filer traffic (Read above takes the early-return
+  // branch), so the read is host-local and certifiable.
+  bool ReadIsPureRamHit(BlockKey key) const override {
+    return HasRam() && ram_.Lookup(key) != kInvalidSlot;
+  }
   uint64_t RamResident() const override { return ram_.size(); }
   uint64_t FlashResident() const override { return flash_.size(); }
   uint64_t DirtyBlocks() const override { return ram_.dirty_count() + flash_.dirty_count(); }

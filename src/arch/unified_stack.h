@@ -30,6 +30,15 @@ class UnifiedStack : public CacheStack {
                                             SimTime dirtied_before = kSimTimeNever) override;
   void Invalidate(BlockKey key) override;
   bool Holds(BlockKey key) const override { return cache_.Lookup(key) != kInvalidSlot; }
+  // Only the RAM-medium branch of Read is certified: it touches the chain
+  // and the RAM device timeline and returns. (A flash-medium hit is also
+  // host-local but shares the flash timeline with syncer flushes; keeping
+  // it on the coordinator sidesteps ordering questions for no measurable
+  // loss — the batches that matter are RAM-hit storms.)
+  bool ReadIsPureRamHit(BlockKey key) const override {
+    const uint32_t slot = cache_.Lookup(key);
+    return slot != kInvalidSlot && cache_.medium_of(slot) == Medium::kRam;
+  }
   uint64_t RamResident() const override;
   uint64_t FlashResident() const override;
   uint64_t DirtyBlocks() const override { return cache_.dirty_count(); }

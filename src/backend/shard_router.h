@@ -33,10 +33,11 @@ std::optional<ShardStrategy> ParseShardStrategy(const std::string& name);
 
 class ShardRouter {
  public:
-  // Upper bound on shards per backend. Mirrors Directory::kMaxHosts — both
-  // are "one machine per bit of a small cluster" limits — and keeps every
-  // shard index representable in the telemetry/JSON schemas without
-  // worrying about pathological configs.
+  // Upper bound on shards per backend — a "one machine per bit" limit that
+  // keeps every shard index representable in the telemetry/JSON schemas
+  // without worrying about pathological configs. (Directory::kMaxHosts once
+  // mirrored this; the consistency directory has since gone multiword for
+  // fleet-scale runs, while filer counts stay small.)
   static constexpr int kMaxShards = 64;
 
   explicit ShardRouter(int num_shards, ShardStrategy strategy = ShardStrategy::kHash);

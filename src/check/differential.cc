@@ -293,21 +293,20 @@ DiffResult RunSchedule(const DiffConfig& config, const std::vector<DiffOp>& ops)
         host.oracle->Write(op.key);
         // Consistency: the directory's stale-holder set must match the set
         // of other hosts whose oracle holds the block.
-        const uint64_t stale = directory.OnBlockWrite(op.host, op.key, /*measured=*/true);
-        uint64_t oracle_stale = 0;
+        const Directory::StaleSet stale =
+            directory.OnBlockWrite(op.host, op.key, /*measured=*/true);
         for (int other = 0; other < config.num_hosts; ++other) {
-          if (other != op.host && hosts[static_cast<size_t>(other)]->oracle->Holds(op.key)) {
-            oracle_stale |= 1ULL << other;
+          const bool oracle_stale =
+              other != op.host && hosts[static_cast<size_t>(other)]->oracle->Holds(op.key);
+          if (stale.Contains(other) != oracle_stale) {
+            std::ostringstream os;
+            os << "invalidation set: host " << other << " real="
+               << (stale.Contains(other) ? 1 : 0) << " oracle=" << (oracle_stale ? 1 : 0);
+            return diverge(i, op, os.str());
           }
         }
-        if (stale != oracle_stale) {
-          std::ostringstream os;
-          os << "invalidation mask: real=0x" << std::hex << stale << " oracle=0x"
-             << oracle_stale;
-          return diverge(i, op, os.str());
-        }
         for (int other = 0; other < config.num_hosts; ++other) {
-          if (((stale >> other) & 1ULL) != 0) {
+          if (stale.Contains(other)) {
             hosts[static_cast<size_t>(other)]->stack->Invalidate(op.key);
             hosts[static_cast<size_t>(other)]->oracle->Invalidate(op.key);
           }

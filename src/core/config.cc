@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/consistency/directory.h"
+#include "src/sim/partition.h"
 #include "src/util/assert.h"
 
 namespace flashsim {
@@ -26,6 +27,10 @@ void SimConfig::Validate() const {
   // The shard router maps block hashes onto at most kMaxShards filers;
   // larger counts are not representable under the shard map.
   FLASHSIM_CHECK(num_filers >= 1 && num_filers <= ShardRouter::kMaxShards);
+  // A partition with no hosts would idle a worker and break the contiguous
+  // host→partition placement, so P may not exceed the host count.
+  FLASHSIM_CHECK(num_partitions >= 1 && num_partitions <= kMaxPartitions);
+  FLASHSIM_CHECK(num_partitions <= num_hosts);
   FLASHSIM_CHECK(timing.ram_access_ns >= 0);
   FLASHSIM_CHECK(timing.flash_read_ns >= 0 && timing.flash_write_ns >= 0);
   FLASHSIM_CHECK(timing.filer_fast_read_rate >= 0.0 && timing.filer_fast_read_rate <= 1.0);
@@ -44,6 +49,10 @@ std::string SimConfig::Summary() const {
   if (num_filers > 1) {
     std::snprintf(buf, sizeof(buf), " filers=%d(%s)", num_filers,
                   ShardStrategyName(shard_strategy));
+    out += buf;
+  }
+  if (num_partitions > 1) {
+    std::snprintf(buf, sizeof(buf), " partitions=%d", num_partitions);
     out += buf;
   }
   return out;

@@ -45,6 +45,17 @@ struct SimConfig {
   int num_filers = 1;
   ShardStrategy shard_strategy = ShardStrategy::kHash;
 
+  // Partitioned engine shape (src/sim/partition.h). 1 runs the legacy
+  // single-queue serial engine; P > 1 splits hosts into P contiguous
+  // partition groups, each with its own event queue and RNG substream,
+  // advanced by worker threads under the coordinator's merge loop
+  // (DESIGN.md §12). Byte-identical to num_partitions=1 at any P.
+  int num_partitions = 1;
+  // Test knob: route num_partitions==1 through the partitioned engine
+  // (coordinator merge loop over one queue) instead of the legacy serial
+  // loop, to prove the two paths coincide.
+  bool force_partitioned = false;
+
   Architecture arch = Architecture::kNaive;
   WritebackPolicy ram_policy = WritebackPolicy::kPeriodic1;
   WritebackPolicy flash_policy = WritebackPolicy::kAsync;

@@ -29,6 +29,8 @@ SimConfig BuildSimConfig(const ExperimentParams& params) {
   config.threads_per_host = params.threads_per_host;
   config.num_filers = params.num_filers;
   config.shard_strategy = params.shard_strategy;
+  config.num_partitions = params.num_partitions;
+  config.force_partitioned = params.force_partitioned;
   config.arch = params.arch;
   config.ram_policy = params.ram_policy;
   config.flash_policy = params.flash_policy;

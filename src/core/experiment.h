@@ -44,6 +44,11 @@ struct ExperimentParams {
   // the block->shard routing strategy.
   int num_filers = 1;
   ShardStrategy shard_strategy = ShardStrategy::kHash;
+  // Partitioned engine shape (1 = legacy serial engine, byte-identical to
+  // any P); force_partitioned is the test knob that routes P=1 through the
+  // partitioned coordinator.
+  int num_partitions = 1;
+  bool force_partitioned = false;
   InvalidationTraffic invalidation_traffic = InvalidationTraffic::kNone;
   double write_fraction = 0.30;
   double working_set_io_fraction = 0.80;

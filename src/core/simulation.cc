@@ -62,6 +62,17 @@ struct Simulation::HostState {
 
 Simulation::Simulation(const SimConfig& config) : config_(config) {
   config_.Validate();
+  partitioned_ = config_.num_partitions > 1 || config_.force_partitioned;
+  if (partitioned_) {
+    for (int p = 0; p < config_.num_partitions; ++p) {
+      partitions_.push_back(std::make_unique<PartitionState>(PartitionSeed(config_.seed, p)));
+    }
+    partition_of_host_.reserve(static_cast<size_t>(config_.num_hosts));
+    for (int h = 0; h < config_.num_hosts; ++h) {
+      partition_of_host_.push_back(PartitionOf(h, config_.num_hosts, config_.num_partitions));
+    }
+    pool_ = std::make_unique<PartitionWorkerPool>(config_.num_partitions);
+  }
   // ShardSeed(seed, 0) reproduces the historical single-filer RNG stream,
   // so num_filers == 1 stays byte-identical to the pre-backend simulator.
   backend_ = MakeStorageBackend(config_.timing, config_.num_filers, config_.shard_strategy,
@@ -72,7 +83,8 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   directory_->Reserve((config_.ram_blocks() + config_.flash_blocks()) *
                       static_cast<uint64_t>(config_.num_hosts));
   for (int h = 0; h < config_.num_hosts; ++h) {
-    hosts_.push_back(std::make_unique<HostState>(config_, queue_, *backend_, *directory_, h));
+    hosts_.push_back(std::make_unique<HostState>(config_, queue_for_host(h), *backend_,
+                                                 *directory_, h));
   }
   backlog_.resize(static_cast<size_t>(NumThreads()));
 #ifdef FLASHSIM_AUDIT
@@ -206,8 +218,8 @@ SimTime Simulation::ExecuteOp(SimTime now, const TraceRecord& record) {
       }
       // A new version exists: stale copies elsewhere are invalidated
       // instantly with global knowledge (§3.8).
-      const uint64_t stale = directory_->OnBlockWrite(host_id, key, measured);
-      if (stale != 0) {
+      const Directory::StaleSet stale = directory_->OnBlockWrite(host_id, key, measured);
+      if (stale.any()) {
         SimTime ack_deadline = t;
         const bool charge_traffic =
             config_.invalidation_traffic != InvalidationTraffic::kNone;
@@ -218,7 +230,7 @@ SimTime Simulation::ExecuteOp(SimTime now, const TraceRecord& record) {
           ++metrics_.invalidation_messages;
         }
         for (int other = 0; other < config_.num_hosts; ++other) {
-          if (((stale >> other) & 1u) == 0) {
+          if (!stale.Contains(other)) {
             continue;
           }
           hosts_[static_cast<size_t>(other)]->stack->Invalidate(key);
@@ -280,7 +292,8 @@ void Simulation::StartThread(int thread_index, SimTime now) {
     metrics_.warmup_blocks += record.block_count;
   }
   ++metrics_.trace_records;
-  queue_.ScheduleEvent(done, this, kEvThreadStart, static_cast<uint64_t>(thread_index));
+  queue_for_host(thread_index / config_.threads_per_host)
+      .ScheduleEvent(done, this, kEvThreadStart, static_cast<uint64_t>(thread_index));
 }
 
 void Simulation::HandleEvent(SimTime now, uint32_t code, uint64_t arg) {
@@ -336,9 +349,9 @@ void Simulation::SyncerStep(int host, bool ram_tier, SimTime now) {
                                           : stack.FlushOneFlashBlock(now, dirtied_before);
   if (done.has_value()) {
     busy[static_cast<size_t>(host)] = true;
-    queue_.ScheduleEvent(*done, this, kEvSyncerStep,
-                         static_cast<uint64_t>(host) |
-                             (ram_tier ? (1ULL << 32) : 0));
+    queue_for_host(host).ScheduleEvent(*done, this, kEvSyncerStep,
+                                       static_cast<uint64_t>(host) |
+                                           (ram_tier ? (1ULL << 32) : 0));
   } else {
     busy[static_cast<size_t>(host)] = false;
   }
@@ -359,7 +372,8 @@ void Simulation::SyncerTick(bool ram_tier, SimTime now) {
     }
   }
   const WritebackPolicy policy = ram_tier ? config_.ram_policy : config_.flash_policy;
-  queue_.ScheduleEvent(now + PolicyPeriodNs(policy), this, kEvSyncerTick, ram_tier ? 1 : 0);
+  global_queue().ScheduleEvent(now + PolicyPeriodNs(policy), this, kEvSyncerTick,
+                               ram_tier ? 1 : 0);
 }
 
 void Simulation::SampleTelemetry(SimTime now) {
@@ -377,10 +391,16 @@ void Simulation::SampleTelemetry(SimTime now) {
     sample.dirty_resident += host->stack->DirtyBlocks();
     sample.writeback_in_flight += host->writer.pending();
   }
-  sample.queue_depth = queue_.size();
+  if (partitioned_) {
+    for (const auto& p : partitions_) {
+      sample.queue_depth += p->queue.size();
+    }
+  } else {
+    sample.queue_depth = queue_.size();
+  }
   telemetry_->RecordSample(sample);
   if (live_threads_ > 0) {
-    queue_.ScheduleEvent(now + config_.telemetry.sample_stride_ns, this, kEvSample, 0);
+    global_queue().ScheduleEvent(now + config_.telemetry.sample_stride_ns, this, kEvSample, 0);
   }
 }
 
@@ -392,8 +412,235 @@ void Simulation::ScheduleSyncers() {
     if (!IsSyncerDriven(policy)) {
       continue;
     }
-    queue_.ScheduleEvent(PolicyPeriodNs(policy), this, kEvSyncerTick, ram_tier ? 1 : 0);
+    global_queue().ScheduleEvent(PolicyPeriodNs(policy), this, kEvSyncerTick, ram_tier ? 1 : 0);
   }
+}
+
+namespace {
+// Batches smaller than this execute inline on the coordinator: the worker
+// barrier costs microseconds per flush, which only pays off once a batch
+// amortizes it across enough certified reads.
+constexpr size_t kMinParallelFlush = 8;
+}  // namespace
+
+void Simulation::RunPartitioned(TraceSource& source) {
+  // Pre-drain the trace into the per-thread backlogs so NextOpFor (and the
+  // coordinator's certification peek) becomes a pure local pop. The
+  // record→thread mapping below is the same one NextOpFor applies, and it
+  // depends only on the record, so draining up front distributes records
+  // identically to the legacy lazy pull.
+  {
+    TraceRecord next;
+    while (source.Next(&next)) {
+      const int host = next.host % config_.num_hosts;
+      const int thread = next.thread % config_.threads_per_host;
+      backlog_[static_cast<size_t>(ThreadIndex(host, thread))].push_back(next);
+    }
+    source_exhausted_ = true;
+  }
+  // Per-partition heap pre-sizing from the per-partition pending-event
+  // bound (the legacy bound, split by host ownership); partition 0 also
+  // carries the global events. Keeps every queue growth-free mid-trace at
+  // any P, so the index_rehashes regression counter stays 0.
+  const int num_partitions = static_cast<int>(partitions_.size());
+  std::vector<size_t> hosts_in(static_cast<size_t>(num_partitions), 0);
+  for (int h = 0; h < config_.num_hosts; ++h) {
+    ++hosts_in[static_cast<size_t>(partition_of_host_[static_cast<size_t>(h)])];
+  }
+  for (int p = 0; p < num_partitions; ++p) {
+    const size_t hosts_here = hosts_in[static_cast<size_t>(p)];
+    partitions_[static_cast<size_t>(p)]->queue.Reserve(
+        hosts_here * static_cast<size_t>(config_.threads_per_host) + 2 * hosts_here +
+        hosts_here * static_cast<size_t>(config_.timing.writeback_window) +
+        (p == 0 ? 4 : 0));
+  }
+  // Root events, through the coordinator source at rank 0 in exactly the
+  // legacy scheduling order: thread starts, syncer ticks, the first sample.
+  coord_src_ = SeqSource{};
+  for (auto& partition : partitions_) {
+    partition->queue.set_seq_source(&coord_src_);
+  }
+  for (int t = 0; t < NumThreads(); ++t) {
+    queue_for_host(t / config_.threads_per_host)
+        .ScheduleEvent(0, this, kEvThreadStart, static_cast<uint64_t>(t));
+  }
+  ScheduleSyncers();
+  if (telemetry_ != nullptr && telemetry_->sampler() != nullptr) {
+    global_queue().ScheduleEvent(config_.telemetry.sample_stride_ns, this, kEvSample, 0);
+  }
+
+  // Certification is off whenever a per-record observer shares state across
+  // hosts: the auditor (global counters and stride bookkeeping) and trace
+  // spans (one TraceWriter). Histograms are per-host and parallel-safe.
+  const bool certify =
+      auditor_ == nullptr && (telemetry_ == nullptr || telemetry_->trace() == nullptr);
+  const SimDuration ram_ns = config_.timing.ram_access_ns;
+  std::vector<DeferredRead> batch;
+  batch.reserve(static_cast<size_t>(NumThreads()));
+  SimTime batch_bound = kSimTimeNever;
+  uint64_t next_rank = 1;
+
+  // The merge loop: repeatedly take the global (time, seq) minimum across
+  // the partition queue heads — the genealogical seqs make that order
+  // exactly the serial engine's dispatch order. Certified pure-RAM-hit
+  // reads (and thread exits) are deferred into the batch; anything that
+  // can touch shared state (writes, filer misses, syncers, the background
+  // writers, samples) first flushes the batch, then executes on the
+  // coordinator with every queue's seq source at the event's rank.
+  for (;;) {
+    int best = -1;
+    SimTime best_time = 0;
+    uint64_t best_seq = 0;
+    for (int p = 0; p < num_partitions; ++p) {
+      const EventQueue& q = partitions_[static_cast<size_t>(p)]->queue;
+      if (q.empty()) {
+        continue;
+      }
+      if (best == -1 || q.HeadTime() < best_time ||
+          (q.HeadTime() == best_time && q.HeadSeq() < best_seq)) {
+        best = p;
+        best_time = q.HeadTime();
+        best_seq = q.HeadSeq();
+      }
+    }
+    if (best == -1) {
+      if (batch.empty()) {
+        break;  // all queues drained, nothing deferred: the run is over
+      }
+      FlushBatch(batch, &batch_bound);
+      continue;
+    }
+    EventQueue& q = partitions_[static_cast<size_t>(best)]->queue;
+    // Deferred reads complete no earlier than their start plus one RAM
+    // access, so every event they schedule lands at or past batch_bound;
+    // heads before the bound are safe to pop, heads at or past it must
+    // wait for the flush to materialize the batch's children.
+    if (!batch.empty() && best_time >= batch_bound) {
+      FlushBatch(batch, &batch_bound);
+      continue;
+    }
+    if (certify && q.HeadIsTyped(this, kEvThreadStart)) {
+      const int thread_index = static_cast<int>(q.HeadArg());
+      auto& backlog = backlog_[static_cast<size_t>(thread_index)];
+      const int host_id = thread_index / config_.threads_per_host;
+      bool certified;
+      if (backlog.empty()) {
+        certified = true;  // thread exit: only a live_threads_ decrement
+      } else {
+        const TraceRecord& record = backlog.front();
+        certified = record.op == TraceOp::kRead && record.block_count >= 1;
+        for (uint32_t i = 0; certified && i < record.block_count; ++i) {
+          certified = hosts_[static_cast<size_t>(host_id)]->stack->ReadIsPureRamHit(
+              MakeBlockKey(record.file_id, record.block + i));
+        }
+      }
+      if (certified) {
+        DeferredRead d;
+        d.now = best_time;
+        d.rank = next_rank++;
+        d.partition = best;
+        d.thread_index = thread_index;
+        d.exit = backlog.empty();
+        if (!d.exit) {
+          d.record = backlog.front();
+          backlog.pop_front();
+          batch_bound = std::min(batch_bound, d.now + ram_ns);
+        }
+        q.PopHeadDeferred();
+        batch.push_back(d);
+        continue;
+      }
+    }
+    if (!batch.empty()) {
+      FlushBatch(batch, &batch_bound);
+      continue;  // re-pick: the flush scheduled the batch's children
+    }
+    coord_src_.rank = next_rank++;
+    coord_src_.kid = 0;
+    q.DispatchHead();
+  }
+  for (auto& partition : partitions_) {
+    partition->queue.set_seq_source(nullptr);
+  }
+}
+
+void Simulation::ExecuteDeferred(DeferredRead& d, SeqSource* src) {
+  src->rank = d.rank;
+  src->kid = 0;
+  const int host_id = d.thread_index / config_.threads_per_host;
+  HostState& host = *hosts_[static_cast<size_t>(host_id)];
+  SimTime t = d.now;
+  for (uint32_t i = 0; i < d.record.block_count; ++i) {
+    HitLevel level = HitLevel::kRam;
+    t = host.stack->Read(t, MakeBlockKey(d.record.file_id, d.record.block + i), &level);
+    FLASHSIM_DCHECK(level == HitLevel::kRam);
+  }
+  d.done = t;
+  queue_for_host(host_id).ScheduleEvent(t, this, kEvThreadStart,
+                                        static_cast<uint64_t>(d.thread_index));
+}
+
+void Simulation::FlushBatch(std::vector<DeferredRead>& batch, SimTime* batch_bound) {
+  if (batch.empty()) {
+    return;
+  }
+  // Execution phase: each entry's stack reads mutate only its own host's
+  // caches and devices, and its completion event goes to its own partition
+  // queue, so entries of different partitions commute. Within a partition
+  // the batch's rank order (its construction order) is preserved, keeping
+  // per-host LRU touch order identical to serial.
+  if (partitions_.size() == 1 || batch.size() < kMinParallelFlush) {
+    for (DeferredRead& d : batch) {
+      if (!d.exit) {
+        ExecuteDeferred(d, &coord_src_);
+      }
+    }
+  } else {
+    for (auto& partition : partitions_) {
+      partition->queue.set_seq_source(&partition->worker_src);
+    }
+    pool_->RunBatch([this, &batch](int p) {
+      SeqSource* src = &partitions_[static_cast<size_t>(p)]->worker_src;
+      for (DeferredRead& d : batch) {
+        if (d.partition == p && !d.exit) {
+          ExecuteDeferred(d, src);
+        }
+      }
+    });
+    for (auto& partition : partitions_) {
+      partition->queue.set_seq_source(&coord_src_);
+    }
+  }
+  // Post-pass, in rank order on the coordinator: every order-sensitive
+  // accumulation (the Welford mean is not associative, so Record order must
+  // be the serial order bit-for-bit), exactly mirroring StartThread.
+  for (DeferredRead& d : batch) {
+    if (d.exit) {
+      --live_threads_;
+      continue;
+    }
+    if (d.done > last_op_completion_) {
+      last_op_completion_ = d.done;
+    }
+    if (!d.record.warmup) {
+      const int64_t latency = d.done - d.now;
+      metrics_.read_latency.Record(latency);
+      if (!op_hist_read_.empty()) {
+        op_hist_read_[static_cast<size_t>(d.thread_index / config_.threads_per_host)]->Record(
+            latency);
+      }
+      if (read_series_ != nullptr) {
+        read_series_->Record(d.now, static_cast<double>(latency));
+      }
+      metrics_.read_level_blocks[static_cast<size_t>(HitLevel::kRam)] += d.record.block_count;
+      metrics_.measured_read_blocks += d.record.block_count;
+    } else {
+      metrics_.warmup_blocks += d.record.block_count;
+    }
+    ++metrics_.trace_records;
+  }
+  batch.clear();
+  *batch_bound = kSimTimeNever;
 }
 
 Metrics Simulation::Run(TraceSource& source) {
@@ -401,31 +648,35 @@ Metrics Simulation::Run(TraceSource& source) {
   ran_ = true;
   source_ = &source;
   live_threads_ = NumThreads();
-  // Pre-size the event heap for the run's pending-event bound: one
-  // completion per live thread, one tick per tier, one step per host and
-  // tier, one pending telemetry sample, and one completion per
-  // background-writer window slot.
-  queue_.Reserve(static_cast<size_t>(NumThreads()) + 3 + 2 * hosts_.size() +
-                 hosts_.size() * static_cast<size_t>(config_.timing.writeback_window));
-  // Pre-size the per-thread backlogs from the trace's size hint. The
-  // backlog only holds read-ahead for threads whose ops arrive out of
-  // order, so cap the reservation; the ring still grows if a trace turns
-  // out badly skewed.
-  if (const uint64_t hint = source.SizeHint(); hint > 0) {
-    const uint64_t per_thread = std::min<uint64_t>(
-        hint / static_cast<uint64_t>(NumThreads()) + 1, 16384);
-    for (auto& backlog : backlog_) {
-      backlog.Reserve(static_cast<size_t>(per_thread));
+  if (partitioned_) {
+    RunPartitioned(source);
+  } else {
+    // Pre-size the event heap for the run's pending-event bound: one
+    // completion per live thread, one tick per tier, one step per host and
+    // tier, one pending telemetry sample, and one completion per
+    // background-writer window slot.
+    queue_.Reserve(static_cast<size_t>(NumThreads()) + 3 + 2 * hosts_.size() +
+                   hosts_.size() * static_cast<size_t>(config_.timing.writeback_window));
+    // Pre-size the per-thread backlogs from the trace's size hint. The
+    // backlog only holds read-ahead for threads whose ops arrive out of
+    // order, so cap the reservation; the ring still grows if a trace turns
+    // out badly skewed.
+    if (const uint64_t hint = source.SizeHint(); hint > 0) {
+      const uint64_t per_thread = std::min<uint64_t>(
+          hint / static_cast<uint64_t>(NumThreads()) + 1, 16384);
+      for (auto& backlog : backlog_) {
+        backlog.Reserve(static_cast<size_t>(per_thread));
+      }
     }
+    for (int t = 0; t < NumThreads(); ++t) {
+      queue_.ScheduleEvent(0, this, kEvThreadStart, static_cast<uint64_t>(t));
+    }
+    ScheduleSyncers();
+    if (telemetry_ != nullptr && telemetry_->sampler() != nullptr) {
+      queue_.ScheduleEvent(config_.telemetry.sample_stride_ns, this, kEvSample, 0);
+    }
+    queue_.RunToCompletion();
   }
-  for (int t = 0; t < NumThreads(); ++t) {
-    queue_.ScheduleEvent(0, this, kEvThreadStart, static_cast<uint64_t>(t));
-  }
-  ScheduleSyncers();
-  if (telemetry_ != nullptr && telemetry_->sampler() != nullptr) {
-    queue_.ScheduleEvent(config_.telemetry.sample_stride_ns, this, kEvSample, 0);
-  }
-  queue_.RunToCompletion();
   if (auditor_ != nullptr) {
     // Final audit: at quiescence the writer pipelines have drained, so the
     // conservation identities must hold exactly.

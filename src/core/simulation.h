@@ -30,6 +30,7 @@
 #include "src/device/ram_device.h"
 #include "src/obs/telemetry.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/partition.h"
 #include "src/trace/source.h"
 #include "src/util/ring_deque.h"
 #include "src/util/time_series.h"
@@ -64,7 +65,17 @@ class Simulation : private EventHandler {
   int num_filer_shards() const { return backend_->num_shards(); }
   const SimConfig& config() const { return config_; }
   const Directory& directory() const { return *directory_; }
-  uint64_t events_processed() const { return queue_.events_processed(); }
+  uint64_t events_processed() const {
+    if (!partitioned_) {
+      return queue_.events_processed();
+    }
+    uint64_t total = 0;
+    for (const auto& p : partitions_) {
+      total += p->queue.events_processed();
+    }
+    return total;
+  }
+  int num_partitions() const { return partitioned_ ? static_cast<int>(partitions_.size()) : 1; }
   // Non-null when SimConfig::audit_stride (or FLASHSIM_AUDIT) enabled the
   // invariant auditor for this run.
   const InvariantAuditor* auditor() const { return auditor_.get(); }
@@ -85,6 +96,35 @@ class Simulation : private EventHandler {
  private:
   struct HostState;
   class HostResidencyBridge;
+
+  // One partition group of the partitioned engine (DESIGN.md §12): its own
+  // event queue (with its own clock), a private RNG substream split from
+  // SimConfig::seed by PartitionSeed (so partition-local stochastic state
+  // can never perturb — or be perturbed by — another partition's draws),
+  // and the SeqSource its worker writes genealogical seqs through while
+  // executing a certified batch slice.
+  struct PartitionState {
+    explicit PartitionState(uint64_t seed) : rng(seed) {}
+    EventQueue queue;
+    Rng rng;
+    SeqSource worker_src;
+  };
+
+  // A certified event pulled off a partition queue but not yet executed:
+  // either one thread's next trace record — a read that is a pure RAM hit
+  // on every block — or a thread exit (backlog empty). Batch members
+  // commute (disjoint host-local state), execute on partition workers, and
+  // have their order-sensitive metric effects applied by the coordinator in
+  // rank order, which is exactly the serial engine's processing order.
+  struct DeferredRead {
+    SimTime now = 0;
+    SimTime done = 0;  // written by the executing worker
+    uint64_t rank = 0;
+    int partition = 0;
+    int thread_index = 0;
+    bool exit = false;
+    TraceRecord record;
+  };
 
   // Typed event codes. Args: kEvThreadStart carries the global thread
   // index; kEvSyncerTick the tier (1 = RAM); kEvSyncerStep the host in the
@@ -115,6 +155,29 @@ class Simulation : private EventHandler {
   void SyncerTick(bool ram_tier, SimTime now);
   void SyncerStep(int host, bool ram_tier, SimTime now);
 
+  // Partitioned engine (DESIGN.md §12). RunPartitioned pre-drains the trace
+  // into the per-thread backlogs, schedules the root events through the
+  // coordinator's SeqSource, and runs the merge loop: pop the global
+  // (time, seq) minimum across partition queues, deferring certified
+  // pure-RAM-hit reads into a batch and executing everything else serially
+  // in exact legacy order. FlushBatch fans a batch out across the worker
+  // pool (partition-local state only), then applies the order-sensitive
+  // metric updates in rank order on the coordinator.
+  void RunPartitioned(TraceSource& source);
+  void FlushBatch(std::vector<DeferredRead>& batch, SimTime* batch_bound);
+  void ExecuteDeferred(DeferredRead& d, SeqSource* src);
+
+  // Queue routing: per-host events live on the host's partition queue;
+  // global events (syncer ticks, telemetry samples) on partition 0's.
+  // The legacy engine routes everything to the single global queue.
+  EventQueue& queue_for_host(int host) {
+    return partitioned_ ? partitions_[static_cast<size_t>(
+                              partition_of_host_[static_cast<size_t>(host)])]
+                              ->queue
+                        : queue_;
+  }
+  EventQueue& global_queue() { return partitioned_ ? partitions_[0]->queue : queue_; }
+
   // Telemetry plumbing (src/obs/). ArmTelemetry registers every histogram,
   // probe, and trace track up front so the run itself never allocates for
   // telemetry; SampleTelemetry snapshots the run for the periodic sampler
@@ -130,6 +193,15 @@ class Simulation : private EventHandler {
 
   SimConfig config_;
   EventQueue queue_;
+  // Partitioned-engine state; empty/unused on the legacy single-queue path.
+  // Declared before hosts_: each HostState binds its link clock and
+  // background writer to its partition's queue, so the queues must outlive
+  // the hosts.
+  bool partitioned_ = false;
+  std::vector<std::unique_ptr<PartitionState>> partitions_;
+  std::vector<int> partition_of_host_;  // per host
+  SeqSource coord_src_;
+  std::unique_ptr<PartitionWorkerPool> pool_;
   std::unique_ptr<StorageBackend> backend_;
   std::unique_ptr<Directory> directory_;
   std::vector<std::unique_ptr<HostState>> hosts_;

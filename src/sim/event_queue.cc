@@ -27,21 +27,25 @@ SimTime EventQueue::RunToCompletion() { return RunUntil(kSimTimeNever); }
 
 SimTime EventQueue::RunUntil(SimTime deadline) {
   while (!heap_.empty() && heap_[0].when <= deadline) {
-    // Pop-then-invoke: the entry is a 40-byte POD copy, and the callback
-    // object (if any) stays in its pool slot — nothing is copied or moved
-    // per event, and the callback may freely schedule new events.
-    const Entry entry = heap_[0];
-    PopTop();
-    now_ = entry.when;
-    clock_.now = entry.when;
-    ++events_processed_;
-    if (entry.handler != nullptr) {
-      entry.handler->HandleEvent(entry.when, entry.code, entry.arg);
-    } else {
-      InvokeAndRecycle(static_cast<uint32_t>(entry.arg), entry.when);
-    }
+    DispatchHead();
   }
   return now_;
+}
+
+void EventQueue::DispatchHead() {
+  // Pop-then-invoke: the entry is a 40-byte POD copy, and the callback
+  // object (if any) stays in its pool slot — nothing is copied or moved
+  // per event, and the callback may freely schedule new events.
+  const Entry entry = heap_[0];
+  PopTop();
+  now_ = entry.when;
+  clock_.now = entry.when;
+  ++events_processed_;
+  if (entry.handler != nullptr) {
+    entry.handler->HandleEvent(entry.when, entry.code, entry.arg);
+  } else {
+    InvokeAndRecycle(static_cast<uint32_t>(entry.arg), entry.when);
+  }
 }
 
 void EventQueue::PopTop() {

@@ -1,0 +1,66 @@
+#include "src/sim/partition.h"
+
+namespace flashsim {
+
+PartitionWorkerPool::PartitionWorkerPool(int num_partitions)
+    : num_partitions_(num_partitions) {
+  FLASHSIM_CHECK(num_partitions >= 1 && num_partitions <= kMaxPartitions);
+  workers_.reserve(static_cast<size_t>(num_partitions_ - 1));
+  for (int p = 1; p < num_partitions_; ++p) {
+    workers_.emplace_back([this, p] { WorkerLoop(p); });
+  }
+}
+
+PartitionWorkerPool::~PartitionWorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void PartitionWorkerPool::RunBatch(const std::function<void(int)>& fn) {
+  if (num_partitions_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    work_ = &fn;
+    pending_ = num_partitions_ - 1;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  fn(0);  // coordinator runs partition 0's slice itself
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+  work_ = nullptr;
+}
+
+void PartitionWorkerPool::WorkerLoop(int partition) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this, seen] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      fn = work_;
+    }
+    (*fn)(partition);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) {
+        work_done_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace flashsim

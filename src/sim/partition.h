@@ -1,0 +1,85 @@
+// Partitioned-engine support: host→partition placement, per-partition RNG
+// seed splitting, and the worker pool that fans certified event batches out
+// across partitions (DESIGN.md §12).
+//
+// A partitioned run gives each of P partition groups its own EventQueue,
+// clock, and RNG substream. The coordinator merges queue heads in global
+// (time, seq) order — seq composed genealogically (see SeqSource) so the
+// merge replays exactly the serial schedule — and hands batches of
+// commuting, partition-local events to the pool's workers. Everything that
+// touches shared state (filers, directory, metrics) executes on the
+// coordinator thread in merge order, which is how num_partitions=P stays
+// byte-identical to num_partitions=1.
+#ifndef FLASHSIM_SRC_SIM_PARTITION_H_
+#define FLASHSIM_SRC_SIM_PARTITION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/util/assert.h"
+#include "src/util/rng.h"
+
+namespace flashsim {
+
+// Hard cap on partition groups. Far above any sensible worker count; keeps
+// SimConfig::Validate able to reject garbage before allocating P queues.
+inline constexpr int kMaxPartitions = 64;
+
+// Deterministic per-partition RNG seed split, mirroring the ShardSeed
+// contract from src/backend/ (DESIGN.md §11): partition 0 anchors a fixed
+// stream, later partitions perturb the pre-mix state by the golden ratio so
+// streams never collide for distinct partition indices. The domain tag
+// (0x9a47ULL, "PART") keeps partition streams disjoint from shard streams
+// even at equal indices.
+inline uint64_t PartitionSeed(uint64_t base_seed, int partition) {
+  return Mix64((base_seed ^ 0x9a47ULL) +
+               0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(partition));
+}
+
+// Contiguous host→partition placement: partition p owns hosts
+// [ceil(p*H/P), ceil((p+1)*H/P)). Contiguity keeps each partition's hosts
+// adjacent in the hosts_ vector (cache-friendly batch slices) and makes the
+// mapping independent of everything but (host, H, P).
+inline int PartitionOf(int host, int num_hosts, int num_partitions) {
+  FLASHSIM_DCHECK(host >= 0 && host < num_hosts);
+  FLASHSIM_DCHECK(num_partitions >= 1 && num_partitions <= num_hosts);
+  return static_cast<int>((static_cast<int64_t>(host) * num_partitions) / num_hosts);
+}
+
+// Lazy-spawned worker pool: RunBatch(fn) invokes fn(p) for every partition
+// p in [0, P) — p == 0 on the calling (coordinator) thread, the rest on
+// dedicated workers — and returns only when all P invocations finish. The
+// generation-counted barrier gives the coordinator↔worker handoff
+// release/acquire ordering in both directions, so workers may freely write
+// partition-local state between barriers without fences of their own.
+class PartitionWorkerPool {
+ public:
+  explicit PartitionWorkerPool(int num_partitions);
+  ~PartitionWorkerPool();
+
+  PartitionWorkerPool(const PartitionWorkerPool&) = delete;
+  PartitionWorkerPool& operator=(const PartitionWorkerPool&) = delete;
+
+  void RunBatch(const std::function<void(int partition)>& fn);
+
+ private:
+  void WorkerLoop(int partition);
+
+  const int num_partitions_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(int)>* work_ = nullptr;  // valid while generation is odd-phase
+  uint64_t generation_ = 0;                         // bumped per RunBatch
+  int pending_ = 0;                                 // workers still running this batch
+  bool stop_ = false;
+  std::vector<std::thread> workers_;  // one per partition in [1, P)
+};
+
+}  // namespace flashsim
+
+#endif  // FLASHSIM_SRC_SIM_PARTITION_H_

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/consistency/directory.h"
+#include "src/sim/partition.h"
+
 namespace flashsim {
 namespace {
 
@@ -38,7 +41,9 @@ TEST(SimConfigDeathTest, ValidateRejectsBadValues) {
   }
   {
     SimConfig config;
-    config.num_hosts = 100;
+    // 100 hosts died under the old one-word directory bitmask; the slot-
+    // mode directory allows fleets up to kMaxHosts.
+    config.num_hosts = Directory::kMaxHosts + 1;
     EXPECT_DEATH(config.Validate(), "CHECK failed");
   }
   {
@@ -72,6 +77,36 @@ TEST(SimConfigDeathTest, ValidateRejectsBadShardCounts) {
   }
 }
 
+TEST(SimConfigDeathTest, ValidateRejectsBadPartitionCounts) {
+  {
+    SimConfig config;
+    config.num_partitions = 0;
+    EXPECT_DEATH(config.Validate(), "CHECK failed");
+  }
+  {
+    // More partitions than hosts would leave a partition empty.
+    SimConfig config;
+    config.num_hosts = 4;
+    config.num_partitions = 5;
+    EXPECT_DEATH(config.Validate(), "CHECK failed");
+  }
+  {
+    SimConfig config;
+    config.num_hosts = Directory::kMaxHosts;
+    config.num_partitions = kMaxPartitions + 1;
+    EXPECT_DEATH(config.Validate(), "CHECK failed");
+  }
+}
+
+TEST(SimConfig, ValidateAcceptsPartitionCountRange) {
+  for (int partitions : {1, 2, kMaxPartitions}) {
+    SimConfig config;
+    config.num_hosts = kMaxPartitions;
+    config.num_partitions = partitions;
+    config.Validate();  // must not abort
+  }
+}
+
 TEST(SimConfig, ValidateAcceptsShardCountRange) {
   for (int filers : {1, 2, ShardRouter::kMaxShards}) {
     SimConfig config;
@@ -91,6 +126,14 @@ TEST(SimConfig, SummaryDescribesConfiguration) {
   EXPECT_EQ(summary.find("persistent"), std::string::npos);
   config.timing.persistent_flash = true;
   EXPECT_NE(config.Summary().find("persistent"), std::string::npos);
+}
+
+TEST(SimConfig, SummaryNamesPartitionCountWhenPartitioned) {
+  SimConfig config;
+  EXPECT_EQ(config.Summary().find("partitions="), std::string::npos);
+  config.num_hosts = 8;
+  config.num_partitions = 4;
+  EXPECT_NE(config.Summary().find("partitions=4"), std::string::npos);
 }
 
 TEST(ArchitectureNames, RoundTrip) {

@@ -5,6 +5,18 @@
 namespace flashsim {
 namespace {
 
+// Collapses a StaleSet to the one-word bitmask the small-fleet tests
+// assert against.
+uint64_t MaskOf(const Directory::StaleSet& stale, int num_hosts) {
+  uint64_t mask = 0;
+  for (int host = 0; host < num_hosts; ++host) {
+    if (stale.Contains(host)) {
+      mask |= 1ULL << host;
+    }
+  }
+  return mask;
+}
+
 TEST(Directory, TracksResidency) {
   Directory dir(4);
   dir.NoteCached(0, 100);
@@ -13,6 +25,7 @@ TEST(Directory, TracksResidency) {
   EXPECT_FALSE(dir.IsCachedBy(1, 100));
   EXPECT_TRUE(dir.IsCachedBy(2, 100));
   EXPECT_EQ(dir.holders(100), 0b101u);
+  EXPECT_EQ(dir.holder_count(100), 2);
   dir.NoteDropped(0, 100);
   EXPECT_FALSE(dir.IsCachedBy(0, 100));
   EXPECT_EQ(dir.holders(100), 0b100u);
@@ -27,7 +40,9 @@ TEST(Directory, DropUnknownBlockIsHarmless) {
 TEST(Directory, WriteWithNoOtherHoldersNeedsNoInvalidation) {
   Directory dir(2);
   dir.NoteCached(0, 7);
-  EXPECT_EQ(dir.OnBlockWrite(0, 7, /*measured=*/true), 0u);
+  const Directory::StaleSet stale = dir.OnBlockWrite(0, 7, /*measured=*/true);
+  EXPECT_FALSE(stale.any());
+  EXPECT_EQ(stale.count(), 0);
   EXPECT_EQ(dir.measured_writes(), 1u);
   EXPECT_EQ(dir.invalidating_writes(), 0u);
   EXPECT_DOUBLE_EQ(dir.invalidation_rate(), 0.0);
@@ -38,8 +53,9 @@ TEST(Directory, WriteInvalidatesOtherHolders) {
   dir.NoteCached(0, 7);
   dir.NoteCached(1, 7);
   dir.NoteCached(2, 7);
-  const uint64_t stale = dir.OnBlockWrite(0, 7, /*measured=*/true);
-  EXPECT_EQ(stale, 0b110u);
+  const Directory::StaleSet stale = dir.OnBlockWrite(0, 7, /*measured=*/true);
+  EXPECT_EQ(MaskOf(stale, 3), 0b110u);
+  EXPECT_EQ(stale.count(), 2);
   EXPECT_EQ(dir.invalidating_writes(), 1u);
   EXPECT_EQ(dir.invalidations(), 2u);
   EXPECT_DOUBLE_EQ(dir.invalidation_rate(), 1.0);
@@ -48,14 +64,14 @@ TEST(Directory, WriteInvalidatesOtherHolders) {
 TEST(Directory, WriteByNonHolderStillInvalidates) {
   Directory dir(2);
   dir.NoteCached(1, 9);
-  EXPECT_EQ(dir.OnBlockWrite(0, 9, true), 0b10u);
+  EXPECT_EQ(MaskOf(dir.OnBlockWrite(0, 9, true), 2), 0b10u);
 }
 
 TEST(Directory, WarmupWritesNotCounted) {
   Directory dir(2);
   dir.NoteCached(1, 9);
-  const uint64_t stale = dir.OnBlockWrite(0, 9, /*measured=*/false);
-  EXPECT_EQ(stale, 0b10u);  // invalidation still reported for correctness
+  const Directory::StaleSet stale = dir.OnBlockWrite(0, 9, /*measured=*/false);
+  EXPECT_EQ(MaskOf(stale, 2), 0b10u);  // invalidation still reported for correctness
   EXPECT_EQ(dir.measured_writes(), 0u);
   EXPECT_EQ(dir.invalidating_writes(), 0u);
 }
@@ -77,9 +93,52 @@ TEST(Directory, EmptyDirectoryHoldsNothing) {
   EXPECT_DOUBLE_EQ(dir.invalidation_rate(), 0.0);
 }
 
-TEST(DirectoryDeathTest, RejectsTooManyHosts) {
-  EXPECT_DEATH(Directory dir(65), "CHECK failed");
+// Fleet-scale (slot-mode) coverage: > 64 hosts switches the holder sets to
+// multiword pool masks; the semantics must not change.
+
+TEST(Directory, WideFleetTracksHostsAcrossWordBoundaries) {
+  Directory dir(1024);
+  // One holder in each mask word, including the last host.
+  for (int host : {0, 63, 64, 127, 700, 1023}) {
+    dir.NoteCached(host, 5);
+  }
+  EXPECT_EQ(dir.holder_count(5), 6);
+  EXPECT_TRUE(dir.IsCachedBy(64, 5));
+  EXPECT_TRUE(dir.IsCachedBy(1023, 5));
+  EXPECT_FALSE(dir.IsCachedBy(65, 5));
+
+  const Directory::StaleSet stale = dir.OnBlockWrite(700, 5, /*measured=*/true);
+  EXPECT_EQ(stale.count(), 5);  // everyone but the writer
+  EXPECT_TRUE(stale.Contains(1023));
+  EXPECT_FALSE(stale.Contains(700));
+  EXPECT_EQ(dir.invalidations(), 5u);
+
+  dir.NoteDropped(1023, 5);
+  EXPECT_FALSE(dir.IsCachedBy(1023, 5));
+  EXPECT_EQ(dir.holder_count(5), 5);
+}
+
+TEST(Directory, WideFleetRecyclesSlotsWhenLastCopyDrops) {
+  Directory dir(128);
+  dir.NoteCached(100, 1);
+  dir.NoteDropped(100, 1);
+  EXPECT_EQ(dir.holder_count(1), 0);
+  // The freed slot must come back zeroed for the next block.
+  dir.NoteCached(2, 9);
+  EXPECT_EQ(dir.holder_count(9), 1);
+  EXPECT_FALSE(dir.IsCachedBy(100, 9));
+  EXPECT_FALSE(dir.OnBlockWrite(2, 9, /*measured=*/true).any());
+}
+
+TEST(DirectoryDeathTest, RejectsOutOfRangeHostCounts) {
+  EXPECT_DEATH(Directory dir(Directory::kMaxHosts + 1), "CHECK failed");
   EXPECT_DEATH(Directory dir(0), "CHECK failed");
+}
+
+TEST(DirectoryDeathTest, HoldersBitmaskRequiresSmallFleet) {
+  Directory dir(65);
+  dir.NoteCached(64, 3);
+  EXPECT_DEATH(dir.holders(3), "CHECK failed");
 }
 
 }  // namespace

@@ -95,6 +95,34 @@ std::vector<std::string> Fig08Row(const SweepPoint& point, const ExperimentResul
           Table::Cell(100.0 * m.invalidation_rate(), 1)};
 }
 
+// An 8-host fig02 architecture sweep: the smallest configuration where the
+// partitioned engine can run at 2 and 4 partitions (P may not exceed the
+// host count, and the headline fig02 grid is single-host).
+Sweep Fig02HostsSweep(int partitions, bool force_partitioned) {
+  ExperimentParams base;
+  base.scale = 2048;
+  base.working_set_gib = 80.0;
+  base.hosts = 8;
+  base.threads_per_host = 4;
+  base.num_partitions = partitions;
+  // force_partitioned at partitions == 1 exercises the partitioned
+  // coordinator over one queue rather than silently falling back to the
+  // legacy serial engine.
+  base.force_partitioned = force_partitioned;
+  Sweep sweep(base);
+  sweep.AddAxis("arch", ArchitectureAxis());
+  return sweep;
+}
+
+std::vector<std::string> Fig02HostsRow(const SweepPoint& point,
+                                       const ExperimentResult& result) {
+  const Metrics& m = result.metrics;
+  return {point.label(0), Table::Cell(m.mean_read_us(), 2), Table::Cell(m.mean_write_us(), 2),
+          Table::Cell(100.0 * m.ram_hit_rate(), 1), Table::Cell(100.0 * m.flash_hit_rate(), 1),
+          Table::Cell(m.stack_totals.sync_ram_evictions + m.stack_totals.sync_flash_evictions),
+          Table::Cell(static_cast<int64_t>(m.invalidations))};
+}
+
 std::map<std::string, uint64_t> LoadGoldenDigests() {
   const std::string path = std::string(FLASHSIM_SOURCE_DIR) + "/tests/golden/digests.txt";
   std::ifstream in(path);
@@ -118,6 +146,9 @@ std::vector<SweepCase> GoldenCases() {
   std::vector<SweepCase> cases;
   cases.push_back({"fig02_scale2048", Fig02Sweep(), Fig02Row});
   cases.push_back({"fig08_scale512", Fig08Sweep(), Fig08Row});
+  // Canonical digest for the multi-host case comes from the legacy serial
+  // engine; the partitioned engine must reproduce it bit-for-bit below.
+  cases.push_back({"fig02_scale2048_hosts8", Fig02HostsSweep(1, false), Fig02HostsRow});
   return cases;
 }
 
@@ -153,6 +184,24 @@ TEST(GoldenDigest, ExplicitSingleFilerIsByteIdentical) {
     EXPECT_EQ(serial, it->second)
         << c.name << ": num_filers=1 is not byte-identical to the single-filer golden "
         << "digest — the backend refactor changed the default path";
+  }
+}
+
+// Byte-identity contract for the partitioned engine (DESIGN.md §12):
+// num_partitions ∈ {1 (forced through the partitioned coordinator), 2, 4}
+// must reproduce the committed serial-engine digest bit-for-bit, under both
+// a serial sweep and 4 sweep workers — partitioning composes with --jobs.
+TEST(GoldenDigest, PartitionedEngineIsByteIdentical) {
+  const std::map<std::string, uint64_t> golden = LoadGoldenDigests();
+  auto it = golden.find("fig02_scale2048_hosts8");
+  ASSERT_NE(it, golden.end()) << "fig02_scale2048_hosts8 missing from tests/golden/digests.txt";
+  for (const int partitions : {1, 2, 4}) {
+    const Sweep sweep = Fig02HostsSweep(partitions, /*force_partitioned=*/partitions == 1);
+    for (const int jobs : {1, 4}) {
+      EXPECT_EQ(DigestSweep(sweep, jobs, Fig02HostsRow), it->second)
+          << "partitions=" << partitions << " jobs=" << jobs
+          << " diverged from the serial-engine golden digest";
+    }
   }
 }
 

@@ -1,0 +1,211 @@
+// Partitioned engine (DESIGN.md §12): seed-split and placement contracts,
+// and the determinism contract — num_partitions=P produces metrics
+// bit-identical to the legacy serial engine, across architectures,
+// writeback policies, invalidation models, and filer shard counts. The
+// comparison is exhaustive: every Metrics field including the raw Welford
+// accumulator state (double addition is not associative, so matching mean
+// bits proves the partitioned engine replayed the exact serial order of
+// latency records, not just the same multiset).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/backend/storage_backend.h"
+#include "src/core/experiment.h"
+#include "src/core/simulation.h"
+#include "src/sim/partition.h"
+
+namespace flashsim {
+namespace {
+
+TEST(PartitionSeed, GoldenRatioSplitContract) {
+  // Partition 0 anchors a fixed stream: Mix64 of the domain-tagged seed.
+  EXPECT_EQ(PartitionSeed(42, 0), Mix64(42ULL ^ 0x9a47ULL));
+  // Streams are distinct across partitions and across base seeds, and the
+  // partition domain tag keeps them disjoint from filer shard streams.
+  std::set<uint64_t> seen;
+  for (uint64_t seed : {1ULL, 42ULL, 0xdeadbeefULL}) {
+    for (int p = 0; p < kMaxPartitions; ++p) {
+      EXPECT_TRUE(seen.insert(PartitionSeed(seed, p)).second)
+          << "collision at seed=" << seed << " p=" << p;
+      EXPECT_NE(PartitionSeed(seed, p), ShardSeed(seed, p));
+    }
+  }
+}
+
+TEST(PartitionOf, ContiguousCoveringPlacement) {
+  for (int hosts : {1, 2, 7, 8, 64, 1024}) {
+    for (int parts : {1, 2, 3, 4, 8}) {
+      if (parts > hosts) {
+        continue;
+      }
+      std::vector<int> count(static_cast<size_t>(parts), 0);
+      int prev = 0;
+      for (int h = 0; h < hosts; ++h) {
+        const int p = PartitionOf(h, hosts, parts);
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, parts);
+        ASSERT_GE(p, prev) << "placement must be non-decreasing (contiguous)";
+        prev = p;
+        ++count[static_cast<size_t>(p)];
+      }
+      for (int p = 0; p < parts; ++p) {
+        EXPECT_GT(count[static_cast<size_t>(p)], 0)
+            << "empty partition " << p << " at hosts=" << hosts << " parts=" << parts;
+        // Balanced to within one host.
+        EXPECT_LE(count[static_cast<size_t>(p)], hosts / parts + 1);
+      }
+    }
+  }
+}
+
+// Field-exhaustive bit-level metrics comparison.
+void ExpectMetricsIdentical(const Metrics& a, const Metrics& b, const std::string& label) {
+  SCOPED_TRACE(label);
+  auto expect_latency_equal = [](const LatencyRecorder& x, const LatencyRecorder& y,
+                                 const char* which) {
+    SCOPED_TRACE(which);
+    EXPECT_EQ(x.stats().count(), y.stats().count());
+    EXPECT_EQ(x.stats().mean(), y.stats().mean());
+    EXPECT_EQ(x.stats().raw_m2(), y.stats().raw_m2());
+    EXPECT_EQ(x.stats().raw_min(), y.stats().raw_min());
+    EXPECT_EQ(x.stats().raw_max(), y.stats().raw_max());
+    EXPECT_EQ(x.stats().sum(), y.stats().sum());
+    EXPECT_EQ(x.histogram().buckets(), y.histogram().buckets());
+  };
+  expect_latency_equal(a.read_latency, b.read_latency, "read_latency");
+  expect_latency_equal(a.write_latency, b.write_latency, "write_latency");
+  EXPECT_EQ(a.read_level_blocks, b.read_level_blocks);
+  EXPECT_EQ(a.measured_read_blocks, b.measured_read_blocks);
+  EXPECT_EQ(a.measured_write_blocks, b.measured_write_blocks);
+  EXPECT_EQ(a.warmup_blocks, b.warmup_blocks);
+  EXPECT_EQ(a.trace_records, b.trace_records);
+  EXPECT_EQ(a.consistency_writes, b.consistency_writes);
+  EXPECT_EQ(a.invalidating_writes, b.invalidating_writes);
+  EXPECT_EQ(a.invalidations, b.invalidations);
+  EXPECT_EQ(a.invalidation_messages, b.invalidation_messages);
+  EXPECT_EQ(a.index_rehashes, b.index_rehashes);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.filer_fast_reads, b.filer_fast_reads);
+  EXPECT_EQ(a.filer_slow_reads, b.filer_slow_reads);
+  EXPECT_EQ(a.filer_writes, b.filer_writes);
+  EXPECT_EQ(a.filer_shards, b.filer_shards);
+  EXPECT_TRUE(a.stack_totals == b.stack_totals);
+  EXPECT_EQ(a.stack_totals.shard_reads, b.stack_totals.shard_reads);
+  EXPECT_EQ(a.stack_totals.shard_writes, b.stack_totals.shard_writes);
+  EXPECT_EQ(a.writebacks_enqueued, b.writebacks_enqueued);
+  EXPECT_EQ(a.writebacks_completed, b.writebacks_completed);
+  EXPECT_EQ(a.writebacks_in_flight, b.writebacks_in_flight);
+  EXPECT_EQ(a.dirty_resident, b.dirty_resident);
+  EXPECT_EQ(a.ftl_enabled, b.ftl_enabled);
+  EXPECT_EQ(a.ftl_write_amplification, b.ftl_write_amplification);
+  EXPECT_EQ(a.ftl_erases, b.ftl_erases);
+  EXPECT_EQ(a.ftl_gc_relocations, b.ftl_gc_relocations);
+}
+
+ExperimentParams MultiHostParams() {
+  ExperimentParams params;
+  params.hosts = 8;
+  params.threads_per_host = 4;
+  params.scale = 4096;
+  params.working_set_gib = 40.0;  // small enough for real RAM-hit batches
+  return params;
+}
+
+// The core determinism contract: the legacy serial engine, the partitioned
+// engine forced through one partition, and the partitioned engine at P=2
+// and P=4 all produce bit-identical metrics.
+TEST(PartitionedEngine, ByteIdenticalToSerialAcrossPartitionCounts) {
+  for (const Architecture arch :
+       {Architecture::kNaive, Architecture::kLookaside, Architecture::kUnified}) {
+    ExperimentParams params = MultiHostParams();
+    params.arch = arch;
+    const Metrics serial = RunExperiment(params).metrics;
+    {
+      ExperimentParams forced = params;
+      forced.force_partitioned = true;
+      ExpectMetricsIdentical(serial, RunExperiment(forced).metrics,
+                             std::string(ArchitectureName(arch)) + " forced-P1");
+    }
+    for (const int p : {2, 4}) {
+      ExperimentParams part = params;
+      part.num_partitions = p;
+      ExpectMetricsIdentical(serial, RunExperiment(part).metrics,
+                             std::string(ArchitectureName(arch)) + " P=" +
+                                 std::to_string(p));
+    }
+  }
+}
+
+TEST(PartitionedEngine, ByteIdenticalUnderShardedBackendAndInvalidationTraffic) {
+  ExperimentParams params = MultiHostParams();
+  params.num_filers = 4;
+  params.invalidation_traffic = InvalidationTraffic::kBlocking;
+  params.write_fraction = 0.4;
+  const Metrics serial = RunExperiment(params).metrics;
+  for (const int p : {2, 4, 8}) {
+    ExperimentParams part = params;
+    part.num_partitions = p;
+    ExpectMetricsIdentical(serial, RunExperiment(part).metrics, "filers=4 P=" +
+                                                                    std::to_string(p));
+  }
+}
+
+TEST(PartitionedEngine, ByteIdenticalUnderSyncerPolicies) {
+  // Periodic syncers exercise the global tick → per-host step fan-out and
+  // the background-writer events on partition queues.
+  ExperimentParams params = MultiHostParams();
+  params.ram_policy = WritebackPolicy::kPeriodic1;
+  params.flash_policy = WritebackPolicy::kPeriodic30;
+  const Metrics serial = RunExperiment(params).metrics;
+  for (const int p : {2, 4}) {
+    ExperimentParams part = params;
+    part.num_partitions = p;
+    ExpectMetricsIdentical(serial, RunExperiment(part).metrics,
+                           "syncers P=" + std::to_string(p));
+  }
+}
+
+TEST(PartitionedEngine, AuditedRunStaysByteIdentical) {
+  // With the auditor armed, certification is disabled and every event runs
+  // on the coordinator — the engine must still match the serial run (and
+  // the audit itself must pass).
+  ExperimentParams params = MultiHostParams();
+  params.audit = true;
+  const Metrics serial = RunExperiment(params).metrics;
+  ExperimentParams part = params;
+  part.num_partitions = 4;
+  ExpectMetricsIdentical(serial, RunExperiment(part).metrics, "audited P=4");
+}
+
+TEST(PartitionedEngine, NoIndexRehashesAndSameEventCount) {
+  const ExperimentParams params = MultiHostParams();
+  const SimConfig base_config = BuildSimConfig(params);
+  const SyntheticTraceSpec spec = BuildTraceSpec(params);
+  const uint64_t filer_bytes = static_cast<uint64_t>(
+      params.filer_tib * static_cast<double>(kTiB) / static_cast<double>(params.scale));
+  const FsModel& fs = GetFsModel(filer_bytes, base_config.block_bytes, Mix64(0xf5ULL));
+
+  uint64_t serial_events = 0;
+  Metrics serial;
+  {
+    Simulation sim(base_config);
+    SyntheticTraceSource source(fs, spec);
+    serial = sim.Run(source);
+    serial_events = sim.events_processed();
+  }
+  EXPECT_EQ(serial.index_rehashes, 0u);
+  for (const int p : {2, 4}) {
+    SimConfig config = base_config;
+    config.num_partitions = p;
+    Simulation sim(config);
+    SyntheticTraceSource source(fs, spec);
+    const Metrics m = sim.Run(source);
+    EXPECT_EQ(m.index_rehashes, 0u) << "pre-sizing regressed at P=" << p;
+    EXPECT_EQ(sim.events_processed(), serial_events) << "event count diverged at P=" << p;
+    ExpectMetricsIdentical(serial, m, "direct-sim P=" + std::to_string(p));
+  }
+}
+
+}  // namespace
+}  // namespace flashsim
