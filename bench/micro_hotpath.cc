@@ -23,9 +23,13 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench/bench_util.h"
 #include "src/cache/lru_cache.h"
 #include "src/core/simulation.h"
+#include "src/trace/fast_source.h"
+#include "src/trace/trace_file.h"
 #include "src/util/json.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/resource.h"
@@ -223,6 +227,44 @@ BenchRow BenchPartitionedSimulation(int partitions, uint64_t ops) {
                   SecondsSince(start)};
 }
 
+// Single-stream hot-read rows: 1 host x 1 thread reading a RAM-resident
+// 2048-block set. With one application thread the queue holds only the
+// distant syncer tick between op completions, so every post-warmup read
+// satisfies the serial fast path's "provably next event" gate — this is the
+// workload the inline dispatch was built for. Three rows:
+//
+//   sim_fastpath       fast path on (the default)
+//   sim_hot_eventpath  same workload, fast path off — the ratio between
+//                      these two is the measured event-loop round-trip tax
+//   sim_fastpath_telem fast path + histograms + sampler — its gap to
+//                      sim_fastpath is the batched telemetry tax
+BenchRow BenchHotReadSimulation(const char* name, bool fast_path, uint64_t ops,
+                                const obs::TelemetryConfig& telemetry = {}) {
+  SimConfig config;
+  config.ram_bytes = 4096ULL * 4096;
+  config.flash_bytes = 32768ULL * 4096;
+  config.num_hosts = 1;
+  config.threads_per_host = 1;
+  config.arch = Architecture::kNaive;
+  config.read_fast_path = fast_path;
+  config.telemetry = telemetry;
+  Simulation sim(config);
+  std::vector<TraceRecord> records;
+  records.reserve(ops);
+  Rng rng(11);
+  for (uint64_t i = 0; i < ops; ++i) {
+    TraceRecord r;
+    r.op = TraceOp::kRead;
+    r.file_id = 1;
+    r.block = rng.NextBounded(2048);
+    records.push_back(r);
+  }
+  VectorTraceSource source(std::move(records));
+  const auto start = Clock::now();
+  const Metrics m = sim.Run(source);
+  return BenchRow{name, m.measured_read_blocks, SecondsSince(start)};
+}
+
 // The telemetry-on counterpart of sim_naive: every collector armed. Its
 // items_per_sec next to sim_naive's IS the telemetry overhead; the
 // telemetry-off rows above must stay within the baseline tolerance.
@@ -232,6 +274,75 @@ BenchRow BenchSimulationTelemetry(uint64_t ops) {
   telemetry.spans = true;
   telemetry.sample_stride_ns = 10 * kMillisecond;
   return BenchSimulation(Architecture::kNaive, ops, telemetry, "_telem");
+}
+
+// Trace-ingestion rows: the same records read back through each front end.
+// trace_ingest_text and trace_ingest_binary stream through stdio
+// (FileTraceSource); trace_ingest_mmap walks the mapped file. Temp files
+// are written once and removed before returning.
+std::string IngestTempPath(const char* suffix) {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/tmp/flashsim_hotpath_%d.%s", getpid(), suffix);
+  return path;
+}
+
+void WriteIngestTrace(const std::string& path, TraceFormat format, uint64_t records) {
+  std::string error;
+  auto writer = TraceFileWriter::Create(path, format, &error);
+  FLASHSIM_CHECK(writer != nullptr);
+  Rng rng(13);
+  for (uint64_t i = 0; i < records; ++i) {
+    TraceRecord r;
+    r.op = rng.NextBool(0.3) ? TraceOp::kWrite : TraceOp::kRead;
+    r.host = static_cast<uint16_t>(rng.NextBounded(16));
+    r.thread = static_cast<uint16_t>(rng.NextBounded(8));
+    r.file_id = static_cast<uint32_t>(rng.NextBounded(1000));
+    r.block = rng.NextBounded(1ULL << 30);
+    r.block_count = static_cast<uint32_t>(rng.NextBounded(16)) + 1;
+    writer->Write(r);
+  }
+  FLASHSIM_CHECK(writer->Close());
+}
+
+BenchRow BenchTraceIngest(const char* name, TraceSource& source, uint64_t expected) {
+  TraceRecord record;
+  uint64_t read = 0;
+  const auto start = Clock::now();
+  while (source.Next(&record)) {
+    ++read;
+  }
+  const double seconds = SecondsSince(start);
+  FLASHSIM_CHECK(read == expected);
+  return BenchRow{name, read, seconds};
+}
+
+std::vector<BenchRow> BenchTraceIngestAll(uint64_t records) {
+  const std::string text_path = IngestTempPath("txt");
+  const std::string binary_path = IngestTempPath("bin");
+  WriteIngestTrace(text_path, TraceFormat::kText, records);
+  WriteIngestTrace(binary_path, TraceFormat::kBinary, records);
+  std::vector<BenchRow> rows;
+  {
+    std::string error;
+    auto text = BufferedTextTraceSource::Open(text_path, &error);
+    FLASHSIM_CHECK(text != nullptr);
+    rows.push_back(BenchTraceIngest("trace_ingest_text", *text, records));
+  }
+  {
+    std::string error;
+    auto binary = FileTraceSource::Open(binary_path, &error);
+    FLASHSIM_CHECK(binary != nullptr);
+    rows.push_back(BenchTraceIngest("trace_ingest_binary", *binary, records));
+  }
+  {
+    std::string error;
+    auto mapped = MmapTraceSource::Open(binary_path, &error);
+    FLASHSIM_CHECK(mapped != nullptr);
+    rows.push_back(BenchTraceIngest("trace_ingest_mmap", *mapped, records));
+  }
+  std::remove(text_path.c_str());
+  std::remove(binary_path.c_str());
+  return rows;
 }
 
 BenchRow BenchFlatHashFind(uint64_t lookups) {
@@ -263,6 +374,23 @@ BenchRow BenchLruTouch(uint64_t touches) {
     cache.Touch(cache.Lookup(rng.NextBounded(65536)));
   }
   return BenchRow{"lru_touch", touches, SecondsSince(start)};
+}
+
+// lru_touch through LookupFast, whose index probe prefetches the slot the
+// Touch is about to dereference. Its delta against lru_touch is the
+// prefetch's worth on this machine's memory system.
+BenchRow BenchLruTouchFast(uint64_t touches) {
+  LruBlockCache cache("bench", 65536);
+  std::optional<EvictedBlock> evicted;
+  for (uint64_t k = 0; k < 65536; ++k) {
+    cache.Insert(k, false, &evicted);
+  }
+  Rng rng(2);
+  const auto start = Clock::now();
+  for (uint64_t i = 0; i < touches; ++i) {
+    cache.Touch(cache.LookupFast(rng.NextBounded(65536)));
+  }
+  return BenchRow{"lru_touch_fast", touches, SecondsSince(start)};
 }
 
 BenchRow BenchResourceAcquire(uint64_t acquires) {
@@ -343,12 +471,15 @@ int main(int argc, char** argv) {
   uint64_t events = 4000000;
   uint64_t ops = 150000;
   uint64_t micro_items = 2000000;
+  uint64_t ingest_records = 1000000;
   std::string baseline;
   double tolerance = 0.20;
   flags.parser().AddUint64("events", "events per event-queue workload", &events);
   flags.parser().AddUint64("ops", "trace ops per simulation workload", &ops);
   flags.parser().AddUint64("micro-items", "iterations per component microbench",
                            &micro_items);
+  flags.parser().AddUint64("ingest-records", "records per trace-ingestion workload",
+                           &ingest_records);
   flags.parser().AddString("baseline", "baseline JSON to compare against", &baseline);
   flags.parser().AddDouble("tolerance", "allowed fractional regression", &tolerance);
   const BenchOptions options = flags.ParseOrExit(argc, argv);
@@ -361,10 +492,22 @@ int main(int argc, char** argv) {
     AddRow(&table, BenchSimulation(arch, ops));
   }
   AddRow(&table, BenchSimulationTelemetry(ops));
+  AddRow(&table, BenchHotReadSimulation("sim_fastpath", true, ops * 4));
+  AddRow(&table, BenchHotReadSimulation("sim_hot_eventpath", false, ops * 4));
+  {
+    obs::TelemetryConfig telemetry;
+    telemetry.histograms = true;
+    telemetry.sample_stride_ns = 10 * kMillisecond;
+    AddRow(&table, BenchHotReadSimulation("sim_fastpath_telem", true, ops * 4, telemetry));
+  }
   AddRow(&table, BenchPartitionedSimulation(1, ops));
   AddRow(&table, BenchPartitionedSimulation(4, ops));
+  for (const BenchRow& row : BenchTraceIngestAll(ingest_records)) {
+    AddRow(&table, row);
+  }
   AddRow(&table, BenchFlatHashFind(micro_items));
   AddRow(&table, BenchLruTouch(micro_items));
+  AddRow(&table, BenchLruTouchFast(micro_items));
   AddRow(&table, BenchResourceAcquire(micro_items));
 
   PrintTable(table, options);

@@ -34,6 +34,7 @@
 #include "src/core/experiment.h"
 #include "src/core/simulation.h"
 #include "src/harness/harness.h"
+#include "src/trace/fast_source.h"
 #include "src/trace/trace_file.h"
 #include "src/util/table.h"
 #include "src/util/time_series.h"
@@ -128,8 +129,22 @@ void RegisterFlags(FlagParser& parser, CliOptions* options) {
   parser.AddInt("hosts", "number of hosts", &params.hosts);
   parser.AddInt("threads", "threads per host", &params.threads_per_host);
   parser.AddInt("filers", "filer shards in the storage backend", &params.num_filers);
-  parser.AddInt("partitions", "partitioned-engine host groups (1 = serial engine)",
-                &params.num_partitions);
+  parser.AddCustom("partitions", "N|auto",
+                   "partitioned-engine host groups (1 = serial engine; auto = "
+                   "one per core, clamped to the host count)",
+                   [&params](const std::string& value) {
+                     if (value == "auto") {
+                       params.num_partitions = kAutoPartitions;
+                       return true;
+                     }
+                     char* end = nullptr;
+                     const long parsed = std::strtol(value.c_str(), &end, 10);
+                     if (end == nullptr || *end != '\0' || value.empty()) {
+                       return false;
+                     }
+                     params.num_partitions = static_cast<int>(parsed);
+                     return true;
+                   });
   parser.AddCustom("shard-strategy", "hash|modulo", "block -> filer shard routing",
                    [&params](const std::string& value) {
                      const auto strategy = ParseShardStrategy(value);
@@ -257,7 +272,7 @@ int main(int argc, char** argv) {
   std::shared_ptr<obs::Telemetry> telemetry;
   if (!options.trace_path.empty()) {
     std::string error;
-    auto source = FileTraceSource::Open(options.trace_path, &error);
+    auto source = OpenTraceSource(options.trace_path, &error);
     if (source == nullptr) {
       std::fprintf(stderr, "%s\n", error.c_str());
       return 1;

@@ -14,6 +14,7 @@
 #include "src/core/simulation.h"
 #include "src/trace/csv_import.h"
 #include "src/tracegen/generator.h"
+#include "src/trace/fast_source.h"
 #include "src/trace/trace_file.h"
 #include "src/trace/trace_stats.h"
 
@@ -127,7 +128,7 @@ int Stats(const std::string& path) {
 
 int Replay(const std::string& path) {
   std::string error;
-  auto source = FileTraceSource::Open(path, &error);
+  auto source = OpenTraceSource(path, &error);
   if (source == nullptr) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;

@@ -135,6 +135,15 @@ class CacheStack {
   // certification of another at the same instant.
   virtual bool ReadIsPureRamHit(BlockKey key) const = 0;
 
+  // Fused fast-path read (DESIGN.md §13): one hash probe that certifies AND
+  // executes. If a Read of `key` at `now` would be a pure RAM hit, performs
+  // exactly that Read — intrusive touch, ram_hits counter, RAM device
+  // charge — and returns its completion time; otherwise mutates nothing and
+  // returns nullopt (the caller falls back to the full Read on the event
+  // path). For any key, TryReadFastPath succeeding is equivalent, state and
+  // time, to Read reporting HitLevel::kRam; it never succeeds otherwise.
+  virtual std::optional<SimTime> TryReadFastPath(SimTime now, BlockKey key) = 0;
+
   // Syncer interface. A periodic writeback policy is a syncer *thread*
   // (§3.5) with one writeback in flight at a time; when it falls behind the
   // dirty-production rate, dirty data accumulates — the paper observes

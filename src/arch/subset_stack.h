@@ -35,6 +35,20 @@ class SubsetStackBase : public CacheStack {
   bool ReadIsPureRamHit(BlockKey key) const override {
     return HasRam() && ram_.Lookup(key) != kInvalidSlot;
   }
+  // One LookupFast probe replaces Read's certify-then-probe pair; the body
+  // is Read's RAM-hit branch verbatim, so state and time match exactly.
+  std::optional<SimTime> TryReadFastPath(SimTime now, BlockKey key) override {
+    if (!HasRam()) {
+      return std::nullopt;
+    }
+    const uint32_t slot = ram_.LookupFast(key);
+    if (slot == kInvalidSlot) {
+      return std::nullopt;
+    }
+    ram_.Touch(slot);
+    ++counters_.ram_hits;
+    return ram_dev_->Read(now);
+  }
   uint64_t RamResident() const override { return ram_.size(); }
   uint64_t FlashResident() const override { return flash_.size(); }
   uint64_t DirtyBlocks() const override { return ram_.dirty_count() + flash_.dirty_count(); }

@@ -39,6 +39,19 @@ class UnifiedStack : public CacheStack {
     const uint32_t slot = cache_.Lookup(key);
     return slot != kInvalidSlot && cache_.medium_of(slot) == Medium::kRam;
   }
+  // One LookupFast probe that certifies and executes. A flash-medium hit
+  // mutates nothing (Read would Touch it, so the caller must fall back and
+  // re-run the full Read); a RAM-medium hit replays Read's RAM branch —
+  // Touch, ram_hits, RAM device charge — exactly.
+  std::optional<SimTime> TryReadFastPath(SimTime now, BlockKey key) override {
+    const uint32_t slot = cache_.LookupFast(key);
+    if (slot == kInvalidSlot || cache_.medium_of(slot) != Medium::kRam) {
+      return std::nullopt;
+    }
+    cache_.Touch(slot);
+    ++counters_.ram_hits;
+    return ram_dev_->Read(now);
+  }
   uint64_t RamResident() const override;
   uint64_t FlashResident() const override;
   uint64_t DirtyBlocks() const override { return cache_.dirty_count(); }

@@ -55,6 +55,9 @@ std::string SimConfig::Summary() const {
     std::snprintf(buf, sizeof(buf), " partitions=%d", num_partitions);
     out += buf;
   }
+  if (!read_fast_path) {
+    out += " nofastpath";
+  }
   return out;
 }
 

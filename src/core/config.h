@@ -56,6 +56,14 @@ struct SimConfig {
   // loop, to prove the two paths coincide.
   bool force_partitioned = false;
 
+  // Serial read fast path (DESIGN.md §13): when a thread's completion is
+  // provably the next event and its next record is a pure-RAM-hit read,
+  // execute it inline instead of round-tripping the event heap. Results are
+  // byte-identical either way (the schedule is provably unchanged); off
+  // exists for A/B benchmarking and belt-and-suspenders debugging. The
+  // auditor disables the path at runtime regardless of this knob.
+  bool read_fast_path = true;
+
   Architecture arch = Architecture::kNaive;
   WritebackPolicy ram_policy = WritebackPolicy::kPeriodic1;
   WritebackPolicy flash_policy = WritebackPolicy::kAsync;

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "src/core/simulation.h"
+#include "src/sim/partition.h"
 #include "src/util/assert.h"
 
 namespace flashsim {
@@ -29,7 +30,12 @@ SimConfig BuildSimConfig(const ExperimentParams& params) {
   config.threads_per_host = params.threads_per_host;
   config.num_filers = params.num_filers;
   config.shard_strategy = params.shard_strategy;
-  config.num_partitions = params.num_partitions;
+  // --partitions=auto resolves against this machine here, before Validate
+  // ever sees the sentinel. Only the worker count depends on the machine;
+  // results are byte-identical at any partition count.
+  config.num_partitions = params.num_partitions == kAutoPartitions
+                              ? ResolveAutoPartitions(params.hosts)
+                              : params.num_partitions;
   config.force_partitioned = params.force_partitioned;
   config.arch = params.arch;
   config.ram_policy = params.ram_policy;

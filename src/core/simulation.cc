@@ -97,6 +97,11 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   if (config_.audit_stride > 0) {
     auditor_ = std::make_unique<InvariantAuditor>(config_.arch, config_.num_hosts);
   }
+  // The serial fast path coexists with the auditor by not arming: the
+  // auditor must observe every record through the full event path (its
+  // per-record counter checks and stride bookkeeping are part of the
+  // schedule it audits), exactly like partitioned certification.
+  serial_fast_path_ = config_.read_fast_path && !partitioned_ && auditor_ == nullptr;
   if (config_.telemetry.any()) {
     ArmTelemetry();
   }
@@ -194,6 +199,21 @@ bool Simulation::NextOpFor(int thread_index, TraceRecord* record) {
   return false;
 }
 
+const TraceRecord* Simulation::PeekOpFor(int thread_index) {
+  auto& queue = backlog_[static_cast<size_t>(thread_index)];
+  while (queue.empty() && !source_exhausted_) {
+    TraceRecord next;
+    if (!source_->Next(&next)) {
+      source_exhausted_ = true;
+      break;
+    }
+    const int host = next.host % config_.num_hosts;
+    const int thread = next.thread % config_.threads_per_host;
+    backlog_[static_cast<size_t>(ThreadIndex(host, thread))].push_back(next);
+  }
+  return queue.empty() ? nullptr : &queue.front();
+}
+
 SimTime Simulation::ExecuteOp(SimTime now, const TraceRecord& record) {
   const int host_id = record.host % config_.num_hosts;
   HostState& host = *hosts_[static_cast<size_t>(host_id)];
@@ -252,16 +272,46 @@ SimTime Simulation::ExecuteOp(SimTime now, const TraceRecord& record) {
   return t;
 }
 
-void Simulation::StartThread(int thread_index, SimTime now) {
-  TraceRecord record;
-  if (!NextOpFor(thread_index, &record)) {
-    --live_threads_;
-    return;
+std::optional<SimTime> Simulation::TryFastExecute(CacheStack& stack, const TraceRecord& record,
+                                                  SimTime now, bool measured) {
+  if (record.op != TraceOp::kRead || record.block_count == 0) {
+    return std::nullopt;
   }
-  const SimTime done = ExecuteOp(now, record);
-  if (auditor_ != nullptr) {
-    AuditAfterRecord(record.host % config_.num_hosts);
+  SimTime t = now;
+  if (record.block_count == 1) {
+    // The common case fuses certification and execution into one probe.
+    const std::optional<SimTime> hit =
+        stack.TryReadFastPath(t, MakeBlockKey(record.file_id, record.block));
+    if (!hit.has_value()) {
+      return std::nullopt;
+    }
+    t = *hit;
+  } else {
+    // Multi-block: certify every block before executing any (a pure RAM hit
+    // never changes residency, so executing earlier blocks cannot
+    // invalidate later blocks' certification).
+    for (uint32_t i = 0; i < record.block_count; ++i) {
+      if (!stack.ReadIsPureRamHit(MakeBlockKey(record.file_id, record.block + i))) {
+        return std::nullopt;
+      }
+    }
+    for (uint32_t i = 0; i < record.block_count; ++i) {
+      const std::optional<SimTime> hit =
+          stack.TryReadFastPath(t, MakeBlockKey(record.file_id, record.block + i));
+      FLASHSIM_DCHECK(hit.has_value());
+      t = *hit;
+    }
   }
+  // The per-block accounting ExecuteOp's read branch would have done.
+  if (measured) {
+    metrics_.read_level_blocks[static_cast<size_t>(HitLevel::kRam)] += record.block_count;
+    metrics_.measured_read_blocks += record.block_count;
+  }
+  return t;
+}
+
+void Simulation::FinishOp(int thread_index, const TraceRecord& record, SimTime now,
+                          SimTime done) {
   if (done > last_op_completion_) {
     last_op_completion_ = done;
   }
@@ -292,6 +342,49 @@ void Simulation::StartThread(int thread_index, SimTime now) {
     metrics_.warmup_blocks += record.block_count;
   }
   ++metrics_.trace_records;
+}
+
+void Simulation::StartThread(int thread_index, SimTime now) {
+  TraceRecord record;
+  if (!NextOpFor(thread_index, &record)) {
+    --live_threads_;
+    return;
+  }
+  SimTime done = ExecuteOp(now, record);
+  if (auditor_ != nullptr) {
+    AuditAfterRecord(record.host % config_.num_hosts);
+  }
+  FinishOp(thread_index, record, now, done);
+  // Serial read fast path (DESIGN.md §13): while this thread's completion
+  // at `done` is provably the next dispatch — the heap is empty or its head
+  // fires strictly later (at equal times the queued entry's older seq wins,
+  // so ties must take the event path) — and the thread's next record is a
+  // pure-RAM-hit read, run it inline. NoteInlineDispatch leaves the queue's
+  // clock, event count, and seq counter exactly as the skipped
+  // ScheduleEvent + DispatchHead round trip would, so the event-visible
+  // schedule — and therefore every metric — is byte-identical.
+  while (serial_fast_path_ && (queue_.empty() || done < queue_.HeadTime())) {
+    const TraceRecord* next = PeekOpFor(thread_index);
+    if (next == nullptr) {
+      // Thread exit, inlined: the completion event would have dispatched
+      // straight into NextOpFor returning false.
+      queue_.NoteInlineDispatch(done);
+      --live_threads_;
+      return;
+    }
+    const size_t host_id = static_cast<size_t>(thread_index / config_.threads_per_host);
+    const std::optional<SimTime> fast_done =
+        TryFastExecute(*hosts_[host_id]->stack, *next, done, !next->warmup);
+    if (!fast_done.has_value()) {
+      break;  // not a pure-RAM-hit read: fall back to the event path
+    }
+    record = *next;
+    backlog_[static_cast<size_t>(thread_index)].pop_front();
+    queue_.NoteInlineDispatch(done);
+    now = done;
+    done = *fast_done;
+    FinishOp(thread_index, record, now, done);
+  }
   queue_for_host(thread_index / config_.threads_per_host)
       .ScheduleEvent(done, this, kEvThreadStart, static_cast<uint64_t>(thread_index));
 }
@@ -571,9 +664,13 @@ void Simulation::ExecuteDeferred(DeferredRead& d, SeqSource* src) {
   HostState& host = *hosts_[static_cast<size_t>(host_id)];
   SimTime t = d.now;
   for (uint32_t i = 0; i < d.record.block_count; ++i) {
-    HitLevel level = HitLevel::kRam;
-    t = host.stack->Read(t, MakeBlockKey(d.record.file_id, d.record.block + i), &level);
-    FLASHSIM_DCHECK(level == HitLevel::kRam);
+    // Certification already proved every block a pure RAM hit, so the fused
+    // fast path must succeed — and its probe prefetches the LRU slot the
+    // following Touch dereferences.
+    const std::optional<SimTime> hit =
+        host.stack->TryReadFastPath(t, MakeBlockKey(d.record.file_id, d.record.block + i));
+    FLASHSIM_DCHECK(hit.has_value());
+    t = *hit;
   }
   d.done = t;
   queue_for_host(host_id).ScheduleEvent(t, this, kEvThreadStart,

@@ -76,6 +76,11 @@ class Simulation : private EventHandler {
     return total;
   }
   int num_partitions() const { return partitioned_ ? static_cast<int>(partitions_.size()) : 1; }
+  // Events the serial read fast path dispatched inline (included in
+  // events_processed(); always 0 when partitioned, disabled, or audited).
+  // Deliberately not part of Metrics: fast path on vs. off is byte-identical
+  // there, and tests use this to prove the path actually fired.
+  uint64_t fast_path_events() const { return queue_.inline_dispatches(); }
   // Non-null when SimConfig::audit_stride (or FLASHSIM_AUDIT) enabled the
   // invariant auditor for this run.
   const InvariantAuditor* auditor() const { return auditor_.get(); }
@@ -147,8 +152,29 @@ class Simulation : private EventHandler {
   // source and back-filling other threads' queues as needed.
   bool NextOpFor(int thread_index, TraceRecord* record);
 
+  // Peeks the next op for the thread without consuming it, pulling from the
+  // source into backlogs as needed (the thread's own find is parked in its
+  // backlog, unlike NextOpFor's direct return). Returns nullptr when the
+  // thread is out of work. The pointer is invalidated by the next backlog
+  // mutation.
+  const TraceRecord* PeekOpFor(int thread_index);
+
   // Executes one operation starting at `now`; returns its completion time.
   SimTime ExecuteOp(SimTime now, const TraceRecord& record);
+
+  // Serial read fast path (DESIGN.md §13): if `record` is a read that is a
+  // pure RAM hit on every block, executes it starting at `now` via
+  // TryReadFastPath — including the per-block read metrics ExecuteOp would
+  // have recorded — and returns its completion time; otherwise mutates
+  // nothing and returns nullopt.
+  std::optional<SimTime> TryFastExecute(CacheStack& stack, const TraceRecord& record,
+                                        SimTime now, bool measured);
+
+  // The order-sensitive per-op accumulation shared by the event path and
+  // the fast path: completion watermark, spans, latency records, warmup and
+  // record counters. Must run in dispatch order (the Welford mean is not
+  // associative).
+  void FinishOp(int thread_index, const TraceRecord& record, SimTime now, SimTime done);
 
   void StartThread(int thread_index, SimTime now);
   void ScheduleSyncers();
@@ -209,6 +235,10 @@ class Simulation : private EventHandler {
   std::vector<RingDeque<TraceRecord>> backlog_;  // per thread index
   bool source_exhausted_ = false;
   int live_threads_ = 0;
+  // Serial fast path armed for this run: the config knob, the serial
+  // engine, and no per-record auditor (the auditor must observe every op
+  // through the full event path, exactly like PR-6 certification).
+  bool serial_fast_path_ = false;
   std::vector<bool> ram_syncer_busy_;    // per host: syncer thread mid-flush
   std::vector<bool> flash_syncer_busy_;  // per host
   SimTime last_op_completion_ = 0;

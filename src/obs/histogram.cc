@@ -6,11 +6,14 @@ namespace flashsim {
 namespace obs {
 
 void Histogram::Merge(const Histogram& other) {
+  // count() flushes both sides, so the merge below sees drained state.
   if (other.count() == 0) {
     return;
   }
   if (count() == 0) {
+    const bool batched = batched_;
     *this = other;
+    batched_ = batched;  // adopt the state, keep our recording mode
     return;
   }
   if (other.min_ < min_) {

@@ -7,9 +7,18 @@
 // Merge exactly associative and commutative: merging a set of histograms in
 // any order yields bit-identical state, which is what lets a --jobs=N sweep
 // aggregate per-run telemetry into byte-identical output (DESIGN.md §10).
+//
+// Batched recording (DESIGN.md §13): in batched mode Record is one store
+// into a fixed staging array; values drain into the buckets at capacity or
+// whenever any reader needs the state (count/min/max/quantiles/serialize/
+// merge all flush first). Flushing replays the staged values in recording
+// order through the exact unbatched update, so observable state is
+// bit-identical to unbatched mode at every read point — batching moves the
+// arithmetic off the hot path, it never changes the answer.
 #ifndef FLASHSIM_SRC_OBS_HISTOGRAM_H_
 #define FLASHSIM_SRC_OBS_HISTOGRAM_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -21,27 +30,66 @@ namespace obs {
 
 class Histogram {
  public:
+  // Staging capacity in batched mode: 512 bytes of inline storage, sized so
+  // a flush amortizes the bucket-index arithmetic without growing the
+  // registry's footprint meaningfully. No heap allocation either way.
+  static constexpr uint32_t kBatchCapacity = 64;
+
   // Records one non-negative duration (negative values clamp to 0, matching
   // LatencyHistogram::Add).
   void Record(int64_t value_ns) {
-    buckets_.Add(value_ns);
-    if (value_ns < 0) {
-      value_ns = 0;
+    if (batched_) {
+      staged_[staged_count_++] = value_ns;
+      if (staged_count_ == kBatchCapacity) {
+        Flush();
+      }
+      return;
     }
-    sum_ += value_ns;
-    if (count() == 1 || value_ns < min_) {
-      min_ = value_ns;
+    RecordDirect(value_ns);
+  }
+
+  // Batched mode is chosen at registration (TelemetryConfig::batched);
+  // switching drains any staged values first.
+  void set_batched(bool batched) {
+    Flush();
+    batched_ = batched;
+  }
+  bool batched() const { return batched_; }
+
+  // Drains the staged values. One pass computing batch sum/min/max plus a
+  // fused bucket-increment loop — exactly equivalent to replaying each
+  // value through RecordDirect in recording order, because every
+  // accumulator here is order-independent (integer sum, min, max, bucket
+  // counts). Logically const: staging is a deferral of already-recorded
+  // values, not state.
+  void Flush() const {
+    if (staged_count_ == 0) {
+      return;
     }
-    if (count() == 1 || value_ns > max_) {
-      max_ = value_ns;
+    const bool was_empty = buckets_.count() == 0;
+    const LatencyHistogram::BatchStats stats =
+        buckets_.AddBatch(staged_.data(), staged_count_);
+    sum_ += stats.sum;
+    if (was_empty || stats.min < min_) {
+      min_ = stats.min;
     }
+    if (was_empty || stats.max > max_) {
+      max_ = stats.max;
+    }
+    staged_count_ = 0;
   }
 
   // Exact integer merge: commutative and associative.
   void Merge(const Histogram& other);
 
-  uint64_t count() const { return buckets_.count(); }
-  int64_t sum() const { return sum_; }
+  uint64_t count() const {
+    Flush();
+    return buckets_.count();
+  }
+  int64_t sum() const {
+    Flush();
+    return sum_;
+  }
   int64_t min() const { return count() == 0 ? 0 : min_; }
   int64_t max() const { return count() == 0 ? 0 : max_; }
   double mean() const {
@@ -49,13 +97,19 @@ class Histogram {
   }
 
   // Approximate quantiles from the log buckets (worst-case error < 13%).
-  int64_t Quantile(double q) const { return buckets_.Quantile(q); }
+  int64_t Quantile(double q) const {
+    Flush();
+    return buckets_.Quantile(q);
+  }
   int64_t p50() const { return Quantile(0.50); }
   int64_t p90() const { return Quantile(0.90); }
   int64_t p99() const { return Quantile(0.99); }
   int64_t p999() const { return Quantile(0.999); }
 
-  const LatencyHistogram& buckets() const { return buckets_; }
+  const LatencyHistogram& buckets() const {
+    Flush();
+    return buckets_;
+  }
 
   // Canonical text form: "count sum min max i:c,i:c,..." with sparse
   // buckets in index order. Two histograms with equal state serialize to
@@ -67,10 +121,31 @@ class Histogram {
   JsonValue ToJson() const;
 
  private:
-  LatencyHistogram buckets_;
-  int64_t sum_ = 0;
-  int64_t min_ = 0;
-  int64_t max_ = 0;
+  // The unbatched update; also the flush replay step, value for value.
+  // Reads buckets_.count() directly (the public count() flushes).
+  void RecordDirect(int64_t value_ns) const {
+    buckets_.Add(value_ns);
+    if (value_ns < 0) {
+      value_ns = 0;
+    }
+    sum_ += value_ns;
+    if (buckets_.count() == 1 || value_ns < min_) {
+      min_ = value_ns;
+    }
+    if (buckets_.count() == 1 || value_ns > max_) {
+      max_ = value_ns;
+    }
+  }
+
+  // Mutable so Flush stays const-callable from every reader: a flush only
+  // materializes state that was already logically recorded.
+  mutable LatencyHistogram buckets_;
+  mutable int64_t sum_ = 0;
+  mutable int64_t min_ = 0;
+  mutable int64_t max_ = 0;
+  mutable std::array<int64_t, kBatchCapacity> staged_;
+  mutable uint32_t staged_count_ = 0;
+  bool batched_ = false;
 };
 
 }  // namespace obs

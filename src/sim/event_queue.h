@@ -185,6 +185,29 @@ class EventQueue {
   // Pops and invokes the head event (typed or callback).
   void DispatchHead();
 
+  // --- Serial fast-path hook (DESIGN.md §13) ------------------------------
+  //
+  // Accounts for a typed event that was logically scheduled at `when` and
+  // immediately dispatched without ever entering the heap. The serial
+  // engine's read fast path uses this when a thread's next completion is
+  // provably the global next event: the queue state afterwards — clock,
+  // event count, and the monotone seq counter — is exactly what a
+  // ScheduleEvent + DispatchHead pair would have left, so every later
+  // (time, seq) comparison and events_processed() observation is unchanged.
+  void NoteInlineDispatch(SimTime when) {
+    FLASHSIM_DCHECK(when >= now_);
+    (void)ComposeSeq();  // the skipped ScheduleEvent would have consumed one
+    now_ = when;
+    clock_.now = when;
+    ++events_processed_;
+    ++inline_dispatches_;
+  }
+
+  // How many events NoteInlineDispatch accounted for (they are included in
+  // events_processed()). Not part of Metrics — fast path on vs. off must
+  // stay byte-identical there — but tests use it to prove the path fired.
+  uint64_t inline_dispatches() const { return inline_dispatches_; }
+
   // Monotone clock view for resources' interval pruning.
   const SimClock* clock() const { return &clock_; }
 
@@ -300,6 +323,7 @@ class EventQueue {
   SimClock clock_;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  uint64_t inline_dispatches_ = 0;
   SeqSource* seq_source_ = nullptr;
 
   std::vector<std::unique_ptr<CallbackSlot[]>> slabs_;

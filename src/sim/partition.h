@@ -29,6 +29,24 @@ namespace flashsim {
 // SimConfig::Validate able to reject garbage before allocating P queues.
 inline constexpr int kMaxPartitions = 64;
 
+// Sentinel partition count meaning "pick from the machine" — the CLI's
+// --partitions=auto. Must be resolved via ResolveAutoPartitions before the
+// config reaches SimConfig::Validate, which rejects it like any other
+// out-of-range count.
+inline constexpr int kAutoPartitions = -1;
+
+// The auto-partition policy: one partition per hardware thread, clamped to
+// [1, min(kMaxPartitions, num_hosts)] — more partitions than hosts is
+// invalid (see PartitionOf), more than cores just adds merge overhead.
+// hardware_concurrency() may return 0 (unknown); that clamps to 1, the
+// serial engine.
+inline int ResolveAutoPartitions(int num_hosts) {
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  int cap = kMaxPartitions < num_hosts ? kMaxPartitions : num_hosts;
+  int p = cores < cap ? cores : cap;
+  return p < 1 ? 1 : p;
+}
+
 // Deterministic per-partition RNG seed split, mirroring the ShardSeed
 // contract from src/backend/ (DESIGN.md §11): partition 0 anchors a fixed
 // stream, later partitions perturb the pre-mix state by the golden ratio so

@@ -1,0 +1,240 @@
+#include "src/trace/fast_source.h"
+
+#include <cstring>
+
+#include "src/trace/codec.h"
+#include "src/trace/trace_file.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define FLASHSIM_HAVE_MMAP 1
+#endif
+
+namespace flashsim {
+
+// ----------------------------------------------------------------------------
+// MmapTraceSource
+
+std::unique_ptr<MmapTraceSource> MmapTraceSource::Open(const std::string& path,
+                                                       std::string* error) {
+#if FLASHSIM_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open trace file: " + path;
+    }
+    return nullptr;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || static_cast<size_t>(st.st_size) < kTraceBinaryMagicLen) {
+    ::close(fd);
+    if (error != nullptr) {
+      *error = "not a binary trace file: " + path;
+    }
+    return nullptr;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    if (error != nullptr) {
+      *error = "cannot mmap trace file: " + path;
+    }
+    return nullptr;
+  }
+  if (std::memcmp(map, kTraceBinaryMagic, kTraceBinaryMagicLen) != 0) {
+    ::munmap(map, size);
+    if (error != nullptr) {
+      *error = "not a binary trace file: " + path;
+    }
+    return nullptr;
+  }
+#if defined(MADV_SEQUENTIAL)
+  ::madvise(map, size, MADV_SEQUENTIAL);
+#endif
+  // A trailing partial record is ignored, exactly like the streaming
+  // reader's short final fread.
+  const size_t num_records = (size - kTraceBinaryMagicLen) / kTraceBinaryRecordSize;
+  return std::unique_ptr<MmapTraceSource>(new MmapTraceSource(map, size, num_records));
+#else
+  (void)path;
+  if (error != nullptr) {
+    *error = "mmap unavailable on this platform";
+  }
+  return nullptr;
+#endif
+}
+
+MmapTraceSource::MmapTraceSource(void* map, size_t map_size, size_t num_records)
+    : map_(map),
+      map_size_(map_size),
+      data_(static_cast<const unsigned char*>(map) + kTraceBinaryMagicLen),
+      num_records_(num_records) {}
+
+MmapTraceSource::~MmapTraceSource() {
+#if FLASHSIM_HAVE_MMAP
+  if (map_ != nullptr) {
+    ::munmap(map_, map_size_);
+  }
+#endif
+}
+
+bool MmapTraceSource::Next(TraceRecord* record) {
+  while (cursor_ < num_records_) {
+    const unsigned char* rec = data_ + cursor_ * kTraceBinaryRecordSize;
+    ++cursor_;
+    if (DecodeTraceRecord(rec, record)) {
+      ++records_read_;
+      return true;
+    }
+    if (error_line_ == 0) {
+      error_line_ = records_read_ + 1;
+    }
+  }
+  return false;
+}
+
+void MmapTraceSource::Rewind() {
+  cursor_ = 0;
+  records_read_ = 0;
+}
+
+// ----------------------------------------------------------------------------
+// BufferedTextTraceSource
+
+namespace {
+constexpr size_t kTextBufferBytes = 1 << 20;
+}  // namespace
+
+std::unique_ptr<BufferedTextTraceSource> BufferedTextTraceSource::Open(const std::string& path,
+                                                                       std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open trace file: " + path;
+    }
+    return nullptr;
+  }
+  return std::unique_ptr<BufferedTextTraceSource>(new BufferedTextTraceSource(file));
+}
+
+BufferedTextTraceSource::BufferedTextTraceSource(std::FILE* file)
+    : file_(file), buf_(kTextBufferBytes) {}
+
+BufferedTextTraceSource::~BufferedTextTraceSource() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void BufferedTextTraceSource::Refill() {
+  const size_t avail = len_ - pos_;
+  if (avail > 0 && pos_ > 0) {
+    std::memmove(buf_.data(), buf_.data() + pos_, avail);
+  }
+  pos_ = 0;
+  len_ = avail;
+  const size_t want = buf_.size() - len_;
+  const size_t got = std::fread(buf_.data() + len_, 1, want, file_);
+  len_ += got;
+  if (got < want) {
+    eof_ = true;  // regular-file short read: end of input (or error — stop
+                  // either way, like the streaming reader's fgets loop)
+  }
+}
+
+bool BufferedTextTraceSource::NextLine(char* line) {
+  for (;;) {
+    const size_t avail = len_ - pos_;
+    const size_t cap = avail < 255 ? avail : 255;
+    const char* base = buf_.data() + pos_;
+    const void* nl = std::memchr(base, '\n', cap);
+    if (nl != nullptr) {
+      const size_t n = static_cast<size_t>(static_cast<const char*>(nl) - base) + 1;
+      std::memcpy(line, base, n);
+      line[n] = '\0';
+      pos_ += n;
+      return true;
+    }
+    if (cap == 255) {
+      // A long line chunks at 255 chars without a newline — fgets(,256,)
+      // behavior, which the streaming reader's parse semantics depend on.
+      std::memcpy(line, base, 255);
+      line[255] = '\0';
+      pos_ += 255;
+      return true;
+    }
+    if (eof_) {
+      if (avail == 0) {
+        return false;
+      }
+      std::memcpy(line, base, avail);
+      line[avail] = '\0';
+      pos_ = len_;
+      return true;
+    }
+    Refill();
+  }
+}
+
+bool BufferedTextTraceSource::Next(TraceRecord* record) {
+  char line[256];
+  while (NextLine(line)) {
+    ++line_;
+    switch (ParseTraceTextLine(line, record)) {
+      case TextLineResult::kSkip:
+        continue;
+      case TextLineResult::kMalformed:
+        if (error_line_ == 0) {
+          error_line_ = line_;
+        }
+        continue;
+      case TextLineResult::kRecord:
+        ++records_read_;
+        return true;
+    }
+  }
+  return false;
+}
+
+void BufferedTextTraceSource::Rewind() {
+  std::fseek(file_, 0, SEEK_SET);
+  pos_ = 0;
+  len_ = 0;
+  eof_ = false;
+  records_read_ = 0;
+  line_ = 0;
+}
+
+// ----------------------------------------------------------------------------
+// OpenTraceSource
+
+std::unique_ptr<TraceSource> OpenTraceSource(const std::string& path, std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open trace file: " + path;
+    }
+    return nullptr;
+  }
+  char magic[kTraceBinaryMagicLen];
+  const size_t got = std::fread(magic, 1, kTraceBinaryMagicLen, file);
+  std::fclose(file);
+  const bool binary =
+      got == kTraceBinaryMagicLen && std::memcmp(magic, kTraceBinaryMagic, got) == 0;
+  if (binary) {
+    std::string mmap_error;
+    if (auto src = MmapTraceSource::Open(path, &mmap_error)) {
+      return src;
+    }
+    // Mapping can fail where plain reads work (special files, exhausted
+    // address space); the streaming reader handles those.
+    return FileTraceSource::Open(path, error);
+  }
+  return BufferedTextTraceSource::Open(path, error);
+}
+
+}  // namespace flashsim

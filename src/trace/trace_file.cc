@@ -2,60 +2,17 @@
 
 #include <cstring>
 
+#include "src/trace/codec.h"
 #include "src/util/assert.h"
 
 namespace flashsim {
 
 namespace {
 
-constexpr char kBinaryMagic[] = "FSIMB1\n";
-constexpr size_t kBinaryMagicLen = sizeof(kBinaryMagic) - 1;
-constexpr size_t kBinaryRecordSize = 22;
-
-void EncodeRecord(const TraceRecord& r, unsigned char out[kBinaryRecordSize]) {
-  out[0] = static_cast<unsigned char>(r.op);
-  out[1] = r.warmup ? 1 : 0;
-  out[2] = static_cast<unsigned char>(r.host & 0xff);
-  out[3] = static_cast<unsigned char>(r.host >> 8);
-  out[4] = static_cast<unsigned char>(r.thread & 0xff);
-  out[5] = static_cast<unsigned char>(r.thread >> 8);
-  for (int i = 0; i < 4; ++i) {
-    out[6 + i] = static_cast<unsigned char>((r.file_id >> (8 * i)) & 0xff);
-  }
-  for (int i = 0; i < 8; ++i) {
-    out[10 + i] = static_cast<unsigned char>((r.block >> (8 * i)) & 0xff);
-  }
-  for (int i = 0; i < 4; ++i) {
-    out[18 + i] = static_cast<unsigned char>((r.block_count >> (8 * i)) & 0xff);
-  }
-}
-
-// Rejects records whose fields fall outside the ranges MakeBlockKey packs
-// into a key; a corrupt or truncated-then-resynced byte stream otherwise
-// produces keys that alias other files' blocks.
-bool DecodeRecord(const unsigned char in[kBinaryRecordSize], TraceRecord* r) {
-  if (in[0] > 1) {
-    return false;
-  }
-  r->op = static_cast<TraceOp>(in[0]);
-  r->warmup = in[1] != 0;
-  r->host = static_cast<uint16_t>(in[2] | (in[3] << 8));
-  r->thread = static_cast<uint16_t>(in[4] | (in[5] << 8));
-  r->file_id = 0;
-  for (int i = 3; i >= 0; --i) {
-    r->file_id = (r->file_id << 8) | in[6 + i];
-  }
-  r->block = 0;
-  for (int i = 7; i >= 0; --i) {
-    r->block = (r->block << 8) | in[10 + i];
-  }
-  r->block_count = 0;
-  for (int i = 3; i >= 0; --i) {
-    r->block_count = (r->block_count << 8) | in[18 + i];
-  }
-  return r->block_count > 0 && r->file_id <= kMaxFileId && r->block <= kMaxBlockInFile &&
-         r->block + r->block_count - 1 <= kMaxBlockInFile;
-}
+// Byte layout and validation live in src/trace/codec.h, shared with the
+// fast readers in fast_source.cc.
+constexpr size_t kBinaryMagicLen = kTraceBinaryMagicLen;
+constexpr size_t kBinaryRecordSize = kTraceBinaryRecordSize;
 
 }  // namespace
 
@@ -75,7 +32,7 @@ std::unique_ptr<FileTraceSource> FileTraceSource::Open(const std::string& path,
   const size_t got = std::fread(magic, 1, kBinaryMagicLen, file);
   TraceFormat format = TraceFormat::kText;
   long data_offset = 0;
-  if (got == kBinaryMagicLen && std::memcmp(magic, kBinaryMagic, kBinaryMagicLen) == 0) {
+  if (got == kBinaryMagicLen && std::memcmp(magic, kTraceBinaryMagic, kBinaryMagicLen) == 0) {
     format = TraceFormat::kBinary;
     data_offset = static_cast<long>(kBinaryMagicLen);
   } else {
@@ -105,40 +62,17 @@ bool FileTraceSource::NextText(TraceRecord* record) {
   char line[256];
   while (std::fgets(line, sizeof(line), file_) != nullptr) {
     ++line_;
-    // Skip leading whitespace; ignore blank lines and comments.
-    char* p = line;
-    while (*p == ' ' || *p == '\t') {
-      ++p;
+    switch (ParseTraceTextLine(line, record)) {
+      case TextLineResult::kSkip:
+        continue;
+      case TextLineResult::kMalformed:
+        if (error_line_ == 0) {
+          error_line_ = line_;
+        }
+        continue;  // Tolerate malformed lines; record where the first one was.
+      case TextLineResult::kRecord:
+        return true;
     }
-    if (*p == '\0' || *p == '\n' || *p == '#') {
-      continue;
-    }
-    char op_char = 0;
-    unsigned long long host = 0;
-    unsigned long long thread = 0;
-    unsigned long long file_id = 0;
-    unsigned long long block = 0;
-    unsigned long long count = 0;
-    char warm[8] = {0};
-    const int n = std::sscanf(p, " %c %llu %llu %llu %llu %llu %7s", &op_char, &host, &thread,
-                              &file_id, &block, &count, warm);
-    const bool op_ok = op_char == 'R' || op_char == 'W' || op_char == 'r' || op_char == 'w';
-    if (n < 6 || !op_ok || count == 0 || count > 0xffffffffULL || host > 0xffff ||
-        thread > 0xffff || file_id > kMaxFileId || block > kMaxBlockInFile ||
-        block + count - 1 > kMaxBlockInFile) {
-      if (error_line_ == 0) {
-        error_line_ = line_;
-      }
-      continue;  // Tolerate malformed lines; record where the first one was.
-    }
-    record->op = (op_char == 'W' || op_char == 'w') ? TraceOp::kWrite : TraceOp::kRead;
-    record->host = static_cast<uint16_t>(host);
-    record->thread = static_cast<uint16_t>(thread);
-    record->file_id = static_cast<uint32_t>(file_id);
-    record->block = block;
-    record->block_count = static_cast<uint32_t>(count);
-    record->warmup = n == 7 && warm[0] == 'w';
-    return true;
   }
   return false;
 }
@@ -150,7 +84,7 @@ bool FileTraceSource::NextBinary(TraceRecord* record) {
     if (got != kBinaryRecordSize) {
       return false;
     }
-    if (DecodeRecord(buf, record)) {
+    if (DecodeTraceRecord(buf, record)) {
       return true;
     }
     if (error_line_ == 0) {
@@ -178,7 +112,7 @@ std::unique_ptr<TraceFileWriter> TraceFileWriter::Create(const std::string& path
     return nullptr;
   }
   if (format == TraceFormat::kBinary) {
-    std::fwrite(kBinaryMagic, 1, kBinaryMagicLen, file);
+    std::fwrite(kTraceBinaryMagic, 1, kBinaryMagicLen, file);
   } else {
     std::fputs("# fsim-text v1: <R|W> <host> <thread> <file> <block> <count> [w]\n", file);
   }
@@ -198,7 +132,7 @@ void TraceFileWriter::Write(const TraceRecord& record) {
   FLASHSIM_CHECK(file_ != nullptr);
   if (format_ == TraceFormat::kBinary) {
     unsigned char buf[kBinaryRecordSize];
-    EncodeRecord(record, buf);
+    EncodeTraceRecord(record, buf);
     std::fwrite(buf, 1, kBinaryRecordSize, file_);
   } else {
     std::fprintf(file_, "%c %u %u %u %llu %u%s\n",

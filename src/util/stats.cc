@@ -71,20 +71,6 @@ double StreamingStats::variance() const {
 
 double StreamingStats::stddev() const { return std::sqrt(variance()); }
 
-int LatencyHistogram::BucketIndex(int64_t value) {
-  if (value < 0) {
-    value = 0;
-  }
-  const uint64_t v = static_cast<uint64_t>(value);
-  if (v < (1u << kSubBucketBits)) {
-    return static_cast<int>(v);
-  }
-  const int msb = 63 - std::countl_zero(v);
-  const int shift = msb - kSubBucketBits;
-  const int sub = static_cast<int>((v >> shift) & ((1u << kSubBucketBits) - 1));
-  return ((msb - kSubBucketBits + 1) << kSubBucketBits) + sub;
-}
-
 int64_t LatencyHistogram::BucketMidpoint(int index) {
   if (index < (1 << kSubBucketBits)) {
     return index;

@@ -7,6 +7,8 @@
 #define FLASHSIM_SRC_UTIL_STATS_H_
 
 #include <array>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -56,6 +58,38 @@ class LatencyHistogram {
   static constexpr int kNumBuckets = 64 << kSubBucketBits;
 
   void Add(int64_t value_ns);
+  // One-pass batch statistics over the clamped (negative -> 0) values,
+  // computed alongside the bucket increments in AddBatch.
+  struct BatchStats {
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+  };
+  // Adds n values (n >= 1) in one pass, equivalent to n Add calls in any
+  // order (the buckets are pure increments), and returns the batch's
+  // clamped sum/min/max — obs::Histogram's staged-flush primitive, inline
+  // so everything fuses into a single loop over the staging array.
+  BatchStats AddBatch(const int64_t* values, size_t n) {
+    BatchStats stats;
+    stats.min = values[0] < 0 ? 0 : values[0];
+    stats.max = stats.min;
+    for (size_t i = 0; i < n; ++i) {
+      ++buckets_[static_cast<size_t>(BucketIndex(values[i]))];
+      int64_t v = values[i];
+      if (v < 0) {
+        v = 0;
+      }
+      stats.sum += v;
+      if (v < stats.min) {
+        stats.min = v;
+      }
+      if (v > stats.max) {
+        stats.max = v;
+      }
+    }
+    count_ += n;
+    return stats;
+  }
   void Merge(const LatencyHistogram& other);
   void Reset();
 
@@ -71,7 +105,19 @@ class LatencyHistogram {
   static LatencyHistogram FromBuckets(const std::array<uint64_t, kNumBuckets>& buckets);
 
  private:
-  static int BucketIndex(int64_t value);
+  static int BucketIndex(int64_t value) {
+    if (value < 0) {
+      value = 0;
+    }
+    const uint64_t v = static_cast<uint64_t>(value);
+    if (v < (1u << kSubBucketBits)) {
+      return static_cast<int>(v);
+    }
+    const int msb = 63 - std::countl_zero(v);
+    const int shift = msb - kSubBucketBits;
+    const int sub = static_cast<int>((v >> shift) & ((1u << kSubBucketBits) - 1));
+    return ((msb - kSubBucketBits + 1) << kSubBucketBits) + sub;
+  }
   static int64_t BucketMidpoint(int index);
 
   std::array<uint64_t, kNumBuckets> buckets_{};

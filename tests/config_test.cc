@@ -98,6 +98,25 @@ TEST(SimConfigDeathTest, ValidateRejectsBadPartitionCounts) {
   }
 }
 
+TEST(SimConfigDeathTest, ValidateRejectsUnresolvedAutoPartitionSentinel) {
+  // --partitions=auto must be resolved (BuildSimConfig) before the config
+  // reaches Validate; the raw sentinel is never a legal partition count.
+  SimConfig config;
+  config.num_partitions = kAutoPartitions;
+  EXPECT_DEATH(config.Validate(), "CHECK failed");
+}
+
+TEST(SimConfig, ResolveAutoPartitionsClampsToHostsAndEngineCap) {
+  // Whatever the machine reports, the result is a legal partition count:
+  // at least 1, never more than the host count or the engine cap.
+  for (const int hosts : {1, 2, 3, kMaxPartitions, Directory::kMaxHosts}) {
+    const int resolved = ResolveAutoPartitions(hosts);
+    EXPECT_GE(resolved, 1) << hosts;
+    EXPECT_LE(resolved, hosts) << hosts;
+    EXPECT_LE(resolved, kMaxPartitions) << hosts;
+  }
+}
+
 TEST(SimConfig, ValidateAcceptsPartitionCountRange) {
   for (int partitions : {1, 2, kMaxPartitions}) {
     SimConfig config;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/trace/csv_import.h"
+#include "src/trace/fast_source.h"
 #include "src/trace/trace_file.h"
 #include "src/util/rng.h"
 
@@ -215,6 +216,135 @@ TEST_F(TraceFuzzTest, BinaryRecordsWithOutOfRangeFieldsAreSkipped) {
   EXPECT_EQ(r.block_count, 3u);
   EXPECT_FALSE(source->Next(&r));
   EXPECT_GT(source->error_line(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fast-reader identity: the mmap and block-buffered readers (fast_source.h)
+// must deliver record-for-record exactly what the streaming FileTraceSource
+// delivers on ANY input — valid, mutated, truncated, or adversarial.
+
+std::vector<TraceRecord> Drain(TraceSource& source) {
+  std::vector<TraceRecord> records;
+  TraceRecord r;
+  while (source.Next(&r)) {
+    records.push_back(r);
+  }
+  return records;
+}
+
+void ExpectSameRecords(const std::vector<TraceRecord>& a, const std::vector<TraceRecord>& b,
+                       const char* label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].op, b[i].op);
+    EXPECT_EQ(a[i].warmup, b[i].warmup);
+    EXPECT_EQ(a[i].host, b[i].host);
+    EXPECT_EQ(a[i].thread, b[i].thread);
+    EXPECT_EQ(a[i].file_id, b[i].file_id);
+    EXPECT_EQ(a[i].block, b[i].block);
+    EXPECT_EQ(a[i].block_count, b[i].block_count);
+  }
+}
+
+// Streams the file through FileTraceSource and OpenTraceSource (which picks
+// the mmap or block-buffered reader) and requires identical records.
+void ExpectFastReaderIdentity(const std::string& path) {
+  std::string error;
+  auto legacy = FileTraceSource::Open(path, &error);
+  ASSERT_NE(legacy, nullptr) << error;
+  auto fast = OpenTraceSource(path, &error);
+  ASSERT_NE(fast, nullptr) << error;
+  ExpectSameRecords(Drain(*legacy), Drain(*fast), "legacy vs fast");
+}
+
+TEST_F(TraceFuzzTest, FastTextReaderMatchesStreamingReaderOnMutations) {
+  const std::string valid = ValidTextTrace(200, 21);
+  Rng rng(22);
+  for (int round = 0; round < 100; ++round) {
+    ExpectFastReaderIdentity(WriteFile("ident_text.trace", Mutate(valid, rng)));
+  }
+}
+
+TEST_F(TraceFuzzTest, FastBinaryReaderMatchesStreamingReaderOnMutations) {
+  const std::string valid = ValidBinaryTrace(200, 23);
+  Rng rng(24);
+  for (int round = 0; round < 100; ++round) {
+    ExpectFastReaderIdentity(WriteFile("ident_bin.trace", Mutate(valid, rng)));
+  }
+}
+
+TEST_F(TraceFuzzTest, BufferedTextReaderChunksLongLinesLikeFgets) {
+  // Lines longer than 255 bytes split into fgets-sized chunks; each chunk
+  // parses independently. A 300-byte garbage line, a line whose valid
+  // record is buried past the chunk boundary, and a normal record must all
+  // come out of both readers identically (including error_line).
+  std::string text(300, 'x');
+  text += "\n";
+  text += std::string(280, ' ') + "R 0 0 1 2 3\n";  // record lands in chunk 2
+  text += "R 1 2 3 4 5\n";
+  const std::string path = WriteFile("longline.trace", text);
+  std::string error;
+  auto legacy = FileTraceSource::Open(path, &error);
+  ASSERT_NE(legacy, nullptr);
+  auto buffered = BufferedTextTraceSource::Open(path, &error);
+  ASSERT_NE(buffered, nullptr);
+  ExpectSameRecords(Drain(*legacy), Drain(*buffered), "long lines");
+  EXPECT_EQ(legacy->error_line(), buffered->error_line());
+}
+
+TEST_F(TraceFuzzTest, MmapReaderBinaryEdgeCases) {
+  std::string error;
+  // Zero-length file: no magic, so it is not a binary trace.
+  EXPECT_EQ(MmapTraceSource::Open(WriteFile("empty.trace", ""), &error), nullptr);
+  // Magic-only: valid, zero records, exact SizeHint.
+  {
+    auto source = MmapTraceSource::Open(WriteFile("magic.trace", "FSIMB1\n"), &error);
+    ASSERT_NE(source, nullptr) << error;
+    EXPECT_EQ(source->SizeHint(), 0u);
+    TraceRecord r;
+    EXPECT_FALSE(source->Next(&r));
+  }
+  // Unaligned tail: one whole record plus a partial one — the partial tail
+  // is ignored, matching the streaming reader's short final fread.
+  {
+    const std::string whole = ValidBinaryTrace(2, 25);
+    const std::string path = WriteFile("tail.trace", whole.substr(0, whole.size() - 10));
+    auto source = MmapTraceSource::Open(path, &error);
+    ASSERT_NE(source, nullptr) << error;
+    EXPECT_EQ(source->SizeHint(), 1u);
+    ExpectFastReaderIdentity(path);
+  }
+  // SizeHint counts invalid (skipped) records too: it is an upper bound.
+  {
+    const std::string valid = ValidBinaryTrace(5, 26);
+    auto source = MmapTraceSource::Open(WriteFile("hint.trace", valid), &error);
+    ASSERT_NE(source, nullptr) << error;
+    EXPECT_EQ(source->SizeHint(), 5u);
+  }
+}
+
+TEST_F(TraceFuzzTest, FastReadersRewindToIdenticalStreams) {
+  std::string error;
+  {
+    auto source = MmapTraceSource::Open(WriteFile("rw.trace", ValidBinaryTrace(50, 27)),
+                                        &error);
+    ASSERT_NE(source, nullptr) << error;
+    const auto first = Drain(*source);
+    ASSERT_EQ(first.size(), 50u);
+    source->Rewind();
+    ExpectSameRecords(first, Drain(*source), "mmap rewind");
+  }
+  {
+    auto source =
+        BufferedTextTraceSource::Open(WriteFile("rw.trace", ValidTextTrace(50, 28)), &error);
+    ASSERT_NE(source, nullptr) << error;
+    const auto first = Drain(*source);
+    ASSERT_EQ(first.size(), 50u);
+    source->Rewind();
+    ExpectSameRecords(first, Drain(*source), "buffered text rewind");
+  }
 }
 
 std::string ValidCsv(uint64_t rows, uint64_t seed) {
