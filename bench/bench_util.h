@@ -193,6 +193,39 @@ inline std::vector<Sweep::AxisValue> FlashPolicyAxis(
   return values;
 }
 
+// Replacement-policy zoo axis (SimConfig::replacement); lru is the paper's
+// fixed policy, the rest are the flash-write-aware extension zoo.
+inline std::vector<Sweep::AxisValue> PolicyAxis(
+    const std::vector<ReplacementPolicy>& policies) {
+  std::vector<Sweep::AxisValue> values;
+  values.reserve(policies.size());
+  for (ReplacementPolicy policy : policies) {
+    values.push_back({ReplacementPolicyName(policy), [policy](ExperimentParams& p) {
+                        p.replacement = policy;
+                      }});
+  }
+  return values;
+}
+
+inline std::vector<ReplacementPolicy> AllReplacementPolicies() {
+  return std::vector<ReplacementPolicy>(kAllReplacementPolicies.begin(),
+                                        kAllReplacementPolicies.end());
+}
+
+// Flash admission axis (SimConfig::admission). Only meaningful for the
+// lookaside and unified architectures; naive CHECKs admission == all.
+inline std::vector<Sweep::AxisValue> AdmissionAxis(
+    const std::vector<AdmissionPolicy>& policies) {
+  std::vector<Sweep::AxisValue> values;
+  values.reserve(policies.size());
+  for (AdmissionPolicy policy : policies) {
+    values.push_back({AdmissionPolicyName(policy), [policy](ExperimentParams& p) {
+                        p.admission = policy;
+                      }});
+  }
+  return values;
+}
+
 // Storage-backend shard counts (SimConfig::num_filers); 1 is the paper's
 // single-filer topology.
 inline std::vector<Sweep::AxisValue> FilersAxis(const std::vector<int>& counts) {

@@ -238,8 +238,15 @@ BenchRow BenchPartitionedSimulation(int partitions, uint64_t ops) {
 //                      these two is the measured event-loop round-trip tax
 //   sim_fastpath_telem fast path + histograms + sampler — its gap to
 //                      sim_fastpath is the batched telemetry tax
+//   sim_fastpath_slru  fast path under the SLRU plugin — its gap to
+//                      sim_fastpath is the replacement-policy virtual
+//                      dispatch tax on the certified read path (LRU keeps a
+//                      devirtualized inline branch; every other policy pays
+//                      one virtual OnHit per hit). --fastpath_gate fails
+//                      the run if that tax exceeds the given fraction.
 BenchRow BenchHotReadSimulation(const char* name, bool fast_path, uint64_t ops,
-                                const obs::TelemetryConfig& telemetry = {}) {
+                                const obs::TelemetryConfig& telemetry = {},
+                                ReplacementPolicy replacement = ReplacementPolicy::kLru) {
   SimConfig config;
   config.ram_bytes = 4096ULL * 4096;
   config.flash_bytes = 32768ULL * 4096;
@@ -247,6 +254,7 @@ BenchRow BenchHotReadSimulation(const char* name, bool fast_path, uint64_t ops,
   config.threads_per_host = 1;
   config.arch = Architecture::kNaive;
   config.read_fast_path = fast_path;
+  config.replacement = replacement;
   config.telemetry = telemetry;
   Simulation sim(config);
   std::vector<TraceRecord> records;
@@ -474,6 +482,7 @@ int main(int argc, char** argv) {
   uint64_t ingest_records = 1000000;
   std::string baseline;
   double tolerance = 0.20;
+  double fastpath_gate = 0.0;
   flags.parser().AddUint64("events", "events per event-queue workload", &events);
   flags.parser().AddUint64("ops", "trace ops per simulation workload", &ops);
   flags.parser().AddUint64("micro-items", "iterations per component microbench",
@@ -482,6 +491,10 @@ int main(int argc, char** argv) {
                            &ingest_records);
   flags.parser().AddString("baseline", "baseline JSON to compare against", &baseline);
   flags.parser().AddDouble("tolerance", "allowed fractional regression", &tolerance);
+  flags.parser().AddDouble("fastpath_gate",
+                           "max fractional sim_fastpath_slru slowdown vs sim_fastpath "
+                           "(0 = no gate)",
+                           &fastpath_gate);
   const BenchOptions options = flags.ParseOrExit(argc, argv);
 
   Table table({"bench", "items", "wall_ms", "items_per_sec", "ns_per_item"});
@@ -492,8 +505,12 @@ int main(int argc, char** argv) {
     AddRow(&table, BenchSimulation(arch, ops));
   }
   AddRow(&table, BenchSimulationTelemetry(ops));
-  AddRow(&table, BenchHotReadSimulation("sim_fastpath", true, ops * 4));
+  const BenchRow fastpath_lru = BenchHotReadSimulation("sim_fastpath", true, ops * 4);
+  AddRow(&table, fastpath_lru);
   AddRow(&table, BenchHotReadSimulation("sim_hot_eventpath", false, ops * 4));
+  const BenchRow fastpath_slru = BenchHotReadSimulation("sim_fastpath_slru", true, ops * 4,
+                                                        {}, ReplacementPolicy::kSlru);
+  AddRow(&table, fastpath_slru);
   {
     obs::TelemetryConfig telemetry;
     telemetry.histograms = true;
@@ -511,6 +528,18 @@ int main(int argc, char** argv) {
   AddRow(&table, BenchResourceAcquire(micro_items));
 
   PrintTable(table, options);
+  if (fastpath_gate > 0.0) {
+    const double lru_rate = static_cast<double>(fastpath_lru.items) / fastpath_lru.seconds;
+    const double slru_rate =
+        static_cast<double>(fastpath_slru.items) / fastpath_slru.seconds;
+    const double tax = 1.0 - slru_rate / lru_rate;
+    std::fprintf(stderr, "fastpath plugin tax: slru %.0f/s vs lru %.0f/s  (%+.1f%%, gate %.0f%%)\n",
+                 slru_rate, lru_rate, -tax * 100.0, fastpath_gate * 100.0);
+    if (tax > fastpath_gate) {
+      std::fprintf(stderr, "plugin indirection exceeded the fast-path gate\n");
+      return 1;
+    }
+  }
   if (!baseline.empty()) {
     std::fprintf(stderr, "comparison against %s (tolerance %.0f%%):\n", baseline.c_str(),
                  tolerance * 100.0);

@@ -10,6 +10,8 @@
 //     --trace=PATH            replay a trace file instead of generating
 //     --arch=naive|lookaside|unified
 //     --ram-policy=POL --flash-policy=POL      (s a p1 p5 p15 p30 n)
+//     --policy=lru|fifo|clock|slru|lruk        replacement policy zoo
+//     --admission=all|flashield                flash admission filter
 //     --ram-gib=N --flash-gib=N --ws-gib=N --filer-tib=N
 //     --hosts=N --threads=N --write-pct=N --scale=N --seed=N
 //     --filers=N --shard-strategy=hash|modulo   sharded storage backend
@@ -81,6 +83,25 @@ void RegisterFlags(FlagParser& parser, CliOptions* options) {
                        return false;
                      }
                      params.flash_policy = *policy;
+                     return true;
+                   });
+  parser.AddCustom("policy", "lru|fifo|clock|slru|lruk", "cache replacement policy",
+                   [&params](const std::string& value) {
+                     const auto policy = ParseReplacementPolicy(value);
+                     if (!policy) {
+                       return false;
+                     }
+                     params.replacement = *policy;
+                     return true;
+                   });
+  parser.AddCustom("admission", "all|flashield",
+                   "flash admission policy (lookaside/unified only)",
+                   [&params](const std::string& value) {
+                     const auto policy = ParseAdmissionPolicy(value);
+                     if (!policy) {
+                       return false;
+                     }
+                     params.admission = *policy;
                      return true;
                    });
   parser.AddCustom("invalidation", "none|async|blocking", "consistency traffic model",

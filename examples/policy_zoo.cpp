@@ -1,0 +1,186 @@
+// Policy zoo: rank the replacement-policy zoo (and the flash admission
+// filter) on the trade-off the flash medium actually cares about — read
+// hits served vs bytes burned into flash to serve them.
+//
+//   policy_zoo [--arch=lookaside|unified] [--ws-gib=N] [--write-pct=N]
+//              [--ram-gib=N] [--flash-gib=N] [--scale=N] [--jobs=N]
+//              [--out=table|csv|json]
+//
+// The sweep runs every replacement policy (lru fifo clock slru lruk), each
+// with and without the Flashield-style ghost-LRU admission filter, on one
+// architecture (default: lookaside, where the filter gates every flash
+// install). The table reports hit rates alongside the flash-endurance
+// metrics (flash_mb_written, write amplification, bytes written per flash
+// hit), then prints the ranking by bytes-per-hit and names the policies
+// that dominate exact LRU — at least LRU's total hit rate for strictly
+// less flash wear.
+//
+// The paper fixes LRU everywhere (§5); this example is the extension
+// study: LRU's recency-only eviction churns one-touch scan blocks through
+// flash, and both scan-resistant eviction (slru, lruk) and admission
+// filtering recover the same hits for fewer flash writes. The default
+// workload (120 GiB working set over 8+64 GiB of cache, 30% of I/O a
+// one-touch scan) sits in the regime where that shows: several zoo
+// entries beat exact LRU on both axes at once.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/harness/harness.h"
+#include "src/util/table.h"
+
+using namespace flashsim;
+
+namespace {
+
+struct ZooRow {
+  ReplacementPolicy replacement;
+  AdmissionPolicy admission;
+  double total_hit_rate = 0.0;   // RAM + flash hits / measured reads
+  double flash_mb_written = 0.0;
+  double write_amplification = 0.0;
+  double bytes_per_hit = 0.0;
+};
+
+std::string RowName(const ZooRow& row) {
+  std::string name = ReplacementPolicyName(row.replacement);
+  if (row.admission == AdmissionPolicy::kFlashield) {
+    name += "+flashield";
+  }
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentParams params;
+  params.arch = Architecture::kLookaside;
+  params.scale = 128;
+  // Default workload: a working set larger than RAM+flash with a 30%
+  // one-touch scan tail — the regime where the policy choice matters.
+  // When everything fits, every policy converges on the same hit rate and
+  // only the admission filter moves the wear numbers.
+  params.working_set_gib = 120;
+  params.working_set_io_fraction = 0.70;
+  int jobs = 0;
+  OutputFormat out = OutputFormat::kAligned;
+  double write_pct = 100.0 * params.write_fraction;
+
+  FlagParser parser;
+  parser.AddCustom("arch", "lookaside|unified", "cache architecture",
+                   [&](const std::string& value) {
+                     const auto arch = ParseArchitecture(value);
+                     if (!arch || *arch == Architecture::kNaive) {
+                       return false;  // naive requires admission=all
+                     }
+                     params.arch = *arch;
+                     return true;
+                   });
+  parser.AddDouble("ws-gib", "working set GiB", &params.working_set_gib);
+  parser.AddDouble("write-pct", "write percentage", &write_pct);
+  double ws_io_pct = 100.0 * params.working_set_io_fraction;
+  parser.AddDouble("ws-io-pct", "percentage of I/O aimed at the working set "
+                   "(the rest is a one-touch scan over the filer)", &ws_io_pct);
+  parser.AddDouble("ram-gib", "RAM cache GiB", &params.ram_gib);
+  parser.AddDouble("flash-gib", "flash cache GiB", &params.flash_gib);
+  parser.AddUint64("scale", "capacity scale divisor", &params.scale);
+  parser.AddInt("jobs", "worker threads", &jobs);
+  parser.AddCustom("out", "table|csv|json", "output format", [&](const std::string& value) {
+    const auto format = ParseOutputFormat(value);
+    if (!format) {
+      return false;
+    }
+    out = *format;
+    return true;
+  });
+  parser.ParseOrExit(argc, argv);
+  params.write_fraction = write_pct / 100.0;
+  params.working_set_io_fraction = ws_io_pct / 100.0;
+
+  PrintExperimentHeader("policy zoo", params);
+
+  Sweep sweep(params);
+  sweep.AddAxis("policy", [] {
+    std::vector<Sweep::AxisValue> values;
+    for (ReplacementPolicy policy : kAllReplacementPolicies) {
+      values.push_back({ReplacementPolicyName(policy),
+                        [policy](ExperimentParams& p) { p.replacement = policy; }});
+    }
+    return values;
+  }());
+  sweep.AddAxis("admission", [] {
+    std::vector<Sweep::AxisValue> values;
+    for (AdmissionPolicy policy : {AdmissionPolicy::kAll, AdmissionPolicy::kFlashield}) {
+      values.push_back({AdmissionPolicyName(policy),
+                        [policy](ExperimentParams& p) { p.admission = policy; }});
+    }
+    return values;
+  }());
+
+  Table table({"policy", "admission", "read_us", "ram_hit_pct", "flash_hit_pct",
+               "flash_mb_written", "write_amp", "bytes_per_hit"});
+  std::vector<ZooRow> rows;
+  ParallelRunner(jobs).RunOrdered(
+      sweep.Expand(),
+      [](const SweepPoint& point) { return RunExperiment(point.params); },
+      [&table, &rows](const SweepPoint& point, const ExperimentResult& result) {
+        const Metrics& m = result.metrics;
+        ZooRow row;
+        row.replacement = point.params.replacement;
+        row.admission = point.params.admission;
+        row.total_hit_rate = m.ram_hit_rate() + m.flash_hit_rate();
+        row.flash_mb_written = static_cast<double>(m.flash_bytes_written) / (1024.0 * 1024.0);
+        row.write_amplification = m.flash_write_amplification();
+        row.bytes_per_hit = m.flash_bytes_per_hit();
+        rows.push_back(row);
+        table.AddRow({ReplacementPolicyName(row.replacement),
+                      AdmissionPolicyName(row.admission), Table::Cell(m.mean_read_us(), 2),
+                      Table::Cell(100.0 * m.ram_hit_rate(), 1),
+                      Table::Cell(100.0 * m.flash_hit_rate(), 1),
+                      Table::Cell(row.flash_mb_written, 1),
+                      Table::Cell(row.write_amplification, 2),
+                      Table::Cell(row.bytes_per_hit, 0)});
+      });
+  EmitTable(table, out, std::cout);
+
+  // Ranking: cheapest flash wear per hit first. The baseline every entry
+  // is judged against is exact LRU with no admission filter — the paper's
+  // configuration.
+  const ZooRow* lru = nullptr;
+  for (const ZooRow& row : rows) {
+    if (row.replacement == ReplacementPolicy::kLru &&
+        row.admission == AdmissionPolicy::kAll) {
+      lru = &row;
+    }
+  }
+  std::vector<const ZooRow*> ranked;
+  for (const ZooRow& row : rows) {
+    ranked.push_back(&row);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [](const ZooRow* a, const ZooRow* b) {
+    return a->bytes_per_hit < b->bytes_per_hit;
+  });
+
+  if (out == OutputFormat::kAligned && lru != nullptr) {
+    std::printf("\nRanking by flash bytes written per flash hit (lower = less wear):\n");
+    int dominating = 0;
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      const ZooRow& row = *ranked[i];
+      const bool dominates = &row != lru && row.bytes_per_hit < lru->bytes_per_hit &&
+                             row.total_hit_rate >= lru->total_hit_rate;
+      dominating += dominates ? 1 : 0;
+      std::printf("  %2zu. %-16s %8.0f B/hit  hit %5.1f%%%s\n", i + 1, RowName(row).c_str(),
+                  row.bytes_per_hit, 100.0 * row.total_hit_rate,
+                  dominates ? "  << dominates lru" : (&row == lru ? "  (baseline)" : ""));
+    }
+    std::printf("\n%d polic%s dominate%s exact LRU: same or better total hit rate for\n"
+                "strictly fewer flash bytes per hit. The paper's LRU burns flash on every\n"
+                "miss; scan-resistant eviction and second-touch admission skip the\n"
+                "one-timers that would never be read again.\n",
+                dominating, dominating == 1 ? "y" : "ies", dominating == 1 ? "s" : "");
+  }
+  return 0;
+}

@@ -24,6 +24,7 @@
 #include "src/backend/storage_service.h"
 #include "src/cache/lru_cache.h"
 #include "src/cache/policy.h"
+#include "src/cache/replacement.h"
 #include "src/device/background_writer.h"
 #include "src/device/flash_device.h"
 #include "src/device/ram_device.h"
@@ -76,6 +77,11 @@ struct StackCounters {
   // Writebacks issued as synchronous StorageService writes (the rest drain
   // through the background writer).
   uint64_t sync_filer_writes = 0;
+  // Flash installs the admission filter vetoed (zero unless
+  // AdmissionPolicy::kFlashield is active). Together with flash_installs
+  // this is the filter's observable behavior, so the differential oracle
+  // holds its mirror filter to both counters.
+  uint64_t flash_admission_rejects = 0;
 
   // Per-shard routing breakdown of filer_reads / filer_writebacks; sized to
   // the backend's shard count when sharding is on, empty on the single-filer
@@ -89,7 +95,8 @@ struct StackCounters {
            filer_reads == o.filer_reads && sync_ram_evictions == o.sync_ram_evictions &&
            sync_flash_evictions == o.sync_flash_evictions &&
            flash_installs == o.flash_installs && filer_writebacks == o.filer_writebacks &&
-           sync_filer_writes == o.sync_filer_writes;
+           sync_filer_writes == o.sync_filer_writes &&
+           flash_admission_rejects == o.flash_admission_rejects;
   }
 };
 
@@ -99,6 +106,9 @@ struct StackConfig {
   WritebackPolicy ram_policy = WritebackPolicy::kPeriodic1;
   WritebackPolicy flash_policy = WritebackPolicy::kAsync;
   ReplacementPolicy replacement = ReplacementPolicy::kLru;  // §1: LRU throughout
+  // DRAM→flash admission for the lookaside/unified flash tier; the naive
+  // stack rejects anything but kAll (its writeback path requires RAM⊆flash).
+  AdmissionPolicy admission = AdmissionPolicy::kAll;
 };
 
 class CacheStack {
@@ -188,6 +198,13 @@ class CacheStack {
 
   // Structure audit for tests; aborts on violation.
   virtual void CheckInvariants() const = 0;
+
+  // Test-only fault injection (differential-oracle coverage): arms the
+  // replacement policies' injected-bug seam on every cache of this stack /
+  // inverts the admission filter. No-ops when the policy has no seam or no
+  // filter is active. Never called outside tests and check_cli.
+  virtual void test_only_break_replacement() {}
+  virtual void test_only_break_admission() {}
 
   // Load-triggered rehashes across this stack's cache indexes; the caches
   // reserve for full capacity, so nonzero means pre-sizing regressed.

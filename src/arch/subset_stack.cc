@@ -7,7 +7,22 @@ SubsetStackBase::SubsetStackBase(const StackConfig& config, RamDevice& ram_dev,
                                  BackgroundWriter& writer)
     : CacheStack(config, ram_dev, flash_dev, remote, writer),
       ram_("ram", config.ram_blocks, 0, config.replacement),
-      flash_("flash", 0, config.flash_blocks, config.replacement) {}
+      flash_("flash", 0, config.flash_blocks, config.replacement) {
+  if (config.admission == AdmissionPolicy::kFlashield && config.flash_blocks > 0) {
+    admission_.emplace(config.flash_blocks);
+  }
+}
+
+bool SubsetStackBase::MayInstallInFlash(BlockKey key) {
+  if (!admission_.has_value() || flash_.Lookup(key) != kInvalidSlot) {
+    return true;
+  }
+  if (admission_->ShouldAdmit(key)) {
+    return true;
+  }
+  ++counters_.flash_admission_rejects;
+  return false;
+}
 
 SimTime SubsetStackBase::Read(SimTime now, BlockKey key, HitLevel* level) {
   SimTime t = now;
@@ -38,7 +53,7 @@ SimTime SubsetStackBase::Read(SimTime now, BlockKey key, HitLevel* level) {
   t = remote_->Read(t, key, &fast);
   ++counters_.filer_reads;
   NoteShardRead(key);
-  if (HasFlash()) {
+  if (HasFlash() && MayInstallInFlash(key)) {
     uint32_t fslot = kInvalidSlot;
     t = EnsureFlashSlot(t, key, &fslot);
     // Install the data into the flash asynchronously: the application gets
@@ -68,7 +83,7 @@ SimTime SubsetStackBase::Write(SimTime now, BlockKey key) {
   }
   uint32_t slot = ram_.Lookup(key);
   if (slot == kInvalidSlot) {
-    if (HasFlash()) {
+    if (HasFlash() && MayInstallInFlash(key)) {
       // Subset invariant: the block enters the flash index before RAM.
       uint32_t fslot = kInvalidSlot;
       t = EnsureFlashSlot(t, key, &fslot);
@@ -146,6 +161,16 @@ SimTime SubsetStackBase::InstallInRam(SimTime t, BlockKey key, uint32_t* slot_ou
       NotifyDropped(evicted->key);
     }
     NotifyCached(key);
+  } else if (admission_.has_value()) {
+    // Admission filtering leaves RAM-only residents; the directory must
+    // learn about them here (flash-resident blocks are registered by
+    // EnsureFlashSlot).
+    if (evicted.has_value() && flash_.Lookup(evicted->key) == kInvalidSlot) {
+      NotifyDropped(evicted->key);
+    }
+    if (flash_.Lookup(key) == kInvalidSlot) {
+      NotifyCached(key);
+    }
   }
   if (slot_out != nullptr) {
     *slot_out = slot;
@@ -196,7 +221,11 @@ void SubsetStackBase::Invalidate(BlockKey key) {
 
 bool SubsetStackBase::Holds(BlockKey key) const {
   if (HasFlash()) {
-    return flash_.Lookup(key) != kInvalidSlot;
+    if (flash_.Lookup(key) != kInvalidSlot) {
+      return true;
+    }
+    // Only an admission filter can leave a block in RAM but not flash.
+    return admission_.has_value() && ram_.Lookup(key) != kInvalidSlot;
   }
   return ram_.Lookup(key) != kInvalidSlot;
 }
@@ -204,8 +233,9 @@ bool SubsetStackBase::Holds(BlockKey key) const {
 void SubsetStackBase::CheckInvariants() const {
   ram_.CheckInvariants();
   flash_.CheckInvariants();
-  if (HasFlash()) {
-    // RAM must be a subset of flash (§3.3).
+  if (HasFlash() && !admission_.has_value()) {
+    // RAM must be a subset of flash (§3.3). An active admission filter
+    // deliberately relaxes this: vetoed blocks live in RAM only.
     ram_.ForEach([&](BlockKey key, Medium, bool) {
       FLASHSIM_CHECK(flash_.Lookup(key) != kInvalidSlot);
     });
@@ -278,8 +308,14 @@ SimTime LookasideStack::WritebackFromRamToBelow(SimTime t, BlockKey key, bool re
   ++counters_.filer_writebacks;
   NoteShardWrite(key);
   if (!requester_waits) {
-    writer_->EnqueueFilerWrite(t, /*then_flash=*/true, key);
-    ++counters_.flash_installs;
+    // Without admission filtering RAM ⊆ flash guarantees the flash copy
+    // exists, so the refresh is unconditional; a filter can leave the block
+    // RAM-only, in which case there is nothing in flash to refresh.
+    const bool refresh = !admission_.has_value() || flash_.Lookup(key) != kInvalidSlot;
+    writer_->EnqueueFilerWrite(t, /*then_flash=*/refresh, key);
+    if (refresh) {
+      ++counters_.flash_installs;
+    }
     return t;
   }
   ++counters_.sync_filer_writes;
@@ -297,6 +333,9 @@ SimTime LookasideStack::WriteWithoutRam(SimTime t, BlockKey key) {
   ++counters_.sync_filer_writes;
   NoteShardWrite(key);
   t = remote_->Write(t, key);
+  if (!MayInstallInFlash(key)) {
+    return t;
+  }
   uint32_t slot = kInvalidSlot;
   const SimTime after_evictions = EnsureFlashSlot(t, key, &slot);
   flash_dev_->Write(after_evictions, key);

@@ -13,8 +13,12 @@
 #ifndef FLASHSIM_SRC_ARCH_SUBSET_STACK_H_
 #define FLASHSIM_SRC_ARCH_SUBSET_STACK_H_
 
+#include <optional>
+
 #include "src/arch/cache_stack.h"
 #include "src/cache/lru_cache.h"
+#include "src/cache/replacement.h"
+#include "src/util/assert.h"
 
 namespace flashsim {
 
@@ -28,6 +32,9 @@ class SubsetStackBase : public CacheStack {
   std::optional<SimTime> FlushOneRamBlock(SimTime now,
                                           SimTime dirtied_before = kSimTimeNever) override;
   void Invalidate(BlockKey key) override;
+  // Union residency. Without admission filtering RAM ⊆ flash makes the
+  // flash index authoritative; with a filter active, RAM-only residents
+  // exist and the union is genuine.
   bool Holds(BlockKey key) const override;
   // A RAM-resident block reads via Touch + RamDevice::Read only — no
   // promotion, eviction, or filer traffic (Read above takes the early-return
@@ -68,9 +75,26 @@ class SubsetStackBase : public CacheStack {
   // tests.
   void test_only_break_subset_eviction() { test_break_subset_eviction_ = true; }
 
+  void test_only_break_replacement() override {
+    ram_.eviction_policy().set_test_break(true);
+    flash_.eviction_policy().set_test_break(true);
+  }
+  void test_only_break_admission() override {
+    if (admission_.has_value()) {
+      admission_->test_only_invert();
+    }
+  }
+
+  bool admission_active() const { return admission_.has_value(); }
+
  protected:
   bool HasRam() const { return ram_.capacity() > 0; }
   bool HasFlash() const { return flash_.capacity() > 0; }
+
+  // Whether `key` may occupy a flash slot right now: always when no
+  // admission filter is active or the block is already flash-resident;
+  // otherwise the filter decides (and a veto is counted).
+  bool MayInstallInFlash(BlockKey key);
 
   // Ensures `key` occupies a flash slot (allocating, evicting the flash LRU
   // block if full). Evicted dirty data — or an evicted block whose RAM copy
@@ -101,6 +125,8 @@ class SubsetStackBase : public CacheStack {
 
   LruBlockCache ram_;
   LruBlockCache flash_;
+  // Engaged only under AdmissionPolicy::kFlashield with a flash tier.
+  std::optional<FlashAdmissionFilter> admission_;
 
  private:
   bool test_break_subset_eviction_ = false;
@@ -111,7 +137,15 @@ class SubsetStackBase : public CacheStack {
 // reaches the filer.
 class NaiveStack : public SubsetStackBase {
  public:
-  using SubsetStackBase::SubsetStackBase;
+  // Naive cannot run admission-filtered: WritebackFromRamToBelow requires
+  // every RAM block to have a flash slot (RAM ⊆ flash), which a DRAM→flash
+  // filter deliberately breaks. SimConfig::Validate rejects the combination
+  // up front; this check guards direct constructions.
+  NaiveStack(const StackConfig& config, RamDevice& ram_dev, FlashDevice& flash_dev,
+             StorageService& remote, BackgroundWriter& writer)
+      : SubsetStackBase(config, ram_dev, flash_dev, remote, writer) {
+    FLASHSIM_CHECK(config.admission == AdmissionPolicy::kAll);
+  }
 
   std::optional<SimTime> FlushOneFlashBlock(SimTime now,
                                             SimTime dirtied_before = kSimTimeNever) override;

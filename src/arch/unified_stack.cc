@@ -6,7 +6,22 @@ UnifiedStack::UnifiedStack(const StackConfig& config, RamDevice& ram_dev,
                            FlashDevice& flash_dev, StorageService& remote,
                            BackgroundWriter& writer)
     : CacheStack(config, ram_dev, flash_dev, remote, writer),
-      cache_("unified", config.ram_blocks, config.flash_blocks, config.replacement) {}
+      cache_("unified", config.ram_blocks, config.flash_blocks, config.replacement) {
+  if (config.admission == AdmissionPolicy::kFlashield && config.flash_blocks > 0) {
+    admission_.emplace(config.flash_blocks);
+  }
+}
+
+bool UnifiedStack::AdmitInsert(BlockKey key) {
+  if (!admission_.has_value()) {
+    return true;
+  }
+  if (admission_->ShouldAdmit(key)) {
+    return true;
+  }
+  ++counters_.flash_admission_rejects;
+  return false;
+}
 
 SimTime UnifiedStack::InsertBlock(SimTime t, BlockKey key, uint32_t* slot_out) {
   std::optional<EvictedBlock> evicted;
@@ -52,7 +67,9 @@ SimTime UnifiedStack::Read(SimTime now, BlockKey key, HitLevel* level) {
   t = remote_->Read(t, key, &fast);
   ++counters_.filer_reads;
   NoteShardRead(key);
-  t = InsertBlock(t, key, &slot);
+  if (AdmitInsert(key)) {
+    t = InsertBlock(t, key, &slot);
+  }
   if (slot != kInvalidSlot) {
     if (cache_.medium_of(slot) == Medium::kRam) {
       t = ram_dev_->Write(t);
@@ -71,9 +88,12 @@ SimTime UnifiedStack::Write(SimTime now, BlockKey key) {
   SimTime t = now;
   uint32_t slot = cache_.Lookup(key);
   if (slot == kInvalidSlot) {
-    t = InsertBlock(t, key, &slot);
+    if (AdmitInsert(key)) {
+      t = InsertBlock(t, key, &slot);
+    }
     if (slot == kInvalidSlot) {
-      // Zero-capacity cache: synchronous filer write.
+      // Zero-capacity cache or admission veto: with no buffer to hold the
+      // dirty data, the write goes synchronously to the filer.
       ++counters_.filer_writebacks;
       ++counters_.sync_filer_writes;
       NoteShardWrite(key);

@@ -12,8 +12,11 @@
 #ifndef FLASHSIM_SRC_ARCH_UNIFIED_STACK_H_
 #define FLASHSIM_SRC_ARCH_UNIFIED_STACK_H_
 
+#include <optional>
+
 #include "src/arch/cache_stack.h"
 #include "src/cache/lru_cache.h"
+#include "src/cache/replacement.h"
 
 namespace flashsim {
 
@@ -60,7 +63,23 @@ class UnifiedStack : public CacheStack {
 
   const LruBlockCache& cache() const { return cache_; }
 
+  void test_only_break_replacement() override {
+    cache_.eviction_policy().set_test_break(true);
+  }
+  void test_only_break_admission() override {
+    if (admission_.has_value()) {
+      admission_->test_only_invert();
+    }
+  }
+
+  bool admission_active() const { return admission_.has_value(); }
+
  protected:
+  // Whether a missed block may be inserted at all. The unified chain places
+  // new blocks in the least-recently-used buffer — overwhelmingly a flash
+  // buffer at the paper's 8 GB + 64 GB split — so the admission filter
+  // gates every miss-path insert rather than predicting the landing medium.
+  bool AdmitInsert(BlockKey key);
   WritebackPolicy PolicyFor(Medium medium) const {
     return medium == Medium::kRam ? config_.ram_policy : config_.flash_policy;
   }
@@ -74,6 +93,8 @@ class UnifiedStack : public CacheStack {
   std::optional<SimTime> FlushOneOf(SimTime now, Medium medium, SimTime dirtied_before);
 
   LruBlockCache cache_;
+  // Engaged only under AdmissionPolicy::kFlashield with flash buffers.
+  std::optional<FlashAdmissionFilter> admission_;
 };
 
 }  // namespace flashsim

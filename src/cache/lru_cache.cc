@@ -1,5 +1,7 @@
 #include "src/cache/lru_cache.h"
 
+#include "src/cache/replacement.h"
+
 namespace flashsim {
 
 const char* ReplacementPolicyName(ReplacementPolicy policy) {
@@ -10,8 +12,21 @@ const char* ReplacementPolicyName(ReplacementPolicy policy) {
       return "fifo";
     case ReplacementPolicy::kClock:
       return "clock";
+    case ReplacementPolicy::kSlru:
+      return "slru";
+    case ReplacementPolicy::kLruK:
+      return "lruk";
   }
   return "?";
+}
+
+std::optional<ReplacementPolicy> ParseReplacementPolicy(const std::string& name) {
+  for (ReplacementPolicy policy : kAllReplacementPolicies) {
+    if (name == ReplacementPolicyName(policy)) {
+      return policy;
+    }
+  }
+  return std::nullopt;
 }
 
 LruBlockCache::LruBlockCache(std::string name, uint64_t ram_slots, uint64_t flash_slots,
@@ -21,7 +36,10 @@ LruBlockCache::LruBlockCache(std::string name, uint64_t ram_slots, uint64_t flas
   FLASHSIM_CHECK(total <= kInvalidSlot - 1);
   slots_.resize(total);
   index_.Reserve(static_cast<size_t>(total));
+  policy_ = MakeEvictionPolicy(replacement, this);
 }
+
+LruBlockCache::~LruBlockCache() = default;
 
 uint32_t LruBlockCache::Lookup(BlockKey key) const {
   const uint32_t* slot = index_.Find(key);
@@ -90,35 +108,44 @@ void LruBlockCache::DirtyPushBack(uint32_t slot) {
 
 void LruBlockCache::Touch(uint32_t slot) {
   FLASHSIM_DCHECK(slot < slots_.size() && slots_[slot].in_use);
-  switch (replacement_) {
-    case ReplacementPolicy::kLru:
-      if (lru_head_ != slot) {
-        LruUnlink(slot);
-        LruPushFront(slot);
-      }
-      break;
-    case ReplacementPolicy::kFifo:
-      break;  // hits never reorder
-    case ReplacementPolicy::kClock:
-      slots_[slot].referenced = true;
-      break;
+  if (replacement_ == ReplacementPolicy::kLru) {
+    // Devirtualized exact-LRU hit: Touch sits on the certified read fast
+    // path (DESIGN.md §13), so the default policy skips the plugin
+    // indirection. Must stay move-for-move identical to LruPolicy::OnHit
+    // (DESIGN.md §14); the golden digests pin the equivalence.
+    if (lru_head_ != slot) {
+      LruUnlink(slot);
+      LruPushFront(slot);
+    }
+    return;
   }
+  policy_->OnHit(slot);
 }
 
-uint32_t LruBlockCache::ClockVictim() {
-  // Rotate at most one full revolution plus one: after a pass every bit is
-  // clear, so the loop must terminate.
-  for (uint64_t spins = 0; spins <= 2 * size_; ++spins) {
-    const uint32_t candidate = lru_tail_;
-    if (!slots_[candidate].referenced) {
-      return candidate;
-    }
-    slots_[candidate].referenced = false;
-    LruUnlink(candidate);
-    LruPushFront(candidate);  // second chance
+void LruBlockCache::ChainPushBack(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.next = kInvalidSlot;
+  s.prev = lru_tail_;
+  if (lru_tail_ != kInvalidSlot) {
+    slots_[lru_tail_].next = slot;
+  } else {
+    lru_head_ = slot;
   }
-  FLASHSIM_CHECK(false);
-  return kInvalidSlot;
+  lru_tail_ = slot;
+}
+
+void LruBlockCache::ChainInsertBefore(uint32_t slot, uint32_t before) {
+  FLASHSIM_DCHECK(before != kInvalidSlot);
+  Slot& s = slots_[slot];
+  Slot& b = slots_[before];
+  s.next = before;
+  s.prev = b.prev;
+  if (b.prev != kInvalidSlot) {
+    slots_[b.prev].next = slot;
+  } else {
+    lru_head_ = slot;
+  }
+  b.prev = slot;
 }
 
 uint32_t LruBlockCache::Insert(BlockKey key, bool dirty, std::optional<EvictedBlock>* evicted,
@@ -140,7 +167,7 @@ uint32_t LruBlockCache::Insert(BlockKey key, bool dirty, std::optional<EvictedBl
     slot = next_unused_++;
   } else {
     // Full: evict per the replacement policy and reuse the buffer.
-    slot = replacement_ == ReplacementPolicy::kClock ? ClockVictim() : lru_tail_;
+    slot = policy_->SelectVictim();
     Slot& victim = slots_[slot];
     ++evictions_;
     if (victim.dirty) {
@@ -155,6 +182,7 @@ uint32_t LruBlockCache::Insert(BlockKey key, bool dirty, std::optional<EvictedBl
       --dirty_count_;
       --dirty_count_by_medium_[static_cast<size_t>(medium_of(slot))];
     }
+    policy_->OnRemove(slot);  // while still linked: policies may read neighbors
     index_.Erase(victim.key);
     LruUnlink(slot);
     victim.in_use = false;
@@ -170,6 +198,7 @@ uint32_t LruBlockCache::Insert(BlockKey key, bool dirty, std::optional<EvictedBl
   ++inserts_;
   index_.Insert(key, slot);
   LruPushFront(slot);
+  policy_->OnInsert(slot);
   if (dirty) {
     MarkDirty(slot, now);
   }
@@ -191,6 +220,7 @@ bool LruBlockCache::Remove(BlockKey key, EvictedBlock* removed) {
     --dirty_count_;
     --dirty_count_by_medium_[static_cast<size_t>(medium_of(slot))];
   }
+  policy_->OnRemove(slot);  // while still linked: policies may read neighbors
   index_.Erase(key);
   LruUnlink(slot);
   s.in_use = false;
@@ -258,6 +288,7 @@ void LruBlockCache::CheckInvariants() const {
     dirty_counted += medium_counted;
   }
   FLASHSIM_CHECK(dirty_counted == dirty_count_);
+  policy_->CheckInvariants();
 }
 
 }  // namespace flashsim

@@ -10,7 +10,9 @@
 #ifndef FLASHSIM_SRC_CACHE_LRU_CACHE_H_
 #define FLASHSIM_SRC_CACHE_LRU_CACHE_H_
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,15 +25,29 @@
 namespace flashsim {
 
 // Victim selection discipline. The paper fixes LRU and sets replacement
-// policy aside as a secondary concern (§1); FIFO and CLOCK are provided to
-// quantify that choice (see bench/ablation_replacement.cc).
+// policy aside as a secondary concern (§1); the rest of the zoo exists to
+// quantify that choice on hit rate *and* flash endurance (see
+// bench/ablation_replacement.cc and examples/policy_zoo.cpp). Each value
+// names an EvictionPolicy plugin (src/cache/replacement.h) registered with
+// the cache at construction; every policy has a reference model in
+// src/check/oracle.cc that the differential suite holds it to.
 enum class ReplacementPolicy : uint8_t {
   kLru = 0,    // exact LRU: hits move blocks to the MRU end
   kFifo = 1,   // insertion order: hits do not reorder
   kClock = 2,  // second chance: hits set a reference bit; eviction rotates
+  kSlru = 3,   // segmented LRU: probationary/protected, 2Q-style
+  kLruK = 4,   // LRU-K (K=2): evict oldest 2nd-most-recent access
+};
+
+constexpr int kNumReplacementPolicies = 5;
+
+constexpr std::array<ReplacementPolicy, kNumReplacementPolicies> kAllReplacementPolicies = {
+    ReplacementPolicy::kLru,  ReplacementPolicy::kFifo, ReplacementPolicy::kClock,
+    ReplacementPolicy::kSlru, ReplacementPolicy::kLruK,
 };
 
 const char* ReplacementPolicyName(ReplacementPolicy policy);
+std::optional<ReplacementPolicy> ParseReplacementPolicy(const std::string& name);
 
 enum class Medium : uint8_t {
   kRam = 0,
@@ -46,11 +62,21 @@ struct EvictedBlock {
   bool dirty = false;
 };
 
+class EvictionPolicy;
+
 class LruBlockCache {
  public:
   // Total capacity = ram_slots + flash_slots; either may be zero.
   LruBlockCache(std::string name, uint64_t ram_slots, uint64_t flash_slots = 0,
                 ReplacementPolicy replacement = ReplacementPolicy::kLru);
+  ~LruBlockCache();
+
+  // The registered EvictionPolicy holds a back-pointer to this cache, so
+  // relocating the cache would dangle it.
+  LruBlockCache(const LruBlockCache&) = delete;
+  LruBlockCache& operator=(const LruBlockCache&) = delete;
+  LruBlockCache(LruBlockCache&&) = delete;
+  LruBlockCache& operator=(LruBlockCache&&) = delete;
 
   uint64_t capacity() const { return slots_.size(); }
   uint64_t size() const { return size_; }
@@ -68,11 +94,14 @@ class LruBlockCache {
     return slot != nullptr ? *slot : kInvalidSlot;
   }
 
-  // Records a hit: moves the slot to the MRU end (LRU), sets its reference
-  // bit (CLOCK), or does nothing (FIFO).
+  // Records a hit: dispatches to the registered policy's OnHit (LRU moves
+  // the slot to the MRU end, CLOCK sets its reference bit, FIFO does
+  // nothing, SLRU promotes, LRU-K updates history).
   void Touch(uint32_t slot);
 
   ReplacementPolicy replacement() const { return replacement_; }
+  EvictionPolicy& eviction_policy() { return *policy_; }
+  const EvictionPolicy& eviction_policy() const { return *policy_; }
 
   // Inserts key (must not be present) at the MRU end, evicting the LRU
   // block if the cache is full; the evicted block's identity lands in
@@ -107,6 +136,20 @@ class LruBlockCache {
   uint32_t LruSlot() const { return lru_tail_; }
   // Slot at the MRU end, or kInvalidSlot when empty.
   uint32_t MruSlot() const { return lru_head_; }
+
+  // --- Chain surface for EvictionPolicy implementations (DESIGN.md §14) ---
+  // Policies reorder the chain exclusively through these; the index, dirty
+  // lists, and counters are off-limits to them.
+  uint32_t ChainNext(uint32_t slot) const { return slots_[slot].next; }
+  uint32_t ChainPrev(uint32_t slot) const { return slots_[slot].prev; }
+  bool referenced(uint32_t slot) const { return slots_[slot].referenced; }
+  void set_referenced(uint32_t slot, bool on) { slots_[slot].referenced = on; }
+  void ChainUnlink(uint32_t slot) { LruUnlink(slot); }
+  void ChainPushFront(uint32_t slot) { LruPushFront(slot); }
+  void ChainPushBack(uint32_t slot);
+  // Links `slot` (must be unlinked) immediately ahead of `before` (must be
+  // linked).
+  void ChainInsertBefore(uint32_t slot, uint32_t before);
 
   // Oldest-dirtied block held in a buffer of `medium`, or kInvalidSlot.
   // Dirty blocks are threaded per medium, so syncers flush their own tier
@@ -163,10 +206,6 @@ class LruBlockCache {
     SimTime dirtied_at = 0;
   };
 
-  // Rotates the CLOCK hand: grants second chances until an unreferenced
-  // victim surfaces at the LRU end; returns it.
-  uint32_t ClockVictim();
-
   void LruUnlink(uint32_t slot);
   void LruPushFront(uint32_t slot);
   void DirtyUnlink(uint32_t slot);
@@ -175,6 +214,7 @@ class LruBlockCache {
   std::string name_;
   uint64_t ram_slots_ = 0;
   ReplacementPolicy replacement_ = ReplacementPolicy::kLru;
+  std::unique_ptr<EvictionPolicy> policy_;
   std::vector<Slot> slots_;
   FlatHashMap<uint32_t> index_;
   uint32_t lru_head_ = kInvalidSlot;  // MRU end

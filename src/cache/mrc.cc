@@ -1,0 +1,144 @@
+#include "src/cache/mrc.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace flashsim {
+
+namespace {
+
+// Compact once the time axis is 4x the live key count (and big enough for
+// the rebuild to amortize): accesses churn positions, distinct keys don't.
+constexpr uint64_t kCompactSlack = 4;
+constexpr uint64_t kCompactFloor = 1024;
+
+}  // namespace
+
+ShadowLru::ShadowLru() : tree_(kCompactFloor, 0) {}
+
+void ShadowLru::FenwickAdd(uint64_t pos, int64_t delta) {
+  for (uint64_t i = pos + 1; i <= tree_.size(); i += i & (~i + 1)) {
+    tree_[i - 1] += delta;
+  }
+}
+
+uint64_t ShadowLru::FenwickPrefix(uint64_t pos) const {
+  int64_t sum = 0;
+  for (uint64_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+    sum += tree_[i - 1];
+  }
+  return static_cast<uint64_t>(sum);
+}
+
+void ShadowLru::Compact() {
+  // Remap live positions to their ranks, preserving order; dead positions
+  // vanish, so the axis shrinks back to the distinct-key count.
+  std::vector<std::pair<uint64_t, BlockKey>> live;
+  live.reserve(last_pos_.size());
+  for (const auto& [key, pos] : last_pos_) {
+    live.emplace_back(pos, key);
+  }
+  std::sort(live.begin(), live.end());
+  std::fill(tree_.begin(), tree_.end(), 0);
+  uint64_t rank = 0;
+  for (const auto& [pos, key] : live) {
+    last_pos_[key] = rank;
+    FenwickAdd(rank, 1);
+    ++rank;
+  }
+  next_pos_ = rank;
+  ++compactions_;
+}
+
+uint64_t ShadowLru::Access(BlockKey key) {
+  if (next_pos_ >= tree_.size()) {
+    if (live_ * kCompactSlack <= next_pos_ && next_pos_ >= kCompactFloor) {
+      Compact();
+    } else {
+      tree_.assign(tree_.size() * 2, 0);
+      // Rebuild into the larger axis (positions keep their values).
+      for (const auto& [k, pos] : last_pos_) {
+        FenwickAdd(pos, 1);
+      }
+    }
+  }
+  uint64_t distance = kColdMiss;
+  auto it = last_pos_.find(key);
+  if (it != last_pos_.end()) {
+    const uint64_t prev = it->second;
+    // Distinct keys touched since `prev` = live positions after `prev`.
+    distance = FenwickPrefix(next_pos_ == 0 ? 0 : next_pos_ - 1) - FenwickPrefix(prev);
+    FenwickAdd(prev, -1);
+    it->second = next_pos_;
+  } else {
+    last_pos_.emplace(key, next_pos_);
+    ++live_;
+  }
+  FenwickAdd(next_pos_, 1);
+  ++next_pos_;
+  return distance;
+}
+
+// ------------------------------------------------------ HitRateCurve ----
+
+// Buckets: distances 0..63 exact; above that one bucket per power of two.
+size_t HitRateCurve::BucketIndex(uint64_t distance) {
+  if (distance < 64) {
+    return static_cast<size_t>(distance);
+  }
+  size_t log2 = 63 - static_cast<size_t>(__builtin_clzll(distance));
+  return 64 + (log2 - 6);
+}
+
+uint64_t HitRateCurve::BucketLimit(size_t index) {
+  if (index < 64) {
+    return index + 1;
+  }
+  return 1ULL << (index - 64 + 7);
+}
+
+void HitRateCurve::Record(uint64_t distance) {
+  ++total_;
+  if (distance == ShadowLru::kColdMiss) {
+    ++cold_;
+    return;
+  }
+  const size_t index = BucketIndex(distance);
+  if (buckets_.size() <= index) {
+    buckets_.resize(index + 1, 0);
+  }
+  ++buckets_[index];
+}
+
+double HitRateCurve::HitRateAt(uint64_t blocks) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  uint64_t hits = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    // A cache of `blocks` blocks hits every access with distance < blocks;
+    // count only buckets it covers entirely.
+    if (BucketLimit(i) > blocks) {
+      break;
+    }
+    hits += buckets_[i];
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+std::vector<HitRateCurve::Point> HitRateCurve::Curve() const {
+  std::vector<Point> points;
+  points.reserve(buckets_.size());
+  uint64_t hits = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    hits += buckets_[i];
+    points.push_back(Point{BucketLimit(i),
+                           total_ == 0 ? 0.0
+                                       : static_cast<double>(hits) /
+                                             static_cast<double>(total_)});
+  }
+  return points;
+}
+
+}  // namespace flashsim

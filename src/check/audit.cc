@@ -71,13 +71,19 @@ void InvariantAuditor::AuditStructure(int host, const CacheStack& stack,
       const auto& subset = static_cast<const SubsetStackBase&>(stack);
       const LruBlockCache& ram = subset.ram_cache();
       const LruBlockCache& flash = subset.flash_cache();
-      if (flash.capacity() > 0) {
+      if (flash.capacity() > 0 && !subset.admission_active()) {
         // RAM ⊆ flash (§3.3); independent of the stack's own check so a
         // broken CheckInvariants cannot mask a broken eviction path.
         ram.ForEach([&](BlockKey key, Medium, bool) {
           FLASHSIM_CHECK(flash.Lookup(key) != kInvalidSlot);
         });
         check_registered(flash);
+      } else if (flash.capacity() > 0) {
+        // Under a DRAM→flash admission filter, RAM-only residents are
+        // legitimate and the union residency is genuine: both tiers must be
+        // registered to the directory independently.
+        check_registered(flash);
+        check_registered(ram);
       } else {
         check_registered(ram);
       }

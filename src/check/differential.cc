@@ -22,7 +22,9 @@ namespace flashsim {
 std::string DiffConfig::Summary() const {
   std::ostringstream os;
   os << ArchitectureName(arch) << " ram=" << PolicyName(ram_policy)
-     << " flash=" << PolicyName(flash_policy) << " ram_blocks=" << ram_blocks
+     << " flash=" << PolicyName(flash_policy)
+     << " policy=" << ReplacementPolicyName(replacement)
+     << " admission=" << AdmissionPolicyName(admission) << " ram_blocks=" << ram_blocks
      << " flash_blocks=" << flash_blocks << " hosts=" << num_hosts
      << " keys=" << key_space << " seed=" << seed;
   return os.str();
@@ -100,11 +102,21 @@ struct DiffHost {
     stack_config.flash_blocks = config.flash_blocks;
     stack_config.ram_policy = config.ram_policy;
     stack_config.flash_policy = config.flash_policy;
+    stack_config.replacement = config.replacement;
+    stack_config.admission = config.admission;
     stack = MakeCacheStack(config.arch, stack_config, ram_dev, flash_dev, remote, writer);
     stack->set_residency_listener(&bridge);
     oracle = MakeOracleStack(config.arch, stack_config);
     if (config.inject_subset_eviction_bug && config.arch != Architecture::kUnified) {
       static_cast<SubsetStackBase*>(stack.get())->test_only_break_subset_eviction();
+    }
+    // Bug seams arm the real side only; the oracle keeps the correct
+    // behavior, so the suite must diverge if the seam has any effect.
+    if (config.inject_replacement_bug) {
+      stack->test_only_break_replacement();
+    }
+    if (config.inject_admission_bug) {
+      stack->test_only_break_admission();
     }
   }
 
@@ -140,6 +152,8 @@ std::string CompareHost(int host, const DiffHost& h) {
     AppendFieldDiff(os, "flash_installs", real.flash_installs, want.flash_installs);
     AppendFieldDiff(os, "filer_writebacks", real.filer_writebacks, want.filer_writebacks);
     AppendFieldDiff(os, "sync_filer_writes", real.sync_filer_writes, want.sync_filer_writes);
+    AppendFieldDiff(os, "flash_admission_rejects", real.flash_admission_rejects,
+                    want.flash_admission_rejects);
     return os.str();
   }
   if (h.stack->RamResident() != h.oracle->RamResident() ||
@@ -415,7 +429,8 @@ DiffResult RunDifferential(const DiffConfig& config, const std::string& diverge_
     std::filesystem::create_directories(diverge_dir, ec);
     std::ostringstream name;
     name << ArchitectureName(config.arch) << "_" << PolicyName(config.ram_policy) << "_"
-         << PolicyName(config.flash_policy) << "_seed" << config.seed << ".diverge";
+         << PolicyName(config.flash_policy) << "_" << ReplacementPolicyName(config.replacement)
+         << "_seed" << config.seed << ".diverge";
     const std::string path = diverge_dir + "/" + name.str();
     if (WriteDivergeFile(path, config, minimized)) {
       final_result.diverge_file = path;
@@ -435,6 +450,8 @@ bool WriteDivergeFile(const std::string& path, const DiffConfig& config,
   out << "arch " << ArchitectureName(config.arch) << "\n";
   out << "ram_policy " << PolicyName(config.ram_policy) << "\n";
   out << "flash_policy " << PolicyName(config.flash_policy) << "\n";
+  out << "replacement " << ReplacementPolicyName(config.replacement) << "\n";
+  out << "admission " << AdmissionPolicyName(config.admission) << "\n";
   out << "ram_blocks " << config.ram_blocks << "\n";
   out << "flash_blocks " << config.flash_blocks << "\n";
   out << "hosts " << config.num_hosts << "\n";
@@ -442,6 +459,8 @@ bool WriteDivergeFile(const std::string& path, const DiffConfig& config,
   out << "seed " << config.seed << "\n";
   out << "snapshot_stride " << config.snapshot_stride << "\n";
   out << "inject_subset_eviction_bug " << (config.inject_subset_eviction_bug ? 1 : 0) << "\n";
+  out << "inject_replacement_bug " << (config.inject_replacement_bug ? 1 : 0) << "\n";
+  out << "inject_admission_bug " << (config.inject_admission_bug ? 1 : 0) << "\n";
   out << "ops " << ops.size() << "\n";
   for (const DiffOp& op : ops) {
     out << OpKindToken(op.kind) << " " << op.host << " " << op.key << "\n";
@@ -479,6 +498,22 @@ bool LoadDivergeFile(const std::string& path, DiffConfig* config, std::vector<Di
         return false;
       }
       (key == "ram_policy" ? config->ram_policy : config->flash_policy) = *policy;
+    } else if (key == "replacement") {
+      std::string value;
+      in >> value;
+      const auto replacement = ParseReplacementPolicy(value);
+      if (!replacement.has_value()) {
+        return false;
+      }
+      config->replacement = *replacement;
+    } else if (key == "admission") {
+      std::string value;
+      in >> value;
+      const auto admission = ParseAdmissionPolicy(value);
+      if (!admission.has_value()) {
+        return false;
+      }
+      config->admission = *admission;
     } else if (key == "ram_blocks") {
       in >> config->ram_blocks;
     } else if (key == "flash_blocks") {
@@ -491,10 +526,17 @@ bool LoadDivergeFile(const std::string& path, DiffConfig* config, std::vector<Di
       in >> config->seed;
     } else if (key == "snapshot_stride") {
       in >> config->snapshot_stride;
-    } else if (key == "inject_subset_eviction_bug") {
+    } else if (key == "inject_subset_eviction_bug" || key == "inject_replacement_bug" ||
+               key == "inject_admission_bug") {
       int flag = 0;
       in >> flag;
-      config->inject_subset_eviction_bug = flag != 0;
+      if (key == "inject_subset_eviction_bug") {
+        config->inject_subset_eviction_bug = flag != 0;
+      } else if (key == "inject_replacement_bug") {
+        config->inject_replacement_bug = flag != 0;
+      } else {
+        config->inject_admission_bug = flag != 0;
+      }
     } else if (key == "ops") {
       in >> declared_ops;
       break;

@@ -38,6 +38,8 @@ struct DiffConfig {
   Architecture arch = Architecture::kNaive;
   WritebackPolicy ram_policy = WritebackPolicy::kPeriodic1;
   WritebackPolicy flash_policy = WritebackPolicy::kAsync;
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  AdmissionPolicy admission = AdmissionPolicy::kAll;
   // Small capacities and a key space a few times their sum force constant
   // eviction — the interesting regime for divergence hunting.
   uint64_t ram_blocks = 32;
@@ -50,6 +52,12 @@ struct DiffConfig {
   // Test seam: flips SubsetStackBase::test_only_break_subset_eviction() on
   // the real stacks so the suite can prove it catches a real eviction bug.
   bool inject_subset_eviction_bug = false;
+  // Test seams: arm the replacement policies' injected-bug path (SLRU stops
+  // promoting, LRU-K ranks by last access) / invert the admission filter on
+  // the real stacks, so the suite can prove each policy's oracle catches a
+  // deliberately wrong implementation.
+  bool inject_replacement_bug = false;
+  bool inject_admission_bug = false;
 
   std::string Summary() const;
 };

@@ -35,8 +35,11 @@ const char* OracleHitName(OracleHit hit) {
 // ----------------------------------------------------------------------------
 // OracleLru
 
-OracleLru::OracleLru(uint64_t ram_slots, uint64_t flash_slots)
-    : ram_slots_(ram_slots), flash_slots_(flash_slots) {}
+OracleLru::OracleLru(uint64_t ram_slots, uint64_t flash_slots, ReplacementPolicy replacement)
+    : ram_slots_(ram_slots),
+      flash_slots_(flash_slots),
+      replacement_(replacement),
+      protected_cap_((ram_slots + flash_slots) / 2) {}
 
 uint64_t OracleLru::dirty_count() const { return dirty_[0].size() + dirty_[1].size(); }
 
@@ -55,9 +58,106 @@ bool OracleLru::IsDirty(BlockKey key) const {
 void OracleLru::Touch(BlockKey key) {
   const auto it = entries_.find(key);
   FLASHSIM_CHECK(it != entries_.end());
-  lru_.erase(it->second.lru_it);
-  lru_.push_front(key);
-  it->second.lru_it = lru_.begin();
+  Entry& entry = it->second;
+  switch (replacement_) {
+    case ReplacementPolicy::kLru:
+      lru_.erase(entry.lru_it);
+      lru_.push_front(key);
+      entry.lru_it = lru_.begin();
+      return;
+    case ReplacementPolicy::kFifo:
+      // Insertion order is the only order: hits change nothing.
+      return;
+    case ReplacementPolicy::kClock:
+      // The chain stays put; the reference bit buys one second chance.
+      entry.referenced = true;
+      return;
+    case ReplacementPolicy::kSlru:
+      if (!entry.probationary) {
+        // Protected hit: plain move-to-front within the protected segment.
+        lru_.erase(entry.lru_it);
+        lru_.push_front(key);
+        entry.lru_it = lru_.begin();
+        return;
+      }
+      // Probationary hit: promote to the protected MRU; if that overfills
+      // the protected segment, its LRU member falls back to the
+      // probationary MRU (same global chain position either way).
+      prob_.erase(entry.lru_it);
+      lru_.push_front(key);
+      entry.lru_it = lru_.begin();
+      entry.probationary = false;
+      if (lru_.size() > protected_cap_) {
+        const BlockKey demoted = lru_.back();
+        lru_.pop_back();
+        prob_.push_front(demoted);
+        Entry& d = entries_.at(demoted);
+        d.lru_it = prob_.begin();
+        d.probationary = true;
+      }
+      return;
+    case ReplacementPolicy::kLruK:
+      entry.prev_tick = entry.last_tick;
+      entry.last_tick = ++tick_;
+      lru_.erase(entry.lru_it);
+      lru_.push_front(key);
+      entry.lru_it = lru_.begin();
+      return;
+  }
+  FLASHSIM_CHECK(false);
+}
+
+BlockKey OracleLru::SelectVictim() {
+  switch (replacement_) {
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo:
+      return lru_.back();
+    case ReplacementPolicy::kClock:
+      // Rotate the tail forward, clearing bits, until an unreferenced block
+      // surfaces; bounded because every spin clears one bit.
+      for (uint64_t spins = 0; spins <= 2 * size(); ++spins) {
+        const BlockKey candidate = lru_.back();
+        Entry& entry = entries_.at(candidate);
+        if (!entry.referenced) {
+          return candidate;
+        }
+        entry.referenced = false;
+        lru_.pop_back();
+        lru_.push_front(candidate);
+        entry.lru_it = lru_.begin();
+      }
+      FLASHSIM_CHECK(false);
+      return 0;
+    case ReplacementPolicy::kSlru:
+      // Victim is the global chain tail: the probationary LRU when the
+      // segment is populated, else the protected LRU.
+      return prob_.empty() ? lru_.back() : prob_.back();
+    case ReplacementPolicy::kLruK: {
+      // LRU-2: evict the smallest (penultimate tick, last tick, slot); a
+      // block seen only once (prev == 0) loses to any block seen twice.
+      bool found = false;
+      BlockKey best_key = 0;
+      uint64_t best_prev = 0;
+      uint64_t best_last = 0;
+      uint32_t best_slot = 0;
+      for (const auto& [key, entry] : entries_) {
+        if (!found || entry.prev_tick < best_prev ||
+            (entry.prev_tick == best_prev &&
+             (entry.last_tick < best_last ||
+              (entry.last_tick == best_last && entry.slot < best_slot)))) {
+          found = true;
+          best_key = key;
+          best_prev = entry.prev_tick;
+          best_last = entry.last_tick;
+          best_slot = entry.slot;
+        }
+      }
+      FLASHSIM_CHECK(found);
+      return best_key;
+    }
+  }
+  FLASHSIM_CHECK(false);
+  return 0;
 }
 
 uint32_t OracleLru::AllocateSlot() {
@@ -81,20 +181,32 @@ bool OracleLru::Insert(BlockKey key, std::optional<OracleBlock>* evicted) {
   if (size() < capacity()) {
     slot = AllocateSlot();
   } else {
-    // Full: evict the LRU block and reuse its buffer (§3.3: new blocks land
-    // in the least recently used buffer, whatever its medium).
-    const BlockKey victim = lru_.back();
+    // Full: evict the policy's victim and reuse its buffer (§3.3: under
+    // exact LRU new blocks land in the least recently used buffer, whatever
+    // its medium; other policies choose their own victim).
+    const BlockKey victim = SelectVictim();
     OracleBlock removed;
     FLASHSIM_CHECK(Remove(victim, &removed));
     *evicted = removed;
     slot = free_slots_.back();
     free_slots_.pop_back();
   }
-  lru_.push_front(key);
   Entry entry;
   entry.slot = slot;
   entry.dirty = false;
-  entry.lru_it = lru_.begin();
+  if (replacement_ == ReplacementPolicy::kSlru) {
+    // New blocks start on probation; only a hit promotes them.
+    prob_.push_front(key);
+    entry.lru_it = prob_.begin();
+    entry.probationary = true;
+  } else {
+    lru_.push_front(key);
+    entry.lru_it = lru_.begin();
+  }
+  if (replacement_ == ReplacementPolicy::kLruK) {
+    entry.last_tick = ++tick_;
+    entry.prev_tick = 0;
+  }
   entries_[key] = entry;
   return true;
 }
@@ -113,7 +225,7 @@ bool OracleLru::Remove(BlockKey key, OracleBlock* removed) {
     const size_t m = it->second.slot < ram_slots_ ? 0 : 1;
     dirty_[m].erase(it->second.dirty_it);
   }
-  lru_.erase(it->second.lru_it);
+  ChainOf(it->second).erase(it->second.lru_it);
   free_slots_.push_back(it->second.slot);
   entries_.erase(it);
   return true;
@@ -153,11 +265,40 @@ std::optional<BlockKey> OracleLru::OldestDirty(Medium medium) const {
 std::vector<OracleBlock> OracleLru::SnapshotLru() const {
   std::vector<OracleBlock> out;
   out.reserve(entries_.size());
-  for (const BlockKey key : lru_) {
-    const Entry& entry = entries_.at(key);
-    out.push_back({key, entry.slot < ram_slots_ ? Medium::kRam : Medium::kFlash, entry.dirty});
-  }
+  const auto append = [&](const std::list<BlockKey>& chain) {
+    for (const BlockKey key : chain) {
+      const Entry& entry = entries_.at(key);
+      out.push_back(
+          {key, entry.slot < ram_slots_ ? Medium::kRam : Medium::kFlash, entry.dirty});
+    }
+  };
+  // The logical chain is [protected][probationary] for kSlru (matching the
+  // real single chain split at the boundary pointer) and just lru_ for
+  // every other policy (prob_ is empty).
+  append(lru_);
+  append(prob_);
   return out;
+}
+
+// ----------------------------------------------------------------------------
+// OracleAdmissionFilter
+
+bool OracleAdmissionFilter::ShouldAdmit(BlockKey key) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Second sight within the ghost window: admit and forget.
+    ghost_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+  // First sight: remember (evicting the coldest ghost when full), reject.
+  if (ghost_.size() >= capacity_) {
+    index_.erase(ghost_.back());
+    ghost_.pop_back();
+  }
+  ghost_.push_front(key);
+  index_[key] = ghost_.begin();
+  return false;
 }
 
 std::vector<BlockKey> OracleLru::SnapshotDirty(Medium medium) const {
@@ -174,8 +315,12 @@ class OracleSubsetBase : public OracleStack {
  public:
   explicit OracleSubsetBase(const StackConfig& config)
       : config_(config),
-        ram_(config.ram_blocks, 0),
-        flash_(0, config.flash_blocks) {}
+        ram_(config.ram_blocks, 0, config.replacement),
+        flash_(0, config.flash_blocks, config.replacement) {
+    if (config.admission == AdmissionPolicy::kFlashield && config.flash_blocks > 0) {
+      admission_.emplace(config.flash_blocks);
+    }
+  }
 
   OracleHit Read(BlockKey key) override {
     if (HasRam() && ram_.Contains(key)) {
@@ -192,7 +337,7 @@ class OracleSubsetBase : public OracleStack {
       return OracleHit::kFlash;
     }
     ++counters_.filer_reads;
-    if (HasFlash()) {
+    if (HasFlash() && MayInstallInFlash(key)) {
       EnsureFlashSlot(key);
       ++counters_.flash_installs;
     }
@@ -213,7 +358,7 @@ class OracleSubsetBase : public OracleStack {
       return;
     }
     if (!ram_.Contains(key)) {
-      if (HasFlash()) {
+      if (HasFlash() && MayInstallInFlash(key)) {
         EnsureFlashSlot(key);
       }
       InstallInRam(key);
@@ -253,7 +398,12 @@ class OracleSubsetBase : public OracleStack {
   }
 
   bool Holds(BlockKey key) const override {
-    return HasFlash() ? flash_.Contains(key) : ram_.Contains(key);
+    if (HasFlash()) {
+      // Only an admission filter can leave a block RAM-only.
+      return flash_.Contains(key) ||
+             (admission_.has_value() && ram_.Contains(key));
+    }
+    return ram_.Contains(key);
   }
 
   uint64_t RamResident() const override { return ram_.size(); }
@@ -270,6 +420,20 @@ class OracleSubsetBase : public OracleStack {
  protected:
   bool HasRam() const { return ram_.capacity() > 0; }
   bool HasFlash() const { return flash_.capacity() > 0; }
+
+  // Mirrors SubsetStackBase::MayInstallInFlash: no filter or already
+  // flash-resident admits for free; otherwise the ghost decides and a veto
+  // is counted.
+  bool MayInstallInFlash(BlockKey key) {
+    if (!admission_.has_value() || flash_.Contains(key)) {
+      return true;
+    }
+    if (admission_->ShouldAdmit(key)) {
+      return true;
+    }
+    ++counters_.flash_admission_rejects;
+    return false;
+  }
 
   void EnsureFlashSlot(BlockKey key) {
     if (flash_.Contains(key)) {
@@ -322,6 +486,8 @@ class OracleSubsetBase : public OracleStack {
   StackConfig config_;
   OracleLru ram_;
   OracleLru flash_;
+  // Engaged only under AdmissionPolicy::kFlashield with a flash tier.
+  std::optional<OracleAdmissionFilter> admission_;
 };
 
 class OracleNaive : public OracleSubsetBase {
@@ -386,8 +552,12 @@ class OracleLookaside : public OracleSubsetBase {
     ++counters_.filer_writebacks;
     if (!requester_waits) {
       // Enqueued on the background writer; the flash refresh is counted at
-      // enqueue time (mirrors LookasideStack).
-      ++counters_.flash_installs;
+      // enqueue time (mirrors LookasideStack). Without admission filtering
+      // RAM ⊆ flash makes the refresh unconditional; a filter can leave the
+      // block RAM-only, with nothing in flash to refresh.
+      if (!admission_.has_value() || flash_.Contains(key)) {
+        ++counters_.flash_installs;
+      }
       return;
     }
     ++counters_.sync_filer_writes;
@@ -399,6 +569,9 @@ class OracleLookaside : public OracleSubsetBase {
   void WriteWithoutRam(BlockKey key) override {
     ++counters_.filer_writebacks;
     ++counters_.sync_filer_writes;
+    if (!MayInstallInFlash(key)) {
+      return;
+    }
     EnsureFlashSlot(key);
     ++counters_.flash_installs;
   }
@@ -410,7 +583,12 @@ class OracleLookaside : public OracleSubsetBase {
 class OracleUnified : public OracleStack {
  public:
   explicit OracleUnified(const StackConfig& config)
-      : config_(config), cache_(config.ram_blocks, config.flash_blocks) {}
+      : config_(config),
+        cache_(config.ram_blocks, config.flash_blocks, config.replacement) {
+    if (config.admission == AdmissionPolicy::kFlashield && config.flash_blocks > 0) {
+      admission_.emplace(config.flash_blocks);
+    }
+  }
 
   OracleHit Read(BlockKey key) override {
     if (cache_.Contains(key)) {
@@ -423,7 +601,10 @@ class OracleUnified : public OracleStack {
       return OracleHit::kFlash;
     }
     ++counters_.filer_reads;
-    const std::optional<Medium> medium = InsertBlock(key);
+    std::optional<Medium> medium;
+    if (AdmitInsert(key)) {
+      medium = InsertBlock(key);
+    }
     if (medium.has_value() && *medium == Medium::kFlash) {
       ++counters_.flash_installs;
     }
@@ -433,9 +614,11 @@ class OracleUnified : public OracleStack {
   void Write(BlockKey key) override {
     std::optional<Medium> medium;
     if (!cache_.Contains(key)) {
-      medium = InsertBlock(key);
+      if (AdmitInsert(key)) {
+        medium = InsertBlock(key);
+      }
       if (!medium.has_value()) {
-        // Zero-capacity cache: synchronous filer write.
+        // Zero-capacity cache or admission veto: synchronous filer write.
         ++counters_.filer_writebacks;
         ++counters_.sync_filer_writes;
         return;
@@ -482,6 +665,19 @@ class OracleUnified : public OracleStack {
   }
 
  private:
+  // Mirrors UnifiedStack::AdmitInsert: the filter gates every miss-path
+  // insert (the unified chain cannot predict the landing medium up front).
+  bool AdmitInsert(BlockKey key) {
+    if (!admission_.has_value()) {
+      return true;
+    }
+    if (admission_->ShouldAdmit(key)) {
+      return true;
+    }
+    ++counters_.flash_admission_rejects;
+    return false;
+  }
+
   std::optional<Medium> InsertBlock(BlockKey key) {
     std::optional<OracleBlock> evicted;
     if (!cache_.Insert(key, &evicted)) {
@@ -518,6 +714,8 @@ class OracleUnified : public OracleStack {
 
   StackConfig config_;
   OracleLru cache_;
+  // Engaged only under AdmissionPolicy::kFlashield with flash buffers.
+  std::optional<OracleAdmissionFilter> admission_;
 };
 
 std::vector<OracleBlock> SnapLru(const LruBlockCache& cache) {
@@ -542,10 +740,11 @@ std::vector<BlockKey> SnapDirty(const LruBlockCache& cache, Medium want) {
 }  // namespace
 
 std::unique_ptr<OracleStack> MakeOracleStack(Architecture arch, const StackConfig& config) {
-  // The oracle models exact LRU only (§5: the paper fixes LRU throughout).
-  FLASHSIM_CHECK(config.replacement == ReplacementPolicy::kLru);
   switch (arch) {
     case Architecture::kNaive:
+      // The naive writeback path requires RAM ⊆ flash, which an admission
+      // filter deliberately breaks (SimConfig::Validate rejects it too).
+      FLASHSIM_CHECK(config.admission == AdmissionPolicy::kAll);
       return std::make_unique<OracleNaive>(config);
     case Architecture::kLookaside:
       return std::make_unique<OracleLookaside>(config);

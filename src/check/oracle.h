@@ -55,10 +55,24 @@ struct OracleBlock {
   bool operator==(const OracleBlock&) const = default;
 };
 
-// std::map + std::list model of LruBlockCache (exact LRU only).
+// std::map + std::list model of LruBlockCache under any registered
+// replacement policy. Each policy's victim choice and hit behavior is
+// spelled out longhand in Touch/SelectVictim (src/check/oracle.cc), fully
+// independent of the EvictionPolicy plugin implementations:
+//   kLru   — hit moves to MRU; victim is the chain tail.
+//   kFifo  — hit does not reorder; victim is the insertion-order tail.
+//   kClock — hit sets a reference bit; the victim scan rotates the tail to
+//            the front, clearing bits, until an unreferenced block appears.
+//   kSlru  — two segments: inserts land at the probationary MRU, hits
+//            promote to the protected MRU (demoting the protected LRU back
+//            to the probationary MRU when over half capacity); the victim
+//            is the global tail.
+//   kLruK  — hit records (prev, last) access ticks and moves to MRU; the
+//            victim minimizes (prev, last, slot) — classic LRU-2.
 class OracleLru {
  public:
-  OracleLru(uint64_t ram_slots, uint64_t flash_slots);
+  OracleLru(uint64_t ram_slots, uint64_t flash_slots,
+            ReplacementPolicy replacement = ReplacementPolicy::kLru);
 
   uint64_t capacity() const { return ram_slots_ + flash_slots_; }
   uint64_t size() const { return entries_.size(); }
@@ -71,11 +85,13 @@ class OracleLru {
   Medium MediumOf(BlockKey key) const;
   bool IsDirty(BlockKey key) const;
 
-  // Moves key (must be present) to the MRU end.
+  // Records a hit on key (must be present): reorders, marks, or ticks per
+  // the replacement policy.
   void Touch(BlockKey key);
 
-  // Inserts key (must be absent) clean at the MRU end, evicting the LRU
-  // block into *evicted when full. Returns false for zero-capacity caches.
+  // Inserts key (must be absent) clean at the policy's insertion point,
+  // evicting the policy's victim into *evicted when full. Returns false for
+  // zero-capacity caches.
   bool Insert(BlockKey key, std::optional<OracleBlock>* evicted);
 
   // Removes key if present; fills *removed when given. Returns presence.
@@ -96,19 +112,59 @@ class OracleLru {
   struct Entry {
     uint32_t slot = 0;
     bool dirty = false;
+    bool referenced = false;    // kClock reference bit
+    bool probationary = false;  // kSlru segment
+    uint64_t last_tick = 0;     // kLruK most-recent access
+    uint64_t prev_tick = 0;     // kLruK second-most-recent access (0 = none)
     std::list<BlockKey>::iterator lru_it;
     std::list<BlockKey>::iterator dirty_it;
   };
 
   uint32_t AllocateSlot();  // free list (LIFO), then fresh slots in order
 
+  // The chain list holding this entry: `prob_` for kSlru probationary
+  // entries, `lru_` for everything else.
+  std::list<BlockKey>& ChainOf(const Entry& entry) {
+    return entry.probationary ? prob_ : lru_;
+  }
+
+  // The policy's eviction victim; mutates clock bits while rotating.
+  BlockKey SelectVictim();
+
   uint64_t ram_slots_ = 0;
   uint64_t flash_slots_ = 0;
+  ReplacementPolicy replacement_ = ReplacementPolicy::kLru;
   std::map<BlockKey, Entry> entries_;
+  // kSlru splits the chain: lru_ is the protected segment, prob_ the
+  // probationary; the logical chain is their concatenation. For every other
+  // policy the whole chain lives in lru_ and prob_ stays empty.
   std::list<BlockKey> lru_;       // front = MRU, back = LRU
+  std::list<BlockKey> prob_;      // kSlru probationary segment
   std::list<BlockKey> dirty_[2];  // per medium; front = oldest dirtied
   std::vector<uint32_t> free_slots_;
   uint32_t next_unused_ = 0;
+  uint64_t protected_cap_ = 0;  // kSlru: capacity / 2
+  uint64_t tick_ = 0;           // kLruK access counter
+};
+
+// Independent std::list + std::map mirror of FlashAdmissionFilter's
+// ghost-LRU doorkeeper (src/cache/replacement.h): first sight of a key
+// records it and rejects; a second sight within the ghost's capacity admits
+// and forgets it. Holds no shared state with the real filter, so the
+// differential suite genuinely cross-checks both implementations.
+class OracleAdmissionFilter {
+ public:
+  explicit OracleAdmissionFilter(uint64_t ghost_capacity)
+      : capacity_(ghost_capacity == 0 ? 1 : ghost_capacity) {}
+
+  bool ShouldAdmit(BlockKey key);
+
+  uint64_t ghost_size() const { return ghost_.size(); }
+
+ private:
+  uint64_t capacity_;
+  std::list<BlockKey> ghost_;  // front = MRU
+  std::map<BlockKey, std::list<BlockKey>::iterator> index_;
 };
 
 // Reference model of one host's cache stack. Mirrors the counter and

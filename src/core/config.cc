@@ -31,6 +31,9 @@ void SimConfig::Validate() const {
   // host→partition placement, so P may not exceed the host count.
   FLASHSIM_CHECK(num_partitions >= 1 && num_partitions <= kMaxPartitions);
   FLASHSIM_CHECK(num_partitions <= num_hosts);
+  // The naive stack's RAM→flash writeback requires RAM ⊆ flash, which a
+  // DRAM→flash admission filter deliberately breaks.
+  FLASHSIM_CHECK(arch != Architecture::kNaive || admission == AdmissionPolicy::kAll);
   FLASHSIM_CHECK(timing.ram_access_ns >= 0);
   FLASHSIM_CHECK(timing.flash_read_ns >= 0 && timing.flash_write_ns >= 0);
   FLASHSIM_CHECK(timing.filer_fast_read_rate >= 0.0 && timing.filer_fast_read_rate <= 1.0);
@@ -53,6 +56,14 @@ std::string SimConfig::Summary() const {
   }
   if (num_partitions > 1) {
     std::snprintf(buf, sizeof(buf), " partitions=%d", num_partitions);
+    out += buf;
+  }
+  if (replacement != ReplacementPolicy::kLru) {
+    std::snprintf(buf, sizeof(buf), " policy=%s", ReplacementPolicyName(replacement));
+    out += buf;
+  }
+  if (admission != AdmissionPolicy::kAll) {
+    std::snprintf(buf, sizeof(buf), " admission=%s", AdmissionPolicyName(admission));
     out += buf;
   }
   if (!read_fast_path) {

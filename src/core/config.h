@@ -13,6 +13,7 @@
 #include "src/arch/stack_factory.h"
 #include "src/backend/shard_router.h"
 #include "src/cache/policy.h"
+#include "src/cache/replacement.h"
 #include "src/device/timing.h"
 #include "src/obs/telemetry.h"
 #include "src/util/units.h"
@@ -68,6 +69,17 @@ struct SimConfig {
   WritebackPolicy ram_policy = WritebackPolicy::kPeriodic1;
   WritebackPolicy flash_policy = WritebackPolicy::kAsync;
   ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  // DRAM→flash admission filter for the flash tier (DESIGN.md §14).
+  // Lookaside/unified only: Validate rejects naive + kFlashield because the
+  // naive writeback path requires every RAM block to hold a flash slot.
+  AdmissionPolicy admission = AdmissionPolicy::kAll;
+
+  // Arm the per-host shadow-LRU miss-ratio-curve collector (src/cache/mrc.h).
+  // The collector must observe every application read in dispatch order, so
+  // arming it disables the serial read fast path and partitioned
+  // certification; simulation results are unchanged (the collector only
+  // watches the access stream, it never mutates cache state).
+  bool collect_mrc = false;
 
   TimingModel timing;
 

@@ -41,6 +41,8 @@ SimConfig BuildSimConfig(const ExperimentParams& params) {
   config.ram_policy = params.ram_policy;
   config.flash_policy = params.flash_policy;
   config.replacement = params.replacement;
+  config.admission = params.admission;
+  config.collect_mrc = params.collect_mrc;
   config.timing = params.timing;
   config.invalidation_traffic = params.invalidation_traffic;
   config.seed = params.seed;

@@ -36,6 +36,10 @@ struct ExperimentParams {
   WritebackPolicy ram_policy = WritebackPolicy::kPeriodic1;
   WritebackPolicy flash_policy = WritebackPolicy::kAsync;
   ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  AdmissionPolicy admission = AdmissionPolicy::kAll;
+  // Arm the shadow-LRU miss-ratio-curve collector (disables the serial read
+  // fast path; results are otherwise unchanged).
+  bool collect_mrc = false;
   TimingModel timing;
 
   int hosts = 1;

@@ -82,6 +82,13 @@ struct Metrics {
   // back: no application was left to observe the flush).
   uint64_t dirty_resident = 0;
 
+  // Flash endurance (policy-zoo tentpole): total bytes written into the
+  // flash medium over the whole run — stack_totals.flash_installs × block
+  // size — the quantity an admission filter exists to reduce. block_bytes
+  // is copied from the config so derived rates need no second input.
+  uint64_t flash_bytes_written = 0;
+  uint64_t block_bytes = 0;
+
   // FTL mode only (timing.use_ftl): device-level aggregates over hosts.
   bool ftl_enabled = false;
   double ftl_write_amplification = 1.0;
@@ -107,6 +114,24 @@ struct Metrics {
 
   double mean_read_us() const { return read_latency.mean_us(); }
   double mean_write_us() const { return write_latency.mean_us(); }
+
+  // Cache-level flash write amplification: bytes written into flash per
+  // byte the application wrote (measured phase). Distinct from the FTL's
+  // device-internal amplification — this one is the caching policy's doing.
+  double flash_write_amplification() const {
+    const uint64_t app_bytes = measured_write_blocks * block_bytes;
+    return app_bytes == 0 ? 0.0 : static_cast<double>(flash_bytes_written) /
+                                      static_cast<double>(app_bytes);
+  }
+  // Flash wear per flash hit served: the endurance price of each read the
+  // flash tier absorbed. The policy_zoo ranking metric — a policy dominates
+  // when it serves the same hits for fewer bytes written.
+  double flash_bytes_per_hit() const {
+    return stack_totals.flash_hits == 0
+               ? 0.0
+               : static_cast<double>(flash_bytes_written) /
+                     static_cast<double>(stack_totals.flash_hits);
+  }
 
   std::string Summary() const;
 

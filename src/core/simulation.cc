@@ -35,6 +35,7 @@ struct Simulation::HostState {
     stack_config.ram_policy = config.ram_policy;
     stack_config.flash_policy = config.flash_policy;
     stack_config.replacement = config.replacement;
+    stack_config.admission = config.admission;
     if (config.timing.use_ftl && stack_config.flash_blocks > 0) {
       FtlParams ftl_params;
       ftl_params.overprovision = config.timing.ftl_overprovision;
@@ -100,8 +101,15 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   // The serial fast path coexists with the auditor by not arming: the
   // auditor must observe every record through the full event path (its
   // per-record counter checks and stride bookkeeping are part of the
-  // schedule it audits), exactly like partitioned certification.
-  serial_fast_path_ = config_.read_fast_path && !partitioned_ && auditor_ == nullptr;
+  // schedule it audits), exactly like partitioned certification. The MRC
+  // collector likewise needs every read to flow through ExecuteOp.
+  serial_fast_path_ = config_.read_fast_path && !partitioned_ && auditor_ == nullptr &&
+                      !config_.collect_mrc;
+  if (config_.collect_mrc) {
+    for (int h = 0; h < config_.num_hosts; ++h) {
+      mrc_.push_back(std::make_unique<MrcCollector>());
+    }
+  }
   if (config_.telemetry.any()) {
     ArmTelemetry();
   }
@@ -225,6 +233,9 @@ SimTime Simulation::ExecuteOp(SimTime now, const TraceRecord& record) {
       auditor_->OnBlockOp(host_id, record.op == TraceOp::kRead);
     }
     if (record.op == TraceOp::kRead) {
+      if (!mrc_.empty()) {
+        mrc_[static_cast<size_t>(host_id)]->OnRead(key);
+      }
       HitLevel level = HitLevel::kRam;
       t = host.stack->Read(t, key, &level);
       if (measured) {
@@ -565,8 +576,8 @@ void Simulation::RunPartitioned(TraceSource& source) {
   // Certification is off whenever a per-record observer shares state across
   // hosts: the auditor (global counters and stride bookkeeping) and trace
   // spans (one TraceWriter). Histograms are per-host and parallel-safe.
-  const bool certify =
-      auditor_ == nullptr && (telemetry_ == nullptr || telemetry_->trace() == nullptr);
+  const bool certify = auditor_ == nullptr && !config_.collect_mrc &&
+                       (telemetry_ == nullptr || telemetry_->trace() == nullptr);
   const SimDuration ram_ns = config_.timing.ram_access_ns;
   std::vector<DeferredRead> batch;
   batch.reserve(static_cast<size_t>(NumThreads()));
@@ -827,6 +838,7 @@ Metrics Simulation::Run(TraceSource& source) {
     metrics_.stack_totals.flash_installs += c.flash_installs;
     metrics_.stack_totals.filer_writebacks += c.filer_writebacks;
     metrics_.stack_totals.sync_filer_writes += c.sync_filer_writes;
+    metrics_.stack_totals.flash_admission_rejects += c.flash_admission_rejects;
     if (!c.shard_reads.empty()) {
       metrics_.stack_totals.shard_reads.resize(c.shard_reads.size(), 0);
       metrics_.stack_totals.shard_writes.resize(c.shard_writes.size(), 0);
@@ -844,6 +856,10 @@ Metrics Simulation::Run(TraceSource& source) {
     metrics_.ftl_write_amplification =
         static_cast<double>(ftl_programs) / static_cast<double>(ftl_host_writes);
   }
+  // Flash-endurance accounting: every flash install moves one block of data
+  // into the flash medium, so total device wear is installs × block size.
+  metrics_.block_bytes = config_.block_bytes;
+  metrics_.flash_bytes_written = metrics_.stack_totals.flash_installs * config_.block_bytes;
   return metrics_;
 }
 

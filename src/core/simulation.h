@@ -20,6 +20,7 @@
 #include "src/arch/cache_stack.h"
 #include "src/arch/stack_factory.h"
 #include "src/backend/storage_backend.h"
+#include "src/cache/mrc.h"
 #include "src/check/audit.h"
 #include "src/consistency/directory.h"
 #include "src/core/config.h"
@@ -84,6 +85,11 @@ class Simulation : private EventHandler {
   // Non-null when SimConfig::audit_stride (or FLASHSIM_AUDIT) enabled the
   // invariant auditor for this run.
   const InvariantAuditor* auditor() const { return auditor_.get(); }
+  // Non-null iff SimConfig::collect_mrc armed the host's shadow-LRU
+  // miss-ratio-curve collector.
+  const MrcCollector* mrc_collector(int host) const {
+    return mrc_.empty() ? nullptr : mrc_[static_cast<size_t>(host)].get();
+  }
 
   // Audits every host's cache structures; aborts on violation.
   void CheckInvariants() const;
@@ -247,6 +253,8 @@ class Simulation : private EventHandler {
   bool ran_ = false;
   std::unique_ptr<InvariantAuditor> auditor_;
   uint64_t records_since_structural_audit_ = 0;
+  // Per-host shadow-LRU MRC collectors; empty unless SimConfig::collect_mrc.
+  std::vector<std::unique_ptr<MrcCollector>> mrc_;
 
   // Telemetry state; all empty/null when SimConfig::telemetry is off.
   std::unique_ptr<obs::Telemetry> telemetry_;

@@ -6,10 +6,13 @@
 // first divergence. Divergences are minimized and dumped as replayable
 // .diverge files; --replay=FILE re-runs one.
 //
-//   check_cli                          # full 3 x 7 x 7 grid, 10k ops each
+//   check_cli                          # full 3 x 7 x 7 x 5-policy grid, 10k ops each
 //   check_cli --arch=naive --ram_policy=p1 --flash_policy=n --ops=100000
+//   check_cli --policy=slru            # one replacement policy across the grid
+//   check_cli --admission=flashield    # ghost-LRU flash admission (lookaside/unified)
 //   check_cli --hosts=4 --seed=7       # multi-host invalidation checking
 //   check_cli --replay=out.diverge     # re-run a dumped divergence
+//   check_cli --policy=slru --inject_replacement_bug   # oracle must catch the seam
 //
 // New stack or policy code must keep this clean (see CONTRIBUTING.md).
 #include <cstdio>
@@ -28,9 +31,13 @@ int Main(int argc, char** argv) {
   std::string arch_name;
   std::string ram_policy_name;
   std::string flash_policy_name;
+  std::string replacement_name;
+  std::string admission_name;
   std::string replay_path;
   std::string diverge_dir = "diverge";
   bool inject_bug = false;
+  bool inject_replacement_bug = false;
+  bool inject_admission_bug = false;
 
   FlagParser parser;
   parser.AddCustom("arch", "naive|lookaside|unified", "run only this architecture",
@@ -48,6 +55,16 @@ int Main(int argc, char** argv) {
                      flash_policy_name = v;
                      return ParsePolicy(v).has_value();
                    });
+  parser.AddCustom("policy", "lru|fifo|clock|slru|lruk", "run only this replacement policy",
+                   [&](const std::string& v) {
+                     replacement_name = v;
+                     return ParseReplacementPolicy(v).has_value();
+                   });
+  parser.AddCustom("admission", "all|flashield", "flash admission policy (skips naive)",
+                   [&](const std::string& v) {
+                     admission_name = v;
+                     return ParseAdmissionPolicy(v).has_value();
+                   });
   parser.AddUint64("ops", "operations per configuration", &base.num_ops);
   parser.AddUint64("seed", "schedule seed", &base.seed);
   parser.AddInt("hosts", "number of hosts (multi-host invalidation)", &base.num_hosts);
@@ -58,6 +75,12 @@ int Main(int argc, char** argv) {
   parser.AddString("replay", "re-run a dumped .diverge file and exit", &replay_path);
   parser.AddBool("inject_bug", "flip the test-only subset-eviction bug (must diverge)",
                  &inject_bug);
+  parser.AddBool("inject_replacement_bug",
+                 "arm the replacement policy's test-only bug (slru/lruk; must diverge)",
+                 &inject_replacement_bug);
+  parser.AddBool("inject_admission_bug",
+                 "invert the flash admission filter (needs --admission=flashield; must diverge)",
+                 &inject_admission_bug);
   parser.ParseOrExit(argc, argv);
 
   if (!replay_path.empty()) {
@@ -72,6 +95,12 @@ int Main(int argc, char** argv) {
   }
 
   base.inject_subset_eviction_bug = inject_bug;
+  base.inject_replacement_bug = inject_replacement_bug;
+  base.inject_admission_bug = inject_admission_bug;
+  if (!admission_name.empty()) {
+    base.admission = *ParseAdmissionPolicy(admission_name);
+  }
+  const bool expect_divergence = inject_bug || inject_replacement_bug || inject_admission_bug;
   const std::vector<Architecture> archs =
       arch_name.empty() ? std::vector<Architecture>(kAllArchitectures.begin(),
                                                     kAllArchitectures.end())
@@ -86,22 +115,35 @@ int Main(int argc, char** argv) {
           ? std::vector<WritebackPolicy>(kAllWritebackPolicies.begin(),
                                          kAllWritebackPolicies.end())
           : std::vector<WritebackPolicy>{*ParsePolicy(flash_policy_name)};
+  const std::vector<ReplacementPolicy> replacements =
+      replacement_name.empty()
+          ? std::vector<ReplacementPolicy>(kAllReplacementPolicies.begin(),
+                                           kAllReplacementPolicies.end())
+          : std::vector<ReplacementPolicy>{*ParseReplacementPolicy(replacement_name)};
 
   int configs = 0;
   int divergences = 0;
   for (Architecture arch : archs) {
+    // The naive stack keeps RAM a strict subset of flash and cannot host an
+    // admission filter; skip it rather than aborting on the config check.
+    if (arch == Architecture::kNaive && base.admission != AdmissionPolicy::kAll) {
+      continue;
+    }
     for (WritebackPolicy ram_policy : ram_policies) {
       for (WritebackPolicy flash_policy : flash_policies) {
-        DiffConfig config = base;
-        config.arch = arch;
-        config.ram_policy = ram_policy;
-        config.flash_policy = flash_policy;
-        ++configs;
-        const DiffResult result = RunDifferential(config, diverge_dir);
-        if (!result.ok) {
-          ++divergences;
-          std::printf("DIVERGED [%s]: %s\n", config.Summary().c_str(),
-                      result.message.c_str());
+        for (ReplacementPolicy replacement : replacements) {
+          DiffConfig config = base;
+          config.arch = arch;
+          config.ram_policy = ram_policy;
+          config.flash_policy = flash_policy;
+          config.replacement = replacement;
+          ++configs;
+          const DiffResult result = RunDifferential(config, diverge_dir);
+          if (!result.ok) {
+            ++divergences;
+            std::printf("DIVERGED [%s]: %s\n", config.Summary().c_str(),
+                        result.message.c_str());
+          }
         }
       }
     }
@@ -109,10 +151,10 @@ int Main(int argc, char** argv) {
   if (divergences == 0) {
     std::printf("ok: %d configurations, %llu ops each, zero divergences\n", configs,
                 static_cast<unsigned long long>(base.num_ops));
-    return inject_bug ? 1 : 0;  // an injected bug that nothing caught is a failure
+    return expect_divergence ? 1 : 0;  // an injected bug that nothing caught is a failure
   }
   std::printf("%d/%d configurations diverged\n", divergences, configs);
-  return inject_bug ? 0 : 1;  // with --inject_bug, divergence is the expected outcome
+  return expect_divergence ? 0 : 1;  // with an injected bug, divergence is expected
 }
 
 }  // namespace

@@ -178,6 +178,7 @@ JsonValue CountersToJson(const StackCounters& counters) {
   json.Set("flash_installs", counters.flash_installs);
   json.Set("filer_writebacks", counters.filer_writebacks);
   json.Set("sync_filer_writes", counters.sync_filer_writes);
+  json.Set("flash_admission_rejects", counters.flash_admission_rejects);
   // Shard breakdowns exist only for sharded backends; omit them otherwise
   // so single-filer documents stay byte-identical to pre-backend ones.
   const auto append_all = [](const std::vector<uint64_t>& values) {
@@ -205,8 +206,9 @@ bool JsonToCounters(const JsonValue& json, StackCounters* out) {
     *field = value->AsUint();
     return true;
   };
-  // Absent in snapshots written before the counter existed; default 0.
+  // Absent in snapshots written before the counters existed; default 0.
   get("sync_filer_writes", &out->sync_filer_writes);
+  get("flash_admission_rejects", &out->flash_admission_rejects);
   // Shard breakdowns are optional: absent means single filer (empty).
   const auto get_array = [&json](const char* key, std::vector<uint64_t>* field) {
     const JsonValue* value = json.Get(key);
@@ -301,6 +303,8 @@ JsonValue MetricsToJson(const Metrics& metrics) {
   json.Set("writebacks_completed", metrics.writebacks_completed);
   json.Set("writebacks_in_flight", metrics.writebacks_in_flight);
   json.Set("dirty_resident", metrics.dirty_resident);
+  json.Set("flash_bytes_written", metrics.flash_bytes_written);
+  json.Set("block_bytes", metrics.block_bytes);
   json.Set("ftl_enabled", metrics.ftl_enabled);
   json.Set("ftl_write_amplification", metrics.ftl_write_amplification);
   json.Set("ftl_erases", metrics.ftl_erases);
@@ -366,6 +370,8 @@ std::optional<Metrics> MetricsFromJson(const JsonValue& json) {
   get_u64("writebacks_completed", &metrics.writebacks_completed);
   get_u64("writebacks_in_flight", &metrics.writebacks_in_flight);
   get_u64("dirty_resident", &metrics.dirty_resident);
+  get_u64("flash_bytes_written", &metrics.flash_bytes_written);
+  get_u64("block_bytes", &metrics.block_bytes);
   // Absent in single-filer snapshots and those written before sharding.
   if (const JsonValue* shards = json.Get("filer_shards"); shards != nullptr) {
     for (size_t i = 0; i < shards->size(); ++i) {

@@ -88,6 +88,36 @@ TEST(Audit, MetricsWritebackConservation) {
   }
 }
 
+// The full-stride audit must hold across the replacement-policy zoo and —
+// on the architectures that allow it — under the flash admission filter,
+// whose RAM-not-in-flash states relax the subset scan but none of the
+// accounting identities.
+TEST(Audit, PolicyZooPassesFullStrideAudit) {
+  for (Architecture arch : kAllArchitectures) {
+    for (ReplacementPolicy replacement : kAllReplacementPolicies) {
+      SimConfig config = AuditConfig(arch, 1);
+      config.replacement = replacement;
+      Simulation sim(config);
+      SyntheticTraceSource source(AuditFs(), AuditSpec());
+      sim.Run(source);
+      EXPECT_GT(sim.auditor()->structure_audits(), 0u)
+          << ArchitectureName(arch) << " " << ReplacementPolicyName(replacement);
+    }
+  }
+}
+
+TEST(Audit, AdmissionFilterPassesFullStrideAudit) {
+  for (Architecture arch : {Architecture::kLookaside, Architecture::kUnified}) {
+    SimConfig config = AuditConfig(arch, 1);
+    config.admission = AdmissionPolicy::kFlashield;
+    Simulation sim(config);
+    SyntheticTraceSource source(AuditFs(), AuditSpec());
+    const Metrics m = sim.Run(source);
+    EXPECT_GT(m.stack_totals.flash_admission_rejects, 0u) << ArchitectureName(arch);
+    EXPECT_GT(sim.auditor()->structure_audits(), 0u) << ArchitectureName(arch);
+  }
+}
+
 TEST(Audit, AuditStrideZeroDisablesAuditor) {
 #ifndef FLASHSIM_AUDIT  // the audit build forces a default stride instead
   Simulation sim(AuditConfig(Architecture::kNaive, 0));

@@ -67,6 +67,112 @@ TEST(Differential, TraceDrivenSchedule) {
   }
 }
 
+// The replacement-policy zoo: every architecture x replacement policy, with
+// a writeback pair that keeps both tiers dirty-heavy, 10k ops, zero
+// divergence against each policy's longhand oracle model.
+TEST(Differential, ReplacementZooZeroDivergence) {
+  for (Architecture arch : kAllArchitectures) {
+    for (ReplacementPolicy replacement : kAllReplacementPolicies) {
+      DiffConfig config;
+      config.arch = arch;
+      config.replacement = replacement;
+      config.num_ops = 10000;
+      const DiffResult result = RunDifferential(config);
+      EXPECT_TRUE(result.ok) << config.Summary() << ": " << result.message;
+    }
+  }
+}
+
+// Replacement zoo again under multi-host invalidation pressure.
+TEST(Differential, ReplacementZooMultiHost) {
+  for (ReplacementPolicy replacement : kAllReplacementPolicies) {
+    DiffConfig config;
+    config.arch = Architecture::kUnified;
+    config.replacement = replacement;
+    config.num_hosts = 4;
+    config.key_space = 256;
+    config.num_ops = 8000;
+    config.seed = 23;
+    const DiffResult result = RunDifferential(config);
+    EXPECT_TRUE(result.ok) << config.Summary() << ": " << result.message;
+  }
+}
+
+// The flash admission filter on the two architectures that support it,
+// crossed with the replacement zoo: the independent OracleAdmissionFilter
+// must agree with the real ghost doorkeeper decision-for-decision.
+TEST(Differential, FlashAdmissionZeroDivergence) {
+  for (Architecture arch : {Architecture::kLookaside, Architecture::kUnified}) {
+    for (ReplacementPolicy replacement : kAllReplacementPolicies) {
+      DiffConfig config;
+      config.arch = arch;
+      config.replacement = replacement;
+      config.admission = AdmissionPolicy::kFlashield;
+      config.num_ops = 10000;
+      const DiffResult result = RunDifferential(config);
+      EXPECT_TRUE(result.ok) << config.Summary() << ": " << result.message;
+    }
+  }
+}
+
+// Every policy with an injected-bug seam must be caught by its oracle:
+// SLRU stops promoting probationary hits, CLOCK stops granting second
+// chances, LRU-2 ranks by most-recent access. A seam that nothing catches
+// is a dead test hook.
+TEST(Differential, InjectedReplacementBugsDiverge) {
+  for (Architecture arch : kAllArchitectures) {
+    for (ReplacementPolicy replacement :
+         {ReplacementPolicy::kClock, ReplacementPolicy::kSlru, ReplacementPolicy::kLruK}) {
+      DiffConfig config;
+      config.arch = arch;
+      config.replacement = replacement;
+      config.inject_replacement_bug = true;
+      config.num_ops = 10000;
+      const DiffResult result = RunDifferential(config);
+      EXPECT_FALSE(result.ok)
+          << config.Summary() << ": injected replacement bug not caught";
+    }
+  }
+}
+
+// The inverted admission filter must diverge immediately on both admitting
+// architectures (first-touch installs flip from rejected to admitted).
+TEST(Differential, InjectedAdmissionBugDiverges) {
+  for (Architecture arch : {Architecture::kLookaside, Architecture::kUnified}) {
+    DiffConfig config;
+    config.arch = arch;
+    config.admission = AdmissionPolicy::kFlashield;
+    config.inject_admission_bug = true;
+    config.num_ops = 5000;
+    const DiffResult result = RunDifferential(config);
+    EXPECT_FALSE(result.ok) << config.Summary() << ": injected admission bug not caught";
+  }
+}
+
+// .diverge headers round-trip the policy-axis fields.
+TEST(Differential, DivergeFileRoundTripsPolicyFields) {
+  DiffConfig config;
+  config.arch = Architecture::kUnified;
+  config.replacement = ReplacementPolicy::kLruK;
+  config.admission = AdmissionPolicy::kFlashield;
+  config.inject_replacement_bug = true;
+  config.inject_admission_bug = true;
+  const std::vector<DiffOp> ops = {{DiffOpKind::kRead, 0, 42}, {DiffOpKind::kWrite, 0, 7}};
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "flashsim_policy_roundtrip.diverge";
+  ASSERT_TRUE(WriteDivergeFile(path.string(), config, ops));
+  DiffConfig loaded;
+  std::vector<DiffOp> loaded_ops;
+  ASSERT_TRUE(LoadDivergeFile(path.string(), &loaded, &loaded_ops));
+  EXPECT_EQ(loaded.replacement, ReplacementPolicy::kLruK);
+  EXPECT_EQ(loaded.admission, AdmissionPolicy::kFlashield);
+  EXPECT_TRUE(loaded.inject_replacement_bug);
+  EXPECT_TRUE(loaded.inject_admission_bug);
+  ASSERT_EQ(loaded_ops.size(), 2u);
+  EXPECT_EQ(loaded_ops[0].key, 42u);
+  std::filesystem::remove(path);
+}
+
 // Geometry note: the subset-eviction bug only fires when flash evicts a
 // block that is still RAM-resident, so RAM must cover most of flash.
 DiffConfig BugConfig() {

@@ -121,6 +121,51 @@ TEST(FastPath, ByteIdenticalAcrossArchitectures) {
   }
 }
 
+// The replacement-policy plugin layer must keep the fast path
+// byte-invisible for every registered policy: a fast-path RAM hit goes
+// through the same policy OnHit notification as the event path, so turning
+// the path off cannot change a single bit of the metrics.
+TEST(FastPath, ByteIdenticalAcrossReplacementPolicies) {
+  for (const ReplacementPolicy replacement : kAllReplacementPolicies) {
+    for (const Architecture arch : kAllArchitectures) {
+      SimConfig config = BaseConfig(1, 1);
+      config.arch = arch;
+      config.replacement = replacement;
+      const auto records = Workload(1, 1, 20000, 512, 0.2, 3);
+      SimConfig off = config;
+      off.read_fast_path = false;
+      const RunResult with = RunWorkload(config, records);
+      const RunResult without = RunWorkload(off, records);
+      const std::string label = std::string(ArchitectureName(arch)) + " policy=" +
+                                ReplacementPolicyName(replacement);
+      ExpectMetricsIdentical(with.metrics, without.metrics, label);
+      EXPECT_EQ(with.events, without.events) << label;
+      EXPECT_GT(with.fast_path_events, 0u) << label;
+      EXPECT_EQ(without.fast_path_events, 0u) << label;
+    }
+  }
+}
+
+// Same contract under the flash admission filter (admission only gates
+// miss-path inserts; RAM hits — the fast path's territory — are untouched,
+// but the full-metrics comparison proves that end to end).
+TEST(FastPath, ByteIdenticalUnderAdmissionFilter) {
+  for (const Architecture arch : {Architecture::kLookaside, Architecture::kUnified}) {
+    SimConfig config = BaseConfig(1, 1);
+    config.arch = arch;
+    config.admission = AdmissionPolicy::kFlashield;
+    const auto records = Workload(1, 1, 20000, 512, 0.2, 3);
+    SimConfig off = config;
+    off.read_fast_path = false;
+    const RunResult with = RunWorkload(config, records);
+    const RunResult without = RunWorkload(off, records);
+    const std::string label = std::string(ArchitectureName(arch)) + " flashield";
+    ExpectMetricsIdentical(with.metrics, without.metrics, label);
+    EXPECT_GT(with.fast_path_events, 0u) << label;
+    EXPECT_GT(with.metrics.stack_totals.flash_admission_rejects, 0u) << label;
+  }
+}
+
 // The auditor must observe every op through the full event path, so arming
 // it disables the fast path regardless of the config knob.
 TEST(FastPath, AuditorDisablesFastPath) {

@@ -98,7 +98,8 @@ std::vector<std::string> Fig08Row(const SweepPoint& point, const ExperimentResul
 // An 8-host fig02 architecture sweep: the smallest configuration where the
 // partitioned engine can run at 2 and 4 partitions (P may not exceed the
 // host count, and the headline fig02 grid is single-host).
-Sweep Fig02HostsSweep(int partitions, bool force_partitioned) {
+Sweep Fig02HostsSweep(int partitions, bool force_partitioned,
+                      ReplacementPolicy replacement = ReplacementPolicy::kLru) {
   ExperimentParams base;
   base.scale = 2048;
   base.working_set_gib = 80.0;
@@ -109,6 +110,7 @@ Sweep Fig02HostsSweep(int partitions, bool force_partitioned) {
   // coordinator over one queue rather than silently falling back to the
   // legacy serial engine.
   base.force_partitioned = force_partitioned;
+  base.replacement = replacement;
   Sweep sweep(base);
   sweep.AddAxis("arch", ArchitectureAxis());
   return sweep;
@@ -149,6 +151,11 @@ std::vector<SweepCase> GoldenCases() {
   // Canonical digest for the multi-host case comes from the legacy serial
   // engine; the partitioned engine must reproduce it bit-for-bit below.
   cases.push_back({"fig02_scale2048_hosts8", Fig02HostsSweep(1, false), Fig02HostsRow});
+  // One non-LRU member of the replacement-policy zoo gets the same pinned
+  // determinism contract: the plugin layer must be as reproducible as the
+  // exact-LRU policy it generalizes.
+  cases.push_back({"fig02_scale2048_hosts8_slru",
+                   Fig02HostsSweep(1, false, ReplacementPolicy::kSlru), Fig02HostsRow});
   return cases;
 }
 
@@ -201,6 +208,28 @@ TEST(GoldenDigest, PartitionedEngineIsByteIdentical) {
       EXPECT_EQ(DigestSweep(sweep, jobs, Fig02HostsRow), it->second)
           << "partitions=" << partitions << " jobs=" << jobs
           << " diverged from the serial-engine golden digest";
+    }
+  }
+}
+
+// Byte-identity contract for the replacement-policy plugin layer: the
+// partitioned engine must reproduce the pinned SLRU digest bit-for-bit at
+// partitions ∈ {1 (forced), 4} × sweep jobs ∈ {1, 4}, exactly as the LRU
+// default does above. (policy=lru itself needs no new digest — the three
+// legacy digests were recorded before the plugin refactor, so every test
+// above already pins LRU-as-plugin to the pre-refactor bytes.)
+TEST(GoldenDigest, SlruPartitionedEngineIsByteIdentical) {
+  const std::map<std::string, uint64_t> golden = LoadGoldenDigests();
+  auto it = golden.find("fig02_scale2048_hosts8_slru");
+  ASSERT_NE(it, golden.end())
+      << "fig02_scale2048_hosts8_slru missing from tests/golden/digests.txt";
+  for (const int partitions : {1, 4}) {
+    const Sweep sweep = Fig02HostsSweep(partitions, /*force_partitioned=*/partitions == 1,
+                                        ReplacementPolicy::kSlru);
+    for (const int jobs : {1, 4}) {
+      EXPECT_EQ(DigestSweep(sweep, jobs, Fig02HostsRow), it->second)
+          << "slru partitions=" << partitions << " jobs=" << jobs
+          << " diverged from the pinned serial digest";
     }
   }
 }

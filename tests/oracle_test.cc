@@ -140,5 +140,90 @@ TEST(OracleStack, CollapseHitLevelMergesFilerTiers) {
   EXPECT_EQ(CollapseHitLevel(HitLevel::kFilerSlow), OracleHit::kFiler);
 }
 
+// ------------------------------------------------ policy zoo models ----
+
+TEST(OracleLru, FifoIgnoresTouches) {
+  OracleLru fifo(3, 0, ReplacementPolicy::kFifo);
+  std::optional<OracleBlock> evicted;
+  for (uint64_t b = 1; b <= 3; ++b) {
+    fifo.Insert(Key(b), &evicted);
+  }
+  fifo.Touch(Key(1));  // FIFO: no reordering
+  fifo.Insert(Key(4), &evicted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, Key(1));
+}
+
+TEST(OracleLru, ClockGrantsOneSecondChance) {
+  OracleLru clock(3, 0, ReplacementPolicy::kClock);
+  std::optional<OracleBlock> evicted;
+  for (uint64_t b = 1; b <= 3; ++b) {
+    clock.Insert(Key(b), &evicted);
+  }
+  clock.Touch(Key(1));  // sets the reference bit
+  clock.Insert(Key(4), &evicted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, Key(2));  // 1 is spared, rotated to the front
+  EXPECT_TRUE(clock.Contains(Key(1)));
+  clock.Insert(Key(5), &evicted);  // 1's bit is consumed: next scan takes 3
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, Key(3));
+}
+
+TEST(OracleLru, SlruProtectsPromotedBlocks) {
+  OracleLru slru(4, 0, ReplacementPolicy::kSlru);  // protected cap = 2
+  std::optional<OracleBlock> evicted;
+  for (uint64_t b = 1; b <= 4; ++b) {
+    slru.Insert(Key(b), &evicted);
+  }
+  slru.Touch(Key(2));
+  slru.Touch(Key(4));
+  for (uint64_t b = 100; b < 110; ++b) {
+    slru.Insert(Key(b), &evicted);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_NE(evicted->key, Key(2));
+    EXPECT_NE(evicted->key, Key(4));
+  }
+  EXPECT_TRUE(slru.Contains(Key(2)));
+  EXPECT_TRUE(slru.Contains(Key(4)));
+}
+
+TEST(OracleLru, LruKEvictsOneTimersFirst) {
+  OracleLru lruk(3, 0, ReplacementPolicy::kLruK);
+  std::optional<OracleBlock> evicted;
+  lruk.Insert(Key(10), &evicted);
+  lruk.Touch(Key(10));  // twice-accessed
+  lruk.Insert(Key(11), &evicted);
+  lruk.Insert(Key(12), &evicted);
+  lruk.Touch(Key(12));  // twice-accessed
+  lruk.Insert(Key(13), &evicted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, Key(11));  // the remaining one-timer
+  EXPECT_TRUE(lruk.Contains(Key(10)));
+}
+
+TEST(OracleAdmissionFilter, MirrorsGhostDoorkeeper) {
+  OracleAdmissionFilter filter(2);
+  EXPECT_FALSE(filter.ShouldAdmit(Key(1)));
+  EXPECT_TRUE(filter.ShouldAdmit(Key(1)));   // second sight admits
+  EXPECT_FALSE(filter.ShouldAdmit(Key(1)));  // and forgets
+  EXPECT_FALSE(filter.ShouldAdmit(Key(2)));
+  EXPECT_FALSE(filter.ShouldAdmit(Key(3)));  // ghost full: 1 evicted
+  EXPECT_EQ(filter.ghost_size(), 2u);
+  EXPECT_FALSE(filter.ShouldAdmit(Key(1)));  // forgotten again
+}
+
+TEST(OracleStack, AdmissionGatesFirstTouchFlashInstalls) {
+  StackConfig config;
+  config.ram_blocks = 2;
+  config.flash_blocks = 4;
+  config.admission = AdmissionPolicy::kFlashield;
+  for (Architecture arch : {Architecture::kLookaside, Architecture::kUnified}) {
+    auto oracle = MakeOracleStack(arch, config);
+    oracle->Read(Key(1));  // first sight: the filter rejects the install
+    EXPECT_GT(oracle->counters().flash_admission_rejects, 0u) << ArchitectureName(arch);
+  }
+}
+
 }  // namespace
 }  // namespace flashsim

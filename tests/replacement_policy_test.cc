@@ -1,7 +1,9 @@
-// FIFO and CLOCK replacement (extension; the paper fixes LRU, §1).
+// The replacement-policy zoo (extension; the paper fixes LRU, §1): FIFO,
+// CLOCK, segmented LRU, LRU-2, and the Flashield-style admission filter.
 #include <gtest/gtest.h>
 
 #include "src/cache/lru_cache.h"
+#include "src/cache/replacement.h"
 #include "src/core/experiment.h"
 #include "src/util/rng.h"
 
@@ -12,6 +14,21 @@ TEST(ReplacementNames, AreStable) {
   EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kLru), "lru");
   EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kFifo), "fifo");
   EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kClock), "clock");
+  EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kSlru), "slru");
+  EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kLruK), "lruk");
+  EXPECT_STREQ(AdmissionPolicyName(AdmissionPolicy::kAll), "all");
+  EXPECT_STREQ(AdmissionPolicyName(AdmissionPolicy::kFlashield), "flashield");
+}
+
+TEST(ReplacementNames, ParseRoundTrips) {
+  for (const ReplacementPolicy policy : kAllReplacementPolicies) {
+    const auto parsed = ParseReplacementPolicy(ReplacementPolicyName(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(ParseReplacementPolicy("mru").has_value());
+  EXPECT_EQ(*ParseAdmissionPolicy("flashield"), AdmissionPolicy::kFlashield);
+  EXPECT_FALSE(ParseAdmissionPolicy("tinylfu").has_value());
 }
 
 TEST(FifoCache, HitsDoNotProtectFromEviction) {
@@ -99,6 +116,131 @@ TEST(ClockCache, ChurnPreservesInvariants) {
     }
   }
   cache.CheckInvariants();
+}
+
+TEST(SlruCache, OneTouchScanCannotDisplaceProtectedBlocks) {
+  // Capacity 4 => protected segment holds 2. Promote blocks 2 and 4, then
+  // stream one-touch keys: every victim must come from the probationary
+  // segment; the protected pair survives the whole scan.
+  LruBlockCache cache("slru", 4, 0, ReplacementPolicy::kSlru);
+  std::optional<EvictedBlock> evicted;
+  for (BlockKey key = 1; key <= 4; ++key) {
+    cache.Insert(key, false, &evicted);
+  }
+  cache.Touch(cache.Lookup(2));
+  cache.Touch(cache.Lookup(4));
+  for (BlockKey key = 100; key < 120; ++key) {
+    cache.Insert(key, false, &evicted);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_NE(evicted->key, 2u);
+    EXPECT_NE(evicted->key, 4u);
+  }
+  EXPECT_NE(cache.Lookup(2), kInvalidSlot);
+  EXPECT_NE(cache.Lookup(4), kInvalidSlot);
+  cache.CheckInvariants();
+}
+
+TEST(SlruCache, PromotionOverflowDemotesProtectedLru) {
+  LruBlockCache cache("slru", 4, 0, ReplacementPolicy::kSlru);
+  std::optional<EvictedBlock> evicted;
+  for (BlockKey key = 1; key <= 4; ++key) {
+    cache.Insert(key, false, &evicted);
+  }
+  // Promote 1, 2, then 3: the segment cap is 2, so promoting 3 demotes 1
+  // (the protected LRU) back to the probationary MRU. A subsequent scan
+  // must evict the probationary tail (4) before the demoted 1.
+  cache.Touch(cache.Lookup(1));
+  cache.Touch(cache.Lookup(2));
+  cache.Touch(cache.Lookup(3));
+  cache.Insert(50, false, &evicted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, 4u);
+  cache.Insert(51, false, &evicted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, 1u);  // demoted block is next in line
+  cache.CheckInvariants();
+}
+
+TEST(LruKCache, OneTimersEvictBeforeTwiceAccessedBlocks) {
+  // LRU-2's defining property: a block accessed twice long ago outranks a
+  // block accessed once recently. Plain LRU would evict A here; LRU-2
+  // evicts the one-timer B.
+  LruBlockCache cache("lruk", 3, 0, ReplacementPolicy::kLruK);
+  std::optional<EvictedBlock> evicted;
+  cache.Insert(10, false, &evicted);   // A: ticks (0, 1)
+  cache.Touch(cache.Lookup(10));       // A: ticks (1, 2)
+  cache.Insert(11, false, &evicted);   // B: ticks (0, 3)
+  cache.Insert(12, false, &evicted);   // C: ticks (0, 4)
+  cache.Touch(cache.Lookup(12));       // C: ticks (4, 5)
+  cache.Insert(13, false, &evicted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, 11u);  // the only remaining one-timer
+  EXPECT_NE(cache.Lookup(10), kInvalidSlot);
+  cache.CheckInvariants();
+}
+
+TEST(LruKCache, ChurnPreservesInvariants) {
+  LruBlockCache cache("lruk", 24, 0, ReplacementPolicy::kLruK);
+  Rng rng(13);
+  std::optional<EvictedBlock> evicted;
+  for (int i = 0; i < 20000; ++i) {
+    const BlockKey key = rng.NextBounded(120);
+    const uint32_t slot = cache.Lookup(key);
+    if (slot != kInvalidSlot) {
+      cache.Touch(slot);
+    } else {
+      cache.Insert(key, rng.NextBool(0.25), &evicted);
+    }
+    if (i % 1000 == 0) {
+      cache.CheckInvariants();
+    }
+  }
+  cache.CheckInvariants();
+}
+
+TEST(SlruCache, ChurnPreservesInvariants) {
+  LruBlockCache cache("slru", 24, 8, ReplacementPolicy::kSlru);
+  Rng rng(19);
+  std::optional<EvictedBlock> evicted;
+  for (int i = 0; i < 20000; ++i) {
+    const BlockKey key = rng.NextBounded(150);
+    const uint32_t slot = cache.Lookup(key);
+    if (slot != kInvalidSlot) {
+      cache.Touch(slot);
+      if (rng.NextBool(0.1)) {
+        cache.MarkDirty(slot);
+      }
+    } else {
+      cache.Insert(key, rng.NextBool(0.2), &evicted);
+    }
+    if (i % 1000 == 0) {
+      cache.CheckInvariants();
+    }
+  }
+  cache.CheckInvariants();
+}
+
+TEST(FlashAdmissionFilter, AdmitsOnSecondSightOnly) {
+  FlashAdmissionFilter filter(4);
+  EXPECT_FALSE(filter.ShouldAdmit(1));  // first sight: recorded, rejected
+  EXPECT_TRUE(filter.ShouldAdmit(1));   // second sight: admitted, forgotten
+  EXPECT_FALSE(filter.ShouldAdmit(1));  // forgotten: back to first sight
+}
+
+TEST(FlashAdmissionFilter, GhostCapacityBoundsMemory) {
+  FlashAdmissionFilter filter(2);
+  EXPECT_FALSE(filter.ShouldAdmit(1));
+  EXPECT_FALSE(filter.ShouldAdmit(2));
+  EXPECT_FALSE(filter.ShouldAdmit(3));  // evicts 1 from the ghost
+  EXPECT_EQ(filter.ghost_size(), 2u);
+  EXPECT_FALSE(filter.ShouldAdmit(1));  // 1 was forgotten: still rejected
+  EXPECT_TRUE(filter.ShouldAdmit(3));   // 3 is still remembered
+}
+
+TEST(FlashAdmissionFilter, ZeroCapacityClampsToOne) {
+  FlashAdmissionFilter filter(0);
+  EXPECT_FALSE(filter.ShouldAdmit(7));
+  EXPECT_TRUE(filter.ShouldAdmit(7));
 }
 
 TEST(ReplacementEndToEnd, LruBeatsFifoOnSkewedReuse) {

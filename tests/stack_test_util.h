@@ -31,8 +31,14 @@ constexpr SimDuration kRemoteWrite = 141168;
 
 class StackHarness {
  public:
+  // The harness is policy-agnostic: any registered replacement policy (and,
+  // for lookaside/unified, any admission policy) builds the same way. Tests
+  // that exercise the zoo pass the extra arguments; LRU-only tests keep the
+  // short signature.
   StackHarness(Architecture arch, uint64_t ram_blocks, uint64_t flash_blocks,
-               WritebackPolicy ram_policy, WritebackPolicy flash_policy) {
+               WritebackPolicy ram_policy, WritebackPolicy flash_policy,
+               ReplacementPolicy replacement = ReplacementPolicy::kLru,
+               AdmissionPolicy admission = AdmissionPolicy::kAll) {
     timing_.filer_fast_read_rate = 1.0;  // deterministic reads
     link_ = std::make_unique<NetworkLink>(timing_, 4096, queue_.clock());
     filer_ = std::make_unique<Filer>(timing_, 7);
@@ -45,6 +51,8 @@ class StackHarness {
     config.flash_blocks = flash_blocks;
     config.ram_policy = ram_policy;
     config.flash_policy = flash_policy;
+    config.replacement = replacement;
+    config.admission = admission;
     stack_ = MakeCacheStack(arch, config, *ram_dev_, *flash_dev_, *remote_, *writer_);
   }
 
