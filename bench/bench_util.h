@@ -228,6 +228,18 @@ inline std::vector<Sweep::AxisValue> AdmissionAxis(
 
 // Storage-backend shard counts (SimConfig::num_filers); 1 is the paper's
 // single-filer topology.
+// Coherence protocol members (DESIGN.md §15). perfect is the paper's
+// zero-cost model; directory/lease put the protocol on the network path.
+inline std::vector<Sweep::AxisValue> CoherenceAxis(const std::vector<CoherenceModel>& models) {
+  std::vector<Sweep::AxisValue> values;
+  values.reserve(models.size());
+  for (CoherenceModel model : models) {
+    values.push_back({CoherenceModelName(model),
+                      [model](ExperimentParams& p) { p.coherence = model; }});
+  }
+  return values;
+}
+
 inline std::vector<Sweep::AxisValue> FilersAxis(const std::vector<int>& counts) {
   std::vector<Sweep::AxisValue> values;
   values.reserve(counts.size());

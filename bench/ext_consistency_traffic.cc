@@ -2,10 +2,12 @@
 //
 // §3.8 counts invalidations but does not charge their protocol traffic.
 // This bench reruns the Fig 11 worst case (two hosts, one shared working
-// set) under three traffic models — free (the paper), asynchronous
-// messages, and blocking (the writer waits for acknowledgements) — to
-// quantify how much of the write-latency advantage of client flash caching
-// survives a real consistency protocol.
+// set) under the legacy packet-charging models — free (the paper),
+// asynchronous messages, and blocking (the writer waits for
+// acknowledgements) — and the modeled coherence protocols
+// (--coherence=directory|lease, DESIGN.md §15), to quantify how much of
+// the write-latency advantage of client flash caching survives a real
+// consistency protocol.
 //
 // Expected shape: async messaging is nearly free (small packets on
 // otherwise idle links); blocking invalidation adds a network round trip to
@@ -35,6 +37,14 @@ int main(int argc, char** argv) {
                                     InvalidationTraffic::kBlocking}) {
     traffic_axis.push_back({InvalidationTrafficName(model), [model](ExperimentParams& p) {
                               p.invalidation_traffic = model;
+                              p.coherence = CoherenceModel::kPerfect;
+                            }});
+  }
+  // The modeled protocols charge their own messages (invalidation off).
+  for (CoherenceModel model : {CoherenceModel::kDirectory, CoherenceModel::kLease}) {
+    traffic_axis.push_back({CoherenceModelName(model), [model](ExperimentParams& p) {
+                              p.invalidation_traffic = InvalidationTraffic::kNone;
+                              p.coherence = model;
                             }});
   }
 

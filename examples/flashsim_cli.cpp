@@ -23,6 +23,7 @@
 //     --cold                  skip warmup (crashed cache)
 //     --ftl                   FTL-backed flash device (GC, erases, TRIM)
 //     --invalidation=none|async|blocking
+//     --coherence=perfect|directory|lease
 //     --series-ms=N           print a read-latency time series
 //     --json                  machine-readable full Metrics snapshot
 //     --stats_json=PATH       write metrics + telemetry histograms ("-" = stdout)
@@ -115,6 +116,16 @@ void RegisterFlags(FlagParser& parser, CliOptions* options) {
                      } else {
                        return false;
                      }
+                     return true;
+                   });
+  parser.AddCustom("coherence", "perfect|directory|lease",
+                   "coherence protocol (DESIGN.md \u00a715)",
+                   [&params](const std::string& value) {
+                     const auto model = ParseCoherenceModel(value);
+                     if (!model) {
+                       return false;
+                     }
+                     params.coherence = *model;
                      return true;
                    });
   parser.AddDouble("ram-gib", "RAM cache GiB", &params.ram_gib);
@@ -246,6 +257,34 @@ void PrintMetrics(const Metrics& m) {
                 100.0 * m.invalidation_rate(),
                 static_cast<unsigned long long>(m.invalidations),
                 static_cast<unsigned long long>(m.invalidation_messages));
+  }
+  if (m.coherence_model != CoherenceModel::kPerfect || m.coherence.any()) {
+    const CoherenceCounters& c = m.coherence;
+    std::printf("coherence (%s): %llu lookups, %llu messages, %llu acks, "
+                "%llu dirty fetches\n",
+                CoherenceModelName(m.coherence_model),
+                static_cast<unsigned long long>(c.lookups),
+                static_cast<unsigned long long>(c.invalidation_messages),
+                static_cast<unsigned long long>(c.acks),
+                static_cast<unsigned long long>(c.dirty_fetches));
+    if (c.lease_grants + c.lease_renewals + c.lease_breaks > 0) {
+      std::printf("leases: %llu grants, %llu renewals, %llu breaks\n",
+                  static_cast<unsigned long long>(c.lease_grants),
+                  static_cast<unsigned long long>(c.lease_renewals),
+                  static_cast<unsigned long long>(c.lease_breaks));
+    }
+    if (c.stalled_reads + c.stalled_writes > 0) {
+      std::printf("protocol stalls: %llu reads (%.1f us avg), %llu writes "
+                  "(%.1f us avg)\n",
+                  static_cast<unsigned long long>(c.stalled_reads),
+                  c.stalled_reads == 0 ? 0.0
+                                       : static_cast<double>(c.stalled_read_ns) /
+                                             (1000.0 * static_cast<double>(c.stalled_reads)),
+                  static_cast<unsigned long long>(c.stalled_writes),
+                  c.stalled_writes == 0 ? 0.0
+                                        : static_cast<double>(c.stalled_write_ns) /
+                                              (1000.0 * static_cast<double>(c.stalled_writes)));
+    }
   }
   if (m.ftl_enabled) {
     std::printf("ftl: write amplification %.3f, %llu erases, %llu GC relocations\n",

@@ -191,6 +191,11 @@ class CacheStack {
   // Whether any copy of `key` is resident (union of RAM and flash).
   virtual bool Holds(BlockKey key) const = 0;
 
+  // Whether a resident copy of `key` is dirty at any tier. Feeds the
+  // coherence layer's derived MESI state (coherence.h): a dirty holder is
+  // the block's exclusive owner and a remote read must reconcile it.
+  virtual bool HoldsDirty(BlockKey key) const = 0;
+
   // Number of resident blocks at each tier (unified: per medium).
   virtual uint64_t RamResident() const = 0;
   virtual uint64_t FlashResident() const = 0;

@@ -36,6 +36,14 @@ class SubsetStackBase : public CacheStack {
   // flash index authoritative; with a filter active, RAM-only residents
   // exist and the union is genuine.
   bool Holds(BlockKey key) const override;
+  bool HoldsDirty(BlockKey key) const override {
+    const uint32_t ram_slot = ram_.Lookup(key);
+    if (ram_slot != kInvalidSlot && ram_.dirty(ram_slot)) {
+      return true;
+    }
+    const uint32_t flash_slot = flash_.Lookup(key);
+    return flash_slot != kInvalidSlot && flash_.dirty(flash_slot);
+  }
   // A RAM-resident block reads via Touch + RamDevice::Read only — no
   // promotion, eviction, or filer traffic (Read above takes the early-return
   // branch), so the read is host-local and certifiable.

@@ -33,6 +33,10 @@ class UnifiedStack : public CacheStack {
                                             SimTime dirtied_before = kSimTimeNever) override;
   void Invalidate(BlockKey key) override;
   bool Holds(BlockKey key) const override { return cache_.Lookup(key) != kInvalidSlot; }
+  bool HoldsDirty(BlockKey key) const override {
+    const uint32_t slot = cache_.Lookup(key);
+    return slot != kInvalidSlot && cache_.dirty(slot);
+  }
   // Only the RAM-medium branch of Read is certified: it touches the chain
   // and the RAM device timeline and returns. (A flash-medium hit is also
   // host-local but shares the flash timeline with syncer flushes; keeping

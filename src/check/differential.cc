@@ -26,7 +26,8 @@ std::string DiffConfig::Summary() const {
      << " policy=" << ReplacementPolicyName(replacement)
      << " admission=" << AdmissionPolicyName(admission) << " ram_blocks=" << ram_blocks
      << " flash_blocks=" << flash_blocks << " hosts=" << num_hosts
-     << " keys=" << key_space << " seed=" << seed;
+     << " keys=" << key_space << " seed=" << seed
+     << " coherence=" << CoherenceModelName(coherence);
   return os.str();
 }
 
@@ -130,6 +131,58 @@ struct DiffHost {
   std::unique_ptr<OracleStack> oracle;
 };
 
+// CoherenceTransport over the rig's hosts and the single shared filer
+// (mirrors Simulation::CoherenceFabric). Protocol drops land on the *real*
+// stacks; the residency bridges keep the directory in step.
+class DiffFabric : public CoherenceTransport {
+ public:
+  DiffFabric(std::vector<std::unique_ptr<DiffHost>>& hosts, Filer& filer)
+      : hosts_(&hosts), filer_(&filer) {}
+
+  SimTime HostToFiler(int host, SimTime now, bool carries_data) override {
+    return at(host).link.SendToFiler(now, carries_data);
+  }
+  SimTime FilerToHost(int host, SimTime now, bool carries_data) override {
+    return at(host).link.SendToHost(now, carries_data);
+  }
+  SimTime FilerService(BlockKey key, SimTime arrival, SimDuration service) override {
+    (void)key;  // one filer: every key's home shard
+    return filer_->ServeControl(arrival, service);
+  }
+  void DropCopy(int host, BlockKey key) override { at(host).stack->Invalidate(key); }
+  bool HoldsCopy(int host, BlockKey key) const override { return at(host).stack->Holds(key); }
+  bool HoldsDirty(int host, BlockKey key) const override {
+    return at(host).stack->HoldsDirty(key);
+  }
+
+ private:
+  DiffHost& at(int host) { return *(*hosts_)[static_cast<size_t>(host)]; }
+  const DiffHost& at(int host) const { return *(*hosts_)[static_cast<size_t>(host)]; }
+
+  std::vector<std::unique_ptr<DiffHost>>* hosts_;
+  Filer* filer_;
+};
+
+// OracleCoherence's residency window over the *oracle* stacks — the model
+// side never reads real-stack state.
+class DiffOracleView : public OracleResidencyView {
+ public:
+  explicit DiffOracleView(std::vector<std::unique_ptr<DiffHost>>& hosts) : hosts_(&hosts) {}
+
+  bool HoldsCopy(int host, BlockKey key) const override {
+    return (*hosts_)[static_cast<size_t>(host)]->oracle->Holds(key);
+  }
+  bool HoldsDirty(int host, BlockKey key) const override {
+    return (*hosts_)[static_cast<size_t>(host)]->oracle->HoldsDirty(key);
+  }
+  void DropCopy(int host, BlockKey key) override {
+    (*hosts_)[static_cast<size_t>(host)]->oracle->Invalidate(key);
+  }
+
+ private:
+  std::vector<std::unique_ptr<DiffHost>>* hosts_;
+};
+
 void AppendFieldDiff(std::ostringstream& os, const char* name, uint64_t real, uint64_t want) {
   if (real != want) {
     os << " " << name << ": real=" << real << " oracle=" << want;
@@ -166,6 +219,27 @@ std::string CompareHost(int host, const DiffHost& h) {
     return os.str();
   }
   return "";
+}
+
+// Decision counters only: the oracle does not model timing, so the
+// stalled_*_ns fields are excluded. Empty string when they agree.
+std::string CompareCoherenceCounters(const CoherenceCounters& real,
+                                     const CoherenceCounters& want) {
+  std::ostringstream diffs;
+  AppendFieldDiff(diffs, "lookups", real.lookups, want.lookups);
+  AppendFieldDiff(diffs, "invalidation_messages", real.invalidation_messages,
+                  want.invalidation_messages);
+  AppendFieldDiff(diffs, "acks", real.acks, want.acks);
+  AppendFieldDiff(diffs, "lease_grants", real.lease_grants, want.lease_grants);
+  AppendFieldDiff(diffs, "lease_renewals", real.lease_renewals, want.lease_renewals);
+  AppendFieldDiff(diffs, "lease_breaks", real.lease_breaks, want.lease_breaks);
+  AppendFieldDiff(diffs, "dirty_fetches", real.dirty_fetches, want.dirty_fetches);
+  AppendFieldDiff(diffs, "stalled_reads", real.stalled_reads, want.stalled_reads);
+  AppendFieldDiff(diffs, "stalled_writes", real.stalled_writes, want.stalled_writes);
+  if (diffs.str().empty()) {
+    return "";
+  }
+  return "coherence counters diverged:" + diffs.str();
 }
 
 std::string DescribeBlock(const OracleBlock& block) {
@@ -254,6 +328,9 @@ DiffResult RunSchedule(const DiffConfig& config, const std::vector<DiffOp>& ops)
   DiffResult result;
   TimingModel timing;
   timing.filer_fast_read_rate = 1.0;  // deterministic filer reads
+  // Short leases so the schedule exercises renewals and silent expired-
+  // holder drops, not just grants (ops are microseconds apart).
+  timing.lease_ns = kMillisecond;
   EventQueue queue;
   Filer filer(timing, Mix64(config.seed ^ 0xf11e5ULL));
   Directory directory(config.num_hosts);
@@ -262,6 +339,23 @@ DiffResult RunSchedule(const DiffConfig& config, const std::vector<DiffOp>& ops)
   for (int h = 0; h < config.num_hosts; ++h) {
     hosts.push_back(std::make_unique<DiffHost>(config, timing, queue, filer, directory, h));
   }
+  DiffFabric fabric(hosts, filer);
+  CoherenceParams cparams;
+  cparams.model = config.coherence;
+  cparams.num_hosts = config.num_hosts;
+  cparams.charge_legacy_traffic = false;
+  cparams.legacy_traffic_blocks_writer = false;
+  cparams.directory_service_ns = timing.coherence_ctrl_ns;
+  cparams.flush_service_ns = timing.filer_write_ns;
+  cparams.lease_ns = timing.lease_ns;
+  const std::unique_ptr<CoherenceProtocol> coherence =
+      MakeCoherenceProtocol(cparams, &directory, &fabric);
+  if (config.inject_coherence_bug) {
+    coherence->test_only_break_protocol();
+  }
+  DiffOracleView oracle_view(hosts);
+  OracleCoherence oracle_coherence(config.coherence, config.num_hosts, timing.lease_ns,
+                                   oracle_view);
 
   const auto diverge = [&](uint64_t index, const DiffOp& op, std::string message) {
     result.ok = false;
@@ -271,6 +365,11 @@ DiffResult RunSchedule(const DiffConfig& config, const std::vector<DiffOp>& ops)
     return result;
   };
   const auto compare_all = [&](bool deep) -> std::string {
+    if (std::string msg =
+            CompareCoherenceCounters(coherence->totals(), oracle_coherence.totals());
+        !msg.empty()) {
+      return msg;
+    }
     for (int h = 0; h < config.num_hosts; ++h) {
       std::string msg = CompareHost(h, *hosts[static_cast<size_t>(h)]);
       if (!msg.empty()) {
@@ -292,8 +391,14 @@ DiffResult RunSchedule(const DiffConfig& config, const std::vector<DiffOp>& ops)
     DiffHost& host = *hosts[static_cast<size_t>(op.host)];
     switch (op.kind) {
       case DiffOpKind::kRead: {
+        // The protocol runs before the stack on both sides: the real
+        // BeforeRead reconciles remote Dirty copies through the fabric and
+        // returns the (possibly stalled) read start; the longhand model
+        // mirrors its decisions against the oracle stacks.
+        const SimTime start = coherence->BeforeRead(op.host, op.key, now);
+        oracle_coherence.OnRead(op.host, op.key, now, start);
         HitLevel level = HitLevel::kRam;
-        now = host.stack->Read(now, op.key, &level);
+        now = host.stack->Read(start, op.key, &level);
         const OracleHit want = host.oracle->Read(op.key);
         if (CollapseHitLevel(level) != want) {
           return diverge(i, op,
@@ -304,25 +409,24 @@ DiffResult RunSchedule(const DiffConfig& config, const std::vector<DiffOp>& ops)
       }
       case DiffOpKind::kWrite: {
         now = host.stack->Write(now, op.key);
+        // The protocol is the write path's only invalidator for every
+        // model (it owns Directory::OnBlockWrite and drops stale copies
+        // through the fabric); the longhand model does the same to the
+        // oracle stacks from its own stale-set computation.
+        const SimTime entered = now;
+        now = coherence->OnWrite(op.host, op.key, entered, /*measured=*/true);
         host.oracle->Write(op.key);
-        // Consistency: the directory's stale-holder set must match the set
-        // of other hosts whose oracle holds the block.
-        const Directory::StaleSet stale =
-            directory.OnBlockWrite(op.host, op.key, /*measured=*/true);
+        oracle_coherence.OnWrite(op.host, op.key, entered);
+        // Protocol-driven invalidation must leave every host's real and
+        // oracle residency of the written key in agreement.
         for (int other = 0; other < config.num_hosts; ++other) {
-          const bool oracle_stale =
-              other != op.host && hosts[static_cast<size_t>(other)]->oracle->Holds(op.key);
-          if (stale.Contains(other) != oracle_stale) {
+          const DiffHost& o = *hosts[static_cast<size_t>(other)];
+          if (o.stack->Holds(op.key) != o.oracle->Holds(op.key)) {
             std::ostringstream os;
-            os << "invalidation set: host " << other << " real="
-               << (stale.Contains(other) ? 1 : 0) << " oracle=" << (oracle_stale ? 1 : 0);
+            os << "invalidation: host " << other << " Holds(" << op.key
+               << "): real=" << o.stack->Holds(op.key)
+               << " oracle=" << o.oracle->Holds(op.key);
             return diverge(i, op, os.str());
-          }
-        }
-        for (int other = 0; other < config.num_hosts; ++other) {
-          if (stale.Contains(other)) {
-            hosts[static_cast<size_t>(other)]->stack->Invalidate(op.key);
-            hosts[static_cast<size_t>(other)]->oracle->Invalidate(op.key);
           }
         }
         break;
@@ -357,6 +461,20 @@ DiffResult RunSchedule(const DiffConfig& config, const std::vector<DiffOp>& ops)
       os << "Holds(" << op.key << "): real=" << host.stack->Holds(op.key)
          << " oracle=" << host.oracle->Holds(op.key);
       return diverge(i, op, os.str());
+    }
+    // Lease protocol: the touched key's lease-table entry (presence and
+    // absolute expiry) must agree with the longhand model's.
+    if (config.coherence == CoherenceModel::kLease) {
+      const std::optional<SimTime> real_lease = coherence->LeaseExpiry(op.host, op.key);
+      const std::optional<SimTime> want_lease =
+          oracle_coherence.LeaseExpiry(op.host, op.key);
+      if (real_lease != want_lease) {
+        std::ostringstream os;
+        os << "lease expiry on host " << op.host << " key " << op.key
+           << ": real=" << (real_lease ? std::to_string(*real_lease) : "none")
+           << " oracle=" << (want_lease ? std::to_string(*want_lease) : "none");
+        return diverge(i, op, os.str());
+      }
     }
     queue.RunUntil(now);  // drain due background-writer completions
     const bool deep = config.snapshot_stride != 0 && (i + 1) % config.snapshot_stride == 0;
@@ -429,8 +547,11 @@ DiffResult RunDifferential(const DiffConfig& config, const std::string& diverge_
     std::filesystem::create_directories(diverge_dir, ec);
     std::ostringstream name;
     name << ArchitectureName(config.arch) << "_" << PolicyName(config.ram_policy) << "_"
-         << PolicyName(config.flash_policy) << "_" << ReplacementPolicyName(config.replacement)
-         << "_seed" << config.seed << ".diverge";
+         << PolicyName(config.flash_policy) << "_" << ReplacementPolicyName(config.replacement);
+    if (config.coherence != CoherenceModel::kPerfect) {
+      name << "_" << CoherenceModelName(config.coherence);
+    }
+    name << "_seed" << config.seed << ".diverge";
     const std::string path = diverge_dir + "/" + name.str();
     if (WriteDivergeFile(path, config, minimized)) {
       final_result.diverge_file = path;
@@ -458,9 +579,11 @@ bool WriteDivergeFile(const std::string& path, const DiffConfig& config,
   out << "key_space " << config.key_space << "\n";
   out << "seed " << config.seed << "\n";
   out << "snapshot_stride " << config.snapshot_stride << "\n";
+  out << "coherence " << CoherenceModelName(config.coherence) << "\n";
   out << "inject_subset_eviction_bug " << (config.inject_subset_eviction_bug ? 1 : 0) << "\n";
   out << "inject_replacement_bug " << (config.inject_replacement_bug ? 1 : 0) << "\n";
   out << "inject_admission_bug " << (config.inject_admission_bug ? 1 : 0) << "\n";
+  out << "inject_coherence_bug " << (config.inject_coherence_bug ? 1 : 0) << "\n";
   out << "ops " << ops.size() << "\n";
   for (const DiffOp& op : ops) {
     out << OpKindToken(op.kind) << " " << op.host << " " << op.key << "\n";
@@ -526,16 +649,26 @@ bool LoadDivergeFile(const std::string& path, DiffConfig* config, std::vector<Di
       in >> config->seed;
     } else if (key == "snapshot_stride") {
       in >> config->snapshot_stride;
+    } else if (key == "coherence") {
+      std::string value;
+      in >> value;
+      const auto model = ParseCoherenceModel(value);
+      if (!model.has_value()) {
+        return false;
+      }
+      config->coherence = *model;
     } else if (key == "inject_subset_eviction_bug" || key == "inject_replacement_bug" ||
-               key == "inject_admission_bug") {
+               key == "inject_admission_bug" || key == "inject_coherence_bug") {
       int flag = 0;
       in >> flag;
       if (key == "inject_subset_eviction_bug") {
         config->inject_subset_eviction_bug = flag != 0;
       } else if (key == "inject_replacement_bug") {
         config->inject_replacement_bug = flag != 0;
-      } else {
+      } else if (key == "inject_admission_bug") {
         config->inject_admission_bug = flag != 0;
+      } else {
+        config->inject_coherence_bug = flag != 0;
       }
     } else if (key == "ops") {
       in >> declared_ops;

@@ -7,8 +7,12 @@
 //   - the cumulative StackCounters,
 //   - resident block counts per tier and the dirty-block count,
 //   - whether a flush call wrote something back,
-//   - the set of hosts a write invalidated (real consistency directory vs
-//     the oracle's own residency),
+//   - every host's residency of a written key after the coherence protocol
+//     invalidated stale copies (real directory-driven drops vs the
+//     longhand OracleCoherence model driving the oracle stacks),
+//   - the coherence protocol's decision counters (messages, acks, leases,
+//     dirty fetches, stall counts) against the longhand model's, plus the
+//     touched key's lease-expiry entry under the lease protocol,
 // plus, every `snapshot_stride` ops and at the end, a deep comparison of
 // full cache state: LRU order, medium and dirty flag of every block, and
 // per-medium dirty FIFO order.
@@ -30,6 +34,7 @@
 #include "src/arch/stack_factory.h"
 #include "src/cache/policy.h"
 #include "src/check/oracle.h"
+#include "src/consistency/coherence.h"
 #include "src/trace/source.h"
 
 namespace flashsim {
@@ -58,6 +63,14 @@ struct DiffConfig {
   // deliberately wrong implementation.
   bool inject_replacement_bug = false;
   bool inject_admission_bug = false;
+  // Coherence protocol on the rig's network path (DESIGN.md §15). perfect
+  // is the paper's zero-cost model; directory/lease route every read miss
+  // and contended write through the modeled protocol on both sides.
+  CoherenceModel coherence = CoherenceModel::kPerfect;
+  // Test seam: arms CoherenceProtocol::test_only_break_protocol() on the
+  // real side (directory stops sending/waiting for invalidation acks;
+  // lease forgets to break live leases on writes). A no-op under perfect.
+  bool inject_coherence_bug = false;
 
   std::string Summary() const;
 };

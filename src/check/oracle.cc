@@ -406,6 +406,11 @@ class OracleSubsetBase : public OracleStack {
     return ram_.Contains(key);
   }
 
+  bool HoldsDirty(BlockKey key) const override {
+    return (ram_.Contains(key) && ram_.IsDirty(key)) ||
+           (HasFlash() && flash_.Contains(key) && flash_.IsDirty(key));
+  }
+
   uint64_t RamResident() const override { return ram_.size(); }
   uint64_t FlashResident() const override { return flash_.size(); }
   uint64_t DirtyBlocks() const override { return ram_.dirty_count() + flash_.dirty_count(); }
@@ -651,6 +656,9 @@ class OracleUnified : public OracleStack {
 
   void Invalidate(BlockKey key) override { cache_.Remove(key); }
   bool Holds(BlockKey key) const override { return cache_.Contains(key); }
+  bool HoldsDirty(BlockKey key) const override {
+    return cache_.Contains(key) && cache_.IsDirty(key);
+  }
 
   uint64_t RamResident() const override { return CountMedium(Medium::kRam); }
   uint64_t FlashResident() const override { return CountMedium(Medium::kFlash); }
@@ -738,6 +746,136 @@ std::vector<BlockKey> SnapDirty(const LruBlockCache& cache, Medium want) {
 }
 
 }  // namespace
+
+OracleCoherence::OracleCoherence(CoherenceModel model, int num_hosts, SimDuration lease_ns,
+                                 OracleResidencyView& view)
+    : model_(model),
+      num_hosts_(num_hosts),
+      lease_ns_(lease_ns),
+      view_(&view),
+      leases_(static_cast<size_t>(num_hosts)) {
+  FLASHSIM_CHECK(num_hosts >= 1);
+  FLASHSIM_CHECK(model != CoherenceModel::kLease || lease_ns > 0);
+}
+
+// Protocol-driven drop: the copy goes, and with it the host's lease entry
+// (mirrors LeaseProtocol::OnCopyDropped / the explicit Erase on writes).
+void OracleCoherence::Drop(int host, BlockKey key) {
+  view_->DropCopy(host, key);
+  leases_[static_cast<size_t>(host)].erase(key);
+}
+
+// A read miss must not fetch around a remote Dirty copy: every other host
+// holding the block dirty pays recall callback + data flush (2 messages)
+// and loses the copy. Longhand mirror of CoherenceProtocol::ReconcileDirty.
+void OracleCoherence::ReconcileDirty(int reader, BlockKey key) {
+  for (int other = 0; other < num_hosts_; ++other) {
+    if (other == reader || !view_->HoldsDirty(other, key)) {
+      continue;
+    }
+    totals_.invalidation_messages += 2;
+    ++totals_.dirty_fetches;
+    Drop(other, key);
+  }
+}
+
+void OracleCoherence::OnRead(int host, BlockKey key, SimTime now, SimTime granted) {
+  switch (model_) {
+    case CoherenceModel::kPerfect:
+      return;  // reads never enter the protocol
+    case CoherenceModel::kDirectory:
+      if (view_->HoldsCopy(host, key)) {
+        return;  // callbacks keep cached copies valid: free
+      }
+      // Miss: lookup request + reply around the directory service.
+      ++totals_.lookups;
+      totals_.invalidation_messages += 2;
+      ++totals_.stalled_reads;
+      ReconcileDirty(host, key);
+      return;
+    case CoherenceModel::kLease: {
+      auto& table = leases_[static_cast<size_t>(host)];
+      if (view_->HoldsCopy(host, key)) {
+        const auto it = table.find(key);
+        if (it != table.end() && it->second > now) {
+          return;  // live lease: protocol-silent
+        }
+        // Expired lease on a still-valid copy: renewal round trip.
+        ++totals_.lookups;
+        ++totals_.lease_renewals;
+        totals_.invalidation_messages += 2;
+        ++totals_.stalled_reads;
+        table[key] = granted + lease_ns_;
+        return;
+      }
+      // Miss: the lookup reply carries a fresh lease.
+      ++totals_.lookups;
+      ++totals_.lease_grants;
+      totals_.invalidation_messages += 2;
+      ++totals_.stalled_reads;
+      ReconcileDirty(host, key);
+      table[key] = granted + lease_ns_;
+      return;
+    }
+  }
+}
+
+void OracleCoherence::OnWrite(int host, BlockKey key, SimTime now) {
+  // The stale set, longhand: every *other* host whose oracle stack holds
+  // the block (the real side reads the same set out of the directory).
+  bool any = false;
+  for (int other = 0; other < num_hosts_; ++other) {
+    if (other != host && view_->HoldsCopy(other, key)) {
+      any = true;
+      break;
+    }
+  }
+  if (model_ == CoherenceModel::kPerfect) {
+    // Zero-cost counting model; the rig runs it with legacy charging off,
+    // so copies drop for free.
+    for (int other = 0; other < num_hosts_; ++other) {
+      if (other != host && view_->HoldsCopy(other, key)) {
+        Drop(other, key);
+      }
+    }
+    return;
+  }
+  if (!any) {
+    return;  // sole holder: implicitly Exclusive/Dirty, no transaction
+  }
+  ++totals_.invalidation_messages;  // report to the directory
+  for (int other = 0; other < num_hosts_; ++other) {
+    if (other == host || !view_->HoldsCopy(other, key)) {
+      continue;
+    }
+    if (model_ == CoherenceModel::kDirectory) {
+      totals_.invalidation_messages += 2;  // callback + ack
+      ++totals_.acks;
+    } else {
+      // Lease: only holders whose lease is still live at the write get a
+      // callback + ack break; expired holders are dropped silently.
+      const auto& table = leases_[static_cast<size_t>(other)];
+      const auto it = table.find(key);
+      if (it != table.end() && it->second > now) {
+        totals_.invalidation_messages += 2;
+        ++totals_.acks;
+        ++totals_.lease_breaks;
+      }
+    }
+    Drop(other, key);
+  }
+  ++totals_.invalidation_messages;  // exclusivity grant back to the writer
+  ++totals_.stalled_writes;
+}
+
+std::optional<SimTime> OracleCoherence::LeaseExpiry(int host, BlockKey key) const {
+  const auto& table = leases_[static_cast<size_t>(host)];
+  const auto it = table.find(key);
+  if (it == table.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
 
 std::unique_ptr<OracleStack> MakeOracleStack(Architecture arch, const StackConfig& config) {
   switch (arch) {

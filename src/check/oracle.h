@@ -30,6 +30,7 @@
 
 #include "src/arch/cache_stack.h"
 #include "src/arch/stack_factory.h"
+#include "src/consistency/coherence.h"
 #include "src/trace/record.h"
 
 namespace flashsim {
@@ -182,6 +183,9 @@ class OracleStack {
   virtual bool FlushOneFlashBlock() = 0;
   virtual void Invalidate(BlockKey key) = 0;
   virtual bool Holds(BlockKey key) const = 0;
+  // Dirty in any tier — the longhand coherence model's Dirty-state probe
+  // (mirrors CacheStack::HoldsDirty).
+  virtual bool HoldsDirty(BlockKey key) const = 0;
 
   virtual uint64_t RamResident() const = 0;
   virtual uint64_t FlashResident() const = 0;
@@ -202,6 +206,61 @@ class OracleStack {
 
  protected:
   StackCounters counters_;
+};
+
+// The longhand coherence model's window into per-host cache residency,
+// plus the ability to drop a copy the protocol invalidated. The
+// differential rig implements it over the per-host *oracle* stacks, so the
+// model shares no state with the real protocol it checks.
+class OracleResidencyView {
+ public:
+  virtual ~OracleResidencyView() = default;
+  virtual bool HoldsCopy(int host, BlockKey key) const = 0;
+  virtual bool HoldsDirty(int host, BlockKey key) const = 0;
+  virtual void DropCopy(int host, BlockKey key) = 0;
+};
+
+// Longhand reference model of the coherence protocols (src/consistency/
+// coherence.h): std::map lease tables and spelled-out per-protocol message
+// accounting, fully independent of the CoherenceProtocol implementations.
+// It verifies decisions, not timing — message/ack/lease/stall counts are
+// recomputed longhand from the oracle stacks' residency, while lease expiry
+// timestamps adopt the real protocol's granted clock (the `granted`
+// argument of OnRead), so the *_ns stall fields are the only
+// CoherenceCounters the differential comparison skips.
+class OracleCoherence {
+ public:
+  OracleCoherence(CoherenceModel model, int num_hosts, SimDuration lease_ns,
+                  OracleResidencyView& view);
+
+  // Mirrors CoherenceProtocol::BeforeRead's decisions (including dropping
+  // reconciled remote Dirty copies through the view). `now` is the sim time
+  // the real protocol saw; `granted` is what it returned. Call before the
+  // oracle stack executes the read.
+  void OnRead(int host, BlockKey key, SimTime now, SimTime granted);
+  // Mirrors CoherenceProtocol::OnWrite: recomputes the stale set from the
+  // view and drops the invalidated oracle copies. Call with the same `now`
+  // the real OnWrite received (lease liveness is judged against it).
+  void OnWrite(int host, BlockKey key, SimTime now);
+
+  const CoherenceCounters& totals() const { return totals_; }
+  // Absolute lease expiry this model believes `host` holds on `key`
+  // (nullopt = no table entry), comparable against the real protocol's
+  // LeaseExpiry entry-for-entry: both sides keep stale entries across
+  // capacity evictions and external invalidations, erasing only on
+  // protocol-driven drops.
+  std::optional<SimTime> LeaseExpiry(int host, BlockKey key) const;
+
+ private:
+  void ReconcileDirty(int reader, BlockKey key);
+  void Drop(int host, BlockKey key);
+
+  CoherenceModel model_;
+  int num_hosts_;
+  SimDuration lease_ns_;
+  OracleResidencyView* view_;
+  CoherenceCounters totals_;
+  std::vector<std::map<BlockKey, SimTime>> leases_;  // absolute expiry
 };
 
 // Factory matching MakeCacheStack.

@@ -19,6 +19,7 @@
 #ifndef FLASHSIM_SRC_CONSISTENCY_DIRECTORY_H_
 #define FLASHSIM_SRC_CONSISTENCY_DIRECTORY_H_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -83,6 +84,26 @@ class Directory {
   StaleSet OnBlockWrite(int host, BlockKey key, bool measured);
 
   bool IsCachedBy(int host, BlockKey key) const;
+  // Visits every holder of `key` in ascending host order — deterministic in
+  // both inline and slot mode, which the message-generating coherence
+  // protocols (coherence.h) depend on for reproducible message schedules.
+  // `fn` must not mutate the directory (snapshot first if it needs to drop
+  // copies mid-iteration; see CoherenceProtocol::ReconcileDirty).
+  template <typename Fn>
+  void ForEachHolder(BlockKey key, Fn&& fn) const {
+    const uint64_t* entry = holders_.Find(key);
+    if (entry == nullptr) {
+      return;
+    }
+    const uint64_t* mask = words_ == 1 ? entry : SlotWords(*entry - 1);
+    for (size_t w = 0; w < words_; ++w) {
+      uint64_t bits = mask[w];
+      while (bits != 0) {
+        fn(static_cast<int>((w << 6) + static_cast<size_t>(std::countr_zero(bits))));
+        bits &= bits - 1;
+      }
+    }
+  }
   // The one-word holder bitmask; only meaningful (and only allowed) for
   // fleets of at most 64 hosts. Wide fleets use IsCachedBy/holder_count.
   uint64_t holders(BlockKey key) const;

@@ -38,6 +38,12 @@ void SimConfig::Validate() const {
   FLASHSIM_CHECK(timing.flash_read_ns >= 0 && timing.flash_write_ns >= 0);
   FLASHSIM_CHECK(timing.filer_fast_read_rate >= 0.0 && timing.filer_fast_read_rate <= 1.0);
   FLASHSIM_CHECK(timing.filer_concurrency >= 1);
+  // Modeled protocols charge their own control traffic; the legacy
+  // --invalidation packet model on top would double-charge every write.
+  FLASHSIM_CHECK(coherence == CoherenceModel::kPerfect ||
+                 invalidation_traffic == InvalidationTraffic::kNone);
+  FLASHSIM_CHECK(timing.coherence_ctrl_ns >= 0);
+  FLASHSIM_CHECK(coherence != CoherenceModel::kLease || timing.lease_ns > 0);
 }
 
 std::string SimConfig::Summary() const {
@@ -64,6 +70,10 @@ std::string SimConfig::Summary() const {
   }
   if (admission != AdmissionPolicy::kAll) {
     std::snprintf(buf, sizeof(buf), " admission=%s", AdmissionPolicyName(admission));
+    out += buf;
+  }
+  if (coherence != CoherenceModel::kPerfect) {
+    std::snprintf(buf, sizeof(buf), " coherence=%s", CoherenceModelName(coherence));
     out += buf;
   }
   if (!read_fast_path) {

@@ -12,6 +12,7 @@
 
 #include "src/arch/stack_factory.h"
 #include "src/backend/shard_router.h"
+#include "src/consistency/coherence.h"
 #include "src/cache/policy.h"
 #include "src/cache/replacement.h"
 #include "src/device/timing.h"
@@ -84,6 +85,15 @@ struct SimConfig {
   TimingModel timing;
 
   InvalidationTraffic invalidation_traffic = InvalidationTraffic::kNone;
+
+  // Coherence protocol (DESIGN.md §15). kPerfect is the paper's zero-cost
+  // counting directory and the byte-identical default; kDirectory/kLease
+  // put lookup/invalidation/lease traffic on the network and filer.
+  // Non-perfect protocols charge their own messages, so they require
+  // invalidation_traffic == kNone (Validate enforces it); they also disable
+  // the serial read fast path and partitioned certification — every read
+  // may carry protocol traffic, so no read is provably host-local.
+  CoherenceModel coherence = CoherenceModel::kPerfect;
 
   // Seeds the filer's fast/slow read draws (trace generation seeds live in
   // the trace spec, so timing randomness and workload are independent).

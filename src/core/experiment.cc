@@ -45,6 +45,7 @@ SimConfig BuildSimConfig(const ExperimentParams& params) {
   config.collect_mrc = params.collect_mrc;
   config.timing = params.timing;
   config.invalidation_traffic = params.invalidation_traffic;
+  config.coherence = params.coherence;
   config.seed = params.seed;
   config.audit_stride = params.audit ? 64 : 0;
   config.telemetry = params.telemetry;

@@ -54,6 +54,8 @@ struct ExperimentParams {
   int num_partitions = 1;
   bool force_partitioned = false;
   InvalidationTraffic invalidation_traffic = InvalidationTraffic::kNone;
+  // Coherence protocol axis (DESIGN.md §15); perfect is the paper's model.
+  CoherenceModel coherence = CoherenceModel::kPerfect;
   double write_fraction = 0.30;
   double working_set_io_fraction = 0.80;
   double volume_multiplier = 4.0;

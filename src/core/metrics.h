@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/arch/cache_stack.h"
+#include "src/consistency/coherence.h"
 #include "src/sim/sim_time.h"
 #include "src/util/stats.h"
 
@@ -31,6 +32,9 @@ struct ShardMetrics {
   SimDuration max_wait_ns = 0;
   SimDuration busy_ns = 0;
   SimDuration wait_ns = 0;
+  // Coherence control messages this shard serviced (DESIGN.md §15); zero
+  // under the default perfect model.
+  uint64_t control_messages = 0;
 
   bool operator==(const ShardMetrics&) const = default;
 };
@@ -54,6 +58,11 @@ struct Metrics {
   // Protocol messages charged to the network (extension; zero under the
   // paper's free-invalidation model). Counted for the whole run.
   uint64_t invalidation_messages = 0;
+  // Coherence protocol accounting (DESIGN.md §15): message, lease, and
+  // stall totals summed over hosts. All-zero under perfect without the
+  // legacy --invalidation charging.
+  CoherenceModel coherence_model = CoherenceModel::kPerfect;
+  CoherenceCounters coherence;
 
   // Load-triggered hash rehashes observed across the run's cache/directory
   // indexes. The simulation pre-sizes every index from SimConfig, so this

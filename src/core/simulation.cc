@@ -61,6 +61,38 @@ struct Simulation::HostState {
   std::unique_ptr<CacheStack> stack;
 };
 
+// Adapts the simulation's links, stacks, and filer shards to the
+// CoherenceTransport interface (coherence.h). Control messages ride the
+// sender's NetworkLink and queue at the filer shard owning the block, so
+// protocol traffic contends with data exactly where real traffic would.
+class Simulation::CoherenceFabric : public CoherenceTransport {
+ public:
+  explicit CoherenceFabric(Simulation& sim) : sim_(&sim) {}
+
+  SimTime HostToFiler(int host, SimTime now, bool carries_data) override {
+    return sim_->hosts_[static_cast<size_t>(host)]->link.SendToFiler(now, carries_data);
+  }
+  SimTime FilerToHost(int host, SimTime now, bool carries_data) override {
+    return sim_->hosts_[static_cast<size_t>(host)]->link.SendToHost(now, carries_data);
+  }
+  SimTime FilerService(BlockKey key, SimTime arrival, SimDuration service) override {
+    const int shard = sim_->hosts_[0]->remote->ShardOf(key);
+    return sim_->backend_->shard(shard).ServeControl(arrival, service);
+  }
+  void DropCopy(int host, BlockKey key) override {
+    sim_->hosts_[static_cast<size_t>(host)]->stack->Invalidate(key);
+  }
+  bool HoldsCopy(int host, BlockKey key) const override {
+    return sim_->hosts_[static_cast<size_t>(host)]->stack->Holds(key);
+  }
+  bool HoldsDirty(int host, BlockKey key) const override {
+    return sim_->hosts_[static_cast<size_t>(host)]->stack->HoldsDirty(key);
+  }
+
+ private:
+  Simulation* sim_;
+};
+
 Simulation::Simulation(const SimConfig& config) : config_(config) {
   config_.Validate();
   partitioned_ = config_.num_partitions > 1 || config_.force_partitioned;
@@ -87,6 +119,18 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
     hosts_.push_back(std::make_unique<HostState>(config_, queue_for_host(h), *backend_,
                                                  *directory_, h));
   }
+  fabric_ = std::make_unique<CoherenceFabric>(*this);
+  CoherenceParams cparams;
+  cparams.model = config_.coherence;
+  cparams.num_hosts = config_.num_hosts;
+  cparams.charge_legacy_traffic = config_.invalidation_traffic != InvalidationTraffic::kNone;
+  cparams.legacy_traffic_blocks_writer =
+      config_.invalidation_traffic == InvalidationTraffic::kBlocking;
+  cparams.directory_service_ns = config_.timing.coherence_ctrl_ns;
+  cparams.flush_service_ns = config_.timing.filer_write_ns;
+  cparams.lease_ns = config_.timing.lease_ns;
+  coherence_ = MakeCoherenceProtocol(cparams, directory_.get(), fabric_.get());
+  coherence_active_ = config_.coherence != CoherenceModel::kPerfect;
   backlog_.resize(static_cast<size_t>(NumThreads()));
 #ifdef FLASHSIM_AUDIT
   // Audit builds force the auditor on with a stride that keeps even scaled
@@ -103,8 +147,10 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   // per-record counter checks and stride bookkeeping are part of the
   // schedule it audits), exactly like partitioned certification. The MRC
   // collector likewise needs every read to flow through ExecuteOp.
+  // A modeled coherence protocol likewise disarms the path: any read may
+  // first pay protocol traffic, so no read is provably host-local.
   serial_fast_path_ = config_.read_fast_path && !partitioned_ && auditor_ == nullptr &&
-                      !config_.collect_mrc;
+                      !config_.collect_mrc && !coherence_active_;
   if (config_.collect_mrc) {
     for (int h = 0; h < config_.num_hosts; ++h) {
       mrc_.push_back(std::make_unique<MrcCollector>());
@@ -163,6 +209,14 @@ void Simulation::ArmTelemetry() {
                                                    config_.timing.filer_concurrency));
     shard.set_write_probe(telemetry_->RegisterProbe(base + ".write", filer_pid, base + ".write",
                                                     config_.timing.filer_concurrency));
+    // Control-plane probe only when a modeled protocol can generate the
+    // traffic: the single-filer probe set ("filer.read"/"filer.write") is
+    // pinned by the golden Chrome-trace fixture and must not grow under
+    // the default perfect model.
+    if (config_.coherence != CoherenceModel::kPerfect) {
+      shard.set_ctrl_probe(telemetry_->RegisterProbe(base + ".ctrl", filer_pid, base + ".ctrl",
+                                                     config_.timing.filer_concurrency));
+    }
   }
 }
 
@@ -236,6 +290,12 @@ SimTime Simulation::ExecuteOp(SimTime now, const TraceRecord& record) {
       if (!mrc_.empty()) {
         mrc_[static_cast<size_t>(host_id)]->OnRead(key);
       }
+      if (coherence_active_) {
+        // Protocol work first: directory lookup round trip on a miss,
+        // remote-Dirty reconciliation, lease renewal. Silent (t unchanged)
+        // on a covered cache hit.
+        t = coherence_->BeforeRead(host_id, key, t);
+      }
       HitLevel level = HitLevel::kRam;
       t = host.stack->Read(t, key, &level);
       if (measured) {
@@ -247,37 +307,13 @@ SimTime Simulation::ExecuteOp(SimTime now, const TraceRecord& record) {
       if (measured) {
         ++metrics_.measured_write_blocks;
       }
-      // A new version exists: stale copies elsewhere are invalidated
-      // instantly with global knowledge (§3.8).
-      const Directory::StaleSet stale = directory_->OnBlockWrite(host_id, key, measured);
-      if (stale.any()) {
-        SimTime ack_deadline = t;
-        const bool charge_traffic =
-            config_.invalidation_traffic != InvalidationTraffic::kNone;
-        SimTime report_arrival = t;
-        if (charge_traffic) {
-          // The writer reports the new version to the filer...
-          report_arrival = host.link.SendToFiler(t, /*carries_data=*/false);
-          ++metrics_.invalidation_messages;
-        }
-        for (int other = 0; other < config_.num_hosts; ++other) {
-          if (!stale.Contains(other)) {
-            continue;
-          }
-          hosts_[static_cast<size_t>(other)]->stack->Invalidate(key);
-          if (charge_traffic) {
-            // ...which sends each stale holder a callback; the holder acks.
-            NetworkLink& peer = hosts_[static_cast<size_t>(other)]->link;
-            const SimTime callback = peer.SendToHost(report_arrival, false);
-            const SimTime ack = peer.SendToFiler(callback, false);
-            metrics_.invalidation_messages += 2;
-            ack_deadline = std::max(ack_deadline, ack);
-          }
-        }
-        if (config_.invalidation_traffic == InvalidationTraffic::kBlocking) {
-          t = ack_deadline;
-        }
-      }
+      // A new version exists: the coherence protocol updates the directory
+      // and invalidates stale copies elsewhere. PerfectProtocol is the
+      // paper's §3.8 model — instant, free invalidation with global
+      // knowledge (plus the legacy --invalidation packet charging) — and
+      // reproduces the pre-protocol inline block byte-identically; modeled
+      // protocols put the messages on the network and may block `t`.
+      t = coherence_->OnWrite(host_id, key, t, measured);
     }
   }
   return t;
@@ -576,7 +612,9 @@ void Simulation::RunPartitioned(TraceSource& source) {
   // Certification is off whenever a per-record observer shares state across
   // hosts: the auditor (global counters and stride bookkeeping) and trace
   // spans (one TraceWriter). Histograms are per-host and parallel-safe.
-  const bool certify = auditor_ == nullptr && !config_.collect_mrc &&
+  // A modeled coherence protocol also disables it: a read may send protocol
+  // messages through shared filer resources, so it is never host-local.
+  const bool certify = auditor_ == nullptr && !config_.collect_mrc && !coherence_active_ &&
                        (telemetry_ == nullptr || telemetry_->trace() == nullptr);
   const SimDuration ram_ns = config_.timing.ram_access_ns;
   std::vector<DeferredRead> batch;
@@ -812,11 +850,18 @@ Metrics Simulation::Run(TraceSource& source) {
     sm.max_wait_ns = shard.max_wait();
     sm.busy_ns = shard.busy_time();
     sm.wait_ns = shard.wait_time();
+    sm.control_messages = shard.control_messages();
     metrics_.filer_shards.push_back(sm);
   }
   metrics_.consistency_writes = directory_->measured_writes();
   metrics_.invalidating_writes = directory_->invalidating_writes();
   metrics_.invalidations = directory_->invalidations();
+  metrics_.coherence = coherence_->totals();
+  // invalidation_messages predates the protocol layer; keep it as the
+  // protocol's wire-packet total (identical to the legacy count under
+  // perfect + --invalidation, zero under perfect without it).
+  metrics_.invalidation_messages = metrics_.coherence.invalidation_messages;
+  metrics_.coherence_model = config_.coherence;
   metrics_.index_rehashes = directory_->index_rehashes();
   uint64_t ftl_host_writes = 0;
   uint64_t ftl_programs = 0;

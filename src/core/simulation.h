@@ -22,6 +22,7 @@
 #include "src/backend/storage_backend.h"
 #include "src/cache/mrc.h"
 #include "src/check/audit.h"
+#include "src/consistency/coherence.h"
 #include "src/consistency/directory.h"
 #include "src/core/config.h"
 #include "src/core/metrics.h"
@@ -66,6 +67,9 @@ class Simulation : private EventHandler {
   int num_filer_shards() const { return backend_->num_shards(); }
   const SimConfig& config() const { return config_; }
   const Directory& directory() const { return *directory_; }
+  // The run's coherence protocol (DESIGN.md §15); always non-null after
+  // construction. PerfectProtocol for the paper's zero-cost model.
+  const CoherenceProtocol& coherence() const { return *coherence_; }
   uint64_t events_processed() const {
     if (!partitioned_) {
       return queue_.events_processed();
@@ -107,6 +111,7 @@ class Simulation : private EventHandler {
  private:
   struct HostState;
   class HostResidencyBridge;
+  class CoherenceFabric;
 
   // One partition group of the partitioned engine (DESIGN.md §12): its own
   // event queue (with its own clock), a private RNG substream split from
@@ -237,6 +242,16 @@ class Simulation : private EventHandler {
   std::unique_ptr<StorageBackend> backend_;
   std::unique_ptr<Directory> directory_;
   std::vector<std::unique_ptr<HostState>> hosts_;
+  // Coherence layer (DESIGN.md §15): the fabric adapts the hosts' links,
+  // stacks, and filer shards to the CoherenceTransport interface; the
+  // protocol drives ExecuteOp's read/write hooks through it. Declared after
+  // hosts_ (the fabric dereferences them) and always constructed —
+  // PerfectProtocol reproduces the legacy inline invalidation block
+  // byte-for-byte. coherence_active_ caches `model != perfect` so the
+  // perfect read path pays one bool test, not a virtual call.
+  std::unique_ptr<CoherenceFabric> fabric_;
+  std::unique_ptr<CoherenceProtocol> coherence_;
+  bool coherence_active_ = false;
   TraceSource* source_ = nullptr;
   std::vector<RingDeque<TraceRecord>> backlog_;  // per thread index
   bool source_exhausted_ = false;

@@ -50,15 +50,32 @@ class Filer {
     return done;
   }
 
+  // Services one coherence control message (directory lookup, invalidation
+  // report, reconciled dirty flush; DESIGN.md §15). Occupies the same
+  // server pool as data — protocol traffic queues behind reads and writes —
+  // but draws no RNG (so enabling a protocol never perturbs the fast/slow
+  // read stream) and counts separately from data reads/writes (so the
+  // auditor's conservation identities are untouched).
+  SimTime ServeControl(SimTime now, SimDuration service) {
+    ++control_messages_;
+    const SimTime done = servers_.Acquire(now, service);
+    if (ctrl_probe_ != nullptr) {
+      ctrl_probe_->Record(now, done - service, done);
+    }
+    return done;
+  }
+
   // Telemetry service points (null = off; not owned). The filer is shared
   // across hosts, so these probes aggregate all hosts' traffic.
   void set_read_probe(obs::DeviceProbe* probe) { read_probe_ = probe; }
   void set_write_probe(obs::DeviceProbe* probe) { write_probe_ = probe; }
+  void set_ctrl_probe(obs::DeviceProbe* probe) { ctrl_probe_ = probe; }
 
   uint64_t fast_reads() const { return fast_reads_; }
   uint64_t slow_reads() const { return slow_reads_; }
   uint64_t reads() const { return fast_reads_ + slow_reads_; }
   uint64_t writes() const { return writes_; }
+  uint64_t control_messages() const { return control_messages_; }
   SimDuration busy_time() const { return servers_.busy_time(); }
   SimDuration wait_time() const { return servers_.wait_time(); }
   // Requests that queued behind a full server pool, and the worst such
@@ -71,6 +88,7 @@ class Filer {
     fast_reads_ = 0;
     slow_reads_ = 0;
     writes_ = 0;
+    control_messages_ = 0;
   }
 
  private:
@@ -79,9 +97,11 @@ class Filer {
   MultiResource servers_;
   obs::DeviceProbe* read_probe_ = nullptr;
   obs::DeviceProbe* write_probe_ = nullptr;
+  obs::DeviceProbe* ctrl_probe_ = nullptr;
   uint64_t fast_reads_ = 0;
   uint64_t slow_reads_ = 0;
   uint64_t writes_ = 0;
+  uint64_t control_messages_ = 0;
 };
 
 }  // namespace flashsim

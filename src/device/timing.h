@@ -45,6 +45,16 @@ struct TimingModel {
   // ablation bench sweeps this.
   int flash_concurrency = 64;
 
+  // Coherence protocol control plane (DESIGN.md §15, coherence != perfect
+  // only). A directory lookup / invalidation report occupies the owning
+  // filer shard for this long — deliberately cheap next to a data read:
+  // the directory is an in-memory map on the filer.
+  SimDuration coherence_ctrl_ns = 10 * kMicrosecond;
+  // Read-lease lifetime for coherence=lease. NFS-style delegations run
+  // seconds; 100 ms keeps lease expiry observable at simulated-minutes run
+  // lengths while still amortizing many reads per grant.
+  SimDuration lease_ns = 100 * kMillisecond;
+
   // Maximum outstanding background write-through RPCs per host (see
   // src/device/background_writer.h). 1 models a single write-through
   // daemon, matching the paper's syncer-thread behavior.

@@ -11,8 +11,10 @@
 //   check_cli --policy=slru            # one replacement policy across the grid
 //   check_cli --admission=flashield    # ghost-LRU flash admission (lookaside/unified)
 //   check_cli --hosts=4 --seed=7       # multi-host invalidation checking
+//   check_cli --coherence=directory --hosts=4          # modeled protocol vs longhand oracle
 //   check_cli --replay=out.diverge     # re-run a dumped divergence
 //   check_cli --policy=slru --inject_replacement_bug   # oracle must catch the seam
+//   check_cli --coherence=lease --hosts=4 --inject_coherence_bug  # seam must diverge
 //
 // New stack or policy code must keep this clean (see CONTRIBUTING.md).
 #include <cstdio>
@@ -38,8 +40,19 @@ int Main(int argc, char** argv) {
   bool inject_bug = false;
   bool inject_replacement_bug = false;
   bool inject_admission_bug = false;
+  bool inject_coherence_bug = false;
 
   FlagParser parser;
+  parser.AddCustom("coherence", "perfect|directory|lease",
+                   "coherence protocol on the rig's network path",
+                   [&](const std::string& v) {
+                     const auto model = ParseCoherenceModel(v);
+                     if (!model.has_value()) {
+                       return false;
+                     }
+                     base.coherence = *model;
+                     return true;
+                   });
   parser.AddCustom("arch", "naive|lookaside|unified", "run only this architecture",
                    [&](const std::string& v) {
                      arch_name = v;
@@ -81,7 +94,18 @@ int Main(int argc, char** argv) {
   parser.AddBool("inject_admission_bug",
                  "invert the flash admission filter (needs --admission=flashield; must diverge)",
                  &inject_admission_bug);
+  parser.AddBool("inject_coherence_bug",
+                 "arm the coherence protocol's test-only bug (directory skips ack waits, "
+                 "lease forgets breaks; needs --coherence; must diverge)",
+                 &inject_coherence_bug);
   parser.ParseOrExit(argc, argv);
+
+  if (inject_coherence_bug && base.coherence == CoherenceModel::kPerfect) {
+    std::fprintf(stderr,
+                 "--inject_coherence_bug requires --coherence=directory|lease "
+                 "(the perfect model has no protocol to break)\n");
+    return 2;
+  }
 
   if (!replay_path.empty()) {
     const DiffResult result = ReplayDivergeFile(replay_path);
@@ -97,10 +121,12 @@ int Main(int argc, char** argv) {
   base.inject_subset_eviction_bug = inject_bug;
   base.inject_replacement_bug = inject_replacement_bug;
   base.inject_admission_bug = inject_admission_bug;
+  base.inject_coherence_bug = inject_coherence_bug;
   if (!admission_name.empty()) {
     base.admission = *ParseAdmissionPolicy(admission_name);
   }
-  const bool expect_divergence = inject_bug || inject_replacement_bug || inject_admission_bug;
+  const bool expect_divergence =
+      inject_bug || inject_replacement_bug || inject_admission_bug || inject_coherence_bug;
   const std::vector<Architecture> archs =
       arch_name.empty() ? std::vector<Architecture>(kAllArchitectures.begin(),
                                                     kAllArchitectures.end())

@@ -239,6 +239,7 @@ JsonValue ShardToJson(const ShardMetrics& shard) {
   json.Set("max_wait_ns", static_cast<uint64_t>(shard.max_wait_ns));
   json.Set("busy_ns", static_cast<uint64_t>(shard.busy_ns));
   json.Set("wait_ns", static_cast<uint64_t>(shard.wait_ns));
+  json.Set("control_messages", shard.control_messages);
   return json;
 }
 
@@ -262,7 +263,46 @@ bool JsonToShard(const JsonValue& json, ShardMetrics* out) {
   out->max_wait_ns = static_cast<SimDuration>(max_wait);
   out->busy_ns = static_cast<SimDuration>(busy);
   out->wait_ns = static_cast<SimDuration>(wait);
+  // Absent in snapshots written before the coherence layer; default 0.
+  get("control_messages", &out->control_messages);
   return true;
+}
+
+JsonValue CoherenceToJson(const CoherenceCounters& c) {
+  JsonValue json = JsonValue::Object();
+  json.Set("lookups", c.lookups);
+  json.Set("invalidation_messages", c.invalidation_messages);
+  json.Set("acks", c.acks);
+  json.Set("lease_grants", c.lease_grants);
+  json.Set("lease_renewals", c.lease_renewals);
+  json.Set("lease_breaks", c.lease_breaks);
+  json.Set("dirty_fetches", c.dirty_fetches);
+  json.Set("stalled_reads", c.stalled_reads);
+  json.Set("stalled_read_ns", c.stalled_read_ns);
+  json.Set("stalled_writes", c.stalled_writes);
+  json.Set("stalled_write_ns", c.stalled_write_ns);
+  return json;
+}
+
+bool JsonToCoherence(const JsonValue& json, CoherenceCounters* out) {
+  const auto get = [&json](const char* key, uint64_t* field) {
+    const JsonValue* value = json.Get(key);
+    if (value == nullptr) {
+      return false;
+    }
+    *field = value->AsUint();
+    return true;
+  };
+  return get("lookups", &out->lookups) &&
+         get("invalidation_messages", &out->invalidation_messages) &&
+         get("acks", &out->acks) && get("lease_grants", &out->lease_grants) &&
+         get("lease_renewals", &out->lease_renewals) &&
+         get("lease_breaks", &out->lease_breaks) &&
+         get("dirty_fetches", &out->dirty_fetches) &&
+         get("stalled_reads", &out->stalled_reads) &&
+         get("stalled_read_ns", &out->stalled_read_ns) &&
+         get("stalled_writes", &out->stalled_writes) &&
+         get("stalled_write_ns", &out->stalled_write_ns);
 }
 
 }  // namespace
@@ -286,6 +326,10 @@ JsonValue MetricsToJson(const Metrics& metrics) {
   json.Set("invalidating_writes", metrics.invalidating_writes);
   json.Set("invalidations", metrics.invalidations);
   json.Set("invalidation_messages", metrics.invalidation_messages);
+  json.Set("coherence_model", CoherenceModelName(metrics.coherence_model));
+  if (metrics.coherence.any()) {
+    json.Set("coherence", CoherenceToJson(metrics.coherence));
+  }
   json.Set("index_rehashes", metrics.index_rehashes);
   json.Set("end_time", static_cast<uint64_t>(metrics.end_time));
   json.Set("filer_fast_reads", metrics.filer_fast_reads);
@@ -365,6 +409,20 @@ std::optional<Metrics> MetricsFromJson(const JsonValue& json) {
   const JsonValue* rehashes = json.Get("index_rehashes");
   if (rehashes != nullptr) {
     metrics.index_rehashes = rehashes->AsUint();
+  }
+  // Absent in snapshots written before the coherence layer (and the
+  // counters object is omitted when all-zero); defaults are correct.
+  if (const JsonValue* model = json.Get("coherence_model"); model != nullptr) {
+    const std::optional<CoherenceModel> parsed = ParseCoherenceModel(model->AsString());
+    if (!parsed.has_value()) {
+      return std::nullopt;
+    }
+    metrics.coherence_model = *parsed;
+  }
+  if (const JsonValue* coherence = json.Get("coherence"); coherence != nullptr) {
+    if (!JsonToCoherence(*coherence, &metrics.coherence)) {
+      return std::nullopt;
+    }
   }
   get_u64("writebacks_enqueued", &metrics.writebacks_enqueued);
   get_u64("writebacks_completed", &metrics.writebacks_completed);

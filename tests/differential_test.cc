@@ -98,6 +98,69 @@ TEST(Differential, ReplacementZooMultiHost) {
   }
 }
 
+// Coherence axis of the zero-divergence grid: the modeled protocols
+// (directory lookups + invalidation acks, time-bounded leases) against the
+// longhand OracleCoherence model, across all three stacks under cross-host
+// sharing pressure. Writeback pairs keep dirty blocks resident so read
+// misses exercise the dirty-fetch reconciliation path too.
+TEST(Differential, CoherenceZeroDivergenceGrid) {
+  for (Architecture arch : kAllArchitectures) {
+    for (CoherenceModel model : {CoherenceModel::kPerfect, CoherenceModel::kDirectory,
+                                 CoherenceModel::kLease}) {
+      DiffConfig config;
+      config.arch = arch;
+      config.coherence = model;
+      config.num_hosts = 4;
+      config.key_space = 256;
+      config.ram_policy = WritebackPolicy::kNone;
+      config.flash_policy = WritebackPolicy::kAsync;
+      config.num_ops = 8000;
+      config.seed = 17;
+      const DiffResult result = RunDifferential(config);
+      EXPECT_TRUE(result.ok) << config.Summary() << ": " << result.message;
+    }
+  }
+}
+
+// Each protocol's injected bug must be caught by the longhand model: the
+// directory seam stops sending (and counting) invalidation acks, the lease
+// seam forgets to break live leases so a stale copy stays resident.
+TEST(Differential, InjectedCoherenceBugsDiverge) {
+  for (CoherenceModel model : {CoherenceModel::kDirectory, CoherenceModel::kLease}) {
+    DiffConfig config;
+    config.arch = Architecture::kUnified;
+    config.coherence = model;
+    config.inject_coherence_bug = true;
+    config.num_hosts = 4;
+    config.key_space = 128;  // heavy sharing: contended writes come fast
+    config.num_ops = 5000;
+    const DiffResult result = RunDifferential(config);
+    EXPECT_FALSE(result.ok) << config.Summary() << ": injected coherence bug not caught";
+    EXPECT_FALSE(result.message.empty());
+  }
+}
+
+// .diverge headers round-trip the coherence axis.
+TEST(Differential, DivergeFileRoundTripsCoherenceFields) {
+  DiffConfig config;
+  config.arch = Architecture::kLookaside;
+  config.coherence = CoherenceModel::kLease;
+  config.inject_coherence_bug = true;
+  config.num_hosts = 4;
+  const std::vector<DiffOp> ops = {{DiffOpKind::kRead, 1, 9}, {DiffOpKind::kWrite, 2, 9}};
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "flashsim_coherence_roundtrip.diverge";
+  ASSERT_TRUE(WriteDivergeFile(path.string(), config, ops));
+  DiffConfig loaded;
+  std::vector<DiffOp> loaded_ops;
+  ASSERT_TRUE(LoadDivergeFile(path.string(), &loaded, &loaded_ops));
+  EXPECT_EQ(loaded.coherence, CoherenceModel::kLease);
+  EXPECT_TRUE(loaded.inject_coherence_bug);
+  ASSERT_EQ(loaded_ops.size(), 2u);
+  EXPECT_EQ(loaded_ops[1].host, 2);
+  std::filesystem::remove(path);
+}
+
 // The flash admission filter on the two architectures that support it,
 // crossed with the replacement zoo: the independent OracleAdmissionFilter
 // must agree with the real ghost doorkeeper decision-for-decision.

@@ -1,5 +1,8 @@
 #include "src/consistency/directory.h"
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace flashsim {
@@ -128,6 +131,93 @@ TEST(Directory, WideFleetRecyclesSlotsWhenLastCopyDrops) {
   EXPECT_EQ(dir.holder_count(9), 1);
   EXPECT_FALSE(dir.IsCachedBy(100, 9));
   EXPECT_FALSE(dir.OnBlockWrite(2, 9, /*measured=*/true).any());
+}
+
+// The inline-word -> slot-mode boundary: 63 and 64 hosts keep holder sets
+// as a single word stored directly in the index; 65 tips the whole
+// directory into pooled multiword masks; kMaxHosts (4096) is the widest
+// supported fleet at 64 words per set. Semantics must be identical across
+// the boundary, including ForEachHolder's ascending-host iteration order,
+// which the coherence protocols' message schedules depend on.
+TEST(Directory, HolderIterationIsAscendingAcrossSlotModeBoundary) {
+  for (int num_hosts : {63, 64, 65, Directory::kMaxHosts}) {
+    Directory dir(num_hosts);
+    // Holders straddling word 0, its top bit, and (when they exist) later
+    // words, inserted deliberately out of order.
+    std::vector<int> holders = {num_hosts - 1, 0, 37, num_hosts / 2};
+    for (int host : holders) {
+      dir.NoteCached(host, 11);
+    }
+    std::vector<int> visited;
+    dir.ForEachHolder(11, [&](int host) { visited.push_back(host); });
+    std::sort(holders.begin(), holders.end());
+    holders.erase(std::unique(holders.begin(), holders.end()), holders.end());
+    EXPECT_EQ(visited, holders) << num_hosts
+                                << " hosts: iteration must be ascending and complete";
+    EXPECT_EQ(dir.holder_count(11), static_cast<int>(holders.size()));
+
+    // StaleSet agrees with the iteration on both sides of the boundary.
+    const Directory::StaleSet stale = dir.OnBlockWrite(37, 11, /*measured=*/true);
+    EXPECT_EQ(stale.count(), static_cast<int>(holders.size()) - 1);
+    for (int host : holders) {
+      EXPECT_EQ(stale.Contains(host), host != 37) << num_hosts << " hosts, host " << host;
+    }
+  }
+}
+
+// Exactly 64 hosts is the largest inline fleet: host 63 uses the word's top
+// bit, and 65 is the smallest slot-mode fleet. Exercise the top-bit host on
+// both sides.
+TEST(Directory, TopBitHostWorksOnBothSidesOfBoundary) {
+  for (int num_hosts : {64, 65}) {
+    Directory dir(num_hosts);
+    dir.NoteCached(63, 3);
+    EXPECT_TRUE(dir.IsCachedBy(63, 3));
+    int calls = 0;
+    dir.ForEachHolder(3, [&](int host) {
+      ++calls;
+      EXPECT_EQ(host, 63);
+    });
+    EXPECT_EQ(calls, 1);
+    const Directory::StaleSet stale = dir.OnBlockWrite(0, 3, /*measured=*/true);
+    EXPECT_TRUE(stale.Contains(63));
+    EXPECT_EQ(stale.count(), 1);
+    dir.NoteDropped(63, 3);
+    dir.ForEachHolder(3, [&](int) { FAIL() << "holder visited after last drop"; });
+  }
+}
+
+// Iteration of an absent block visits nothing, in both modes.
+TEST(Directory, ForEachHolderOnAbsentBlockVisitsNothing) {
+  for (int num_hosts : {64, Directory::kMaxHosts}) {
+    Directory dir(num_hosts);
+    dir.ForEachHolder(99, [&](int) { FAIL() << "visited a holder of an absent block"; });
+  }
+}
+
+// Determinism contract at fleet scale: two directories fed the same
+// residency in different orders iterate identically — holder order is a
+// function of the set, never of insertion history or slot recycling.
+TEST(Directory, IterationOrderIndependentOfInsertionHistory) {
+  Directory a(Directory::kMaxHosts);
+  Directory b(Directory::kMaxHosts);
+  const std::vector<int> hosts = {4095, 2048, 64, 63, 1, 0, 129};
+  for (int host : hosts) {
+    a.NoteCached(host, 7);
+  }
+  // b sees unrelated churn first (forcing slot recycling), then the same
+  // set in reverse.
+  b.NoteCached(17, 1);
+  b.NoteDropped(17, 1);
+  for (auto it = hosts.rbegin(); it != hosts.rend(); ++it) {
+    b.NoteCached(*it, 7);
+  }
+  std::vector<int> order_a;
+  std::vector<int> order_b;
+  a.ForEachHolder(7, [&](int host) { order_a.push_back(host); });
+  b.ForEachHolder(7, [&](int host) { order_b.push_back(host); });
+  EXPECT_EQ(order_a, order_b);
+  EXPECT_TRUE(std::is_sorted(order_a.begin(), order_a.end()));
 }
 
 TEST(DirectoryDeathTest, RejectsOutOfRangeHostCounts) {

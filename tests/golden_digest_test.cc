@@ -125,6 +125,48 @@ std::vector<std::string> Fig02HostsRow(const SweepPoint& point,
           Table::Cell(static_cast<int64_t>(m.invalidations))};
 }
 
+// A fig08-style write-sharing sweep with the directory coherence protocol
+// live on the network path: 8 hosts over a shared working set, write
+// fraction swept across the contention range, per-protocol counters in the
+// digest rows so any change to the message schedule is caught.
+Sweep WriteSharingDirectorySweep(int partitions) {
+  ExperimentParams base;
+  base.scale = 512;
+  base.working_set_gib = 80.0;
+  base.hosts = 8;
+  base.threads_per_host = 4;
+  base.num_partitions = partitions;
+  base.coherence = CoherenceModel::kDirectory;
+  std::vector<Sweep::AxisValue> write_axis;
+  for (int write_pct = 0; write_pct <= 60; write_pct += 20) {
+    write_axis.push_back({Table::Cell(static_cast<int64_t>(write_pct)),
+                          [write_pct](ExperimentParams& p) {
+                            p.write_fraction = write_pct / 100.0;
+                          }});
+  }
+  Sweep sweep(base);
+  sweep.AddAxis("write_pct", std::move(write_axis)).AddAxis("arch", ArchitectureAxis());
+  return sweep;
+}
+
+std::vector<std::string> WriteSharingRow(const SweepPoint& point,
+                                         const ExperimentResult& result) {
+  const Metrics& m = result.metrics;
+  const CoherenceCounters& c = m.coherence;
+  return {point.label(0),
+          point.label(1),
+          Table::Cell(m.mean_read_us(), 2),
+          Table::Cell(m.mean_write_us(), 2),
+          Table::Cell(100.0 * m.flash_hit_rate(), 1),
+          Table::Cell(100.0 * m.invalidation_rate(), 1),
+          Table::Cell(c.lookups),
+          Table::Cell(c.invalidation_messages),
+          Table::Cell(c.acks),
+          Table::Cell(c.dirty_fetches),
+          Table::Cell(c.stalled_reads),
+          Table::Cell(c.stalled_writes)};
+}
+
 std::map<std::string, uint64_t> LoadGoldenDigests() {
   const std::string path = std::string(FLASHSIM_SOURCE_DIR) + "/tests/golden/digests.txt";
   std::ifstream in(path);
@@ -234,12 +276,51 @@ TEST(GoldenDigest, SlruPartitionedEngineIsByteIdentical) {
   }
 }
 
+// The coherence axis must default away: pinning coherence=perfect
+// *explicitly* on every golden sweep must reproduce every committed digest
+// byte-identically — the protocol plumbing (BeforeRead/OnWrite hooks on the
+// ExecuteOp paths) is provably free when the model is the paper's zero-cost
+// one.
+TEST(GoldenDigest, CoherencePerfectIsByteIdentical) {
+  const std::map<std::string, uint64_t> golden = LoadGoldenDigests();
+  for (SweepCase& c : GoldenCases()) {
+    c.sweep.AddAxis("coherence", CoherenceAxis({CoherenceModel::kPerfect}));
+    const uint64_t serial = DigestSweep(c.sweep, 1, c.row);
+    auto it = golden.find(c.name);
+    ASSERT_NE(it, golden.end()) << c.name << " missing from tests/golden/digests.txt";
+    EXPECT_EQ(serial, it->second)
+        << c.name << ": coherence=perfect is not byte-identical to the committed digest "
+        << "— the protocol hooks leaked into the zero-cost model";
+  }
+}
+
+// Golden pin for the coherence tentpole: the 8-host write-sharing sweep
+// under coherence=directory, bit-for-bit stable across partitions ∈ {1
+// (forced through the partitioned coordinator), 4} × sweep jobs ∈ {1, 4}.
+TEST(GoldenDigest, WriteSharingDirectoryDigestPinned) {
+  const std::map<std::string, uint64_t> golden = LoadGoldenDigests();
+  auto it = golden.find("fig08_scale512_hosts8_dir");
+  ASSERT_NE(it, golden.end())
+      << "fig08_scale512_hosts8_dir missing from tests/golden/digests.txt";
+  for (const int partitions : {1, 4}) {
+    const Sweep sweep = WriteSharingDirectorySweep(partitions);
+    for (const int jobs : {1, 4}) {
+      EXPECT_EQ(DigestSweep(sweep, jobs, WriteSharingRow), it->second)
+          << "coherence=directory partitions=" << partitions << " jobs=" << jobs
+          << " diverged from the pinned write-sharing digest";
+    }
+  }
+}
+
 // Regeneration helper, skipped in normal runs.
 TEST(GoldenDigest, DISABLED_PrintDigests) {
   for (const SweepCase& c : GoldenCases()) {
     std::printf("%s %016llx\n", c.name,
                 static_cast<unsigned long long>(DigestSweep(c.sweep, 1, c.row)));
   }
+  std::printf("fig08_scale512_hosts8_dir %016llx\n",
+              static_cast<unsigned long long>(
+                  DigestSweep(WriteSharingDirectorySweep(1), 1, WriteSharingRow)));
 }
 
 }  // namespace
