@@ -28,10 +28,12 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "src/core/experiment.h"
 #include "src/harness/harness.h"
+#include "src/sim/partition.h"
 #include "src/util/table.h"
 
 using namespace flashsim;
@@ -66,14 +68,28 @@ int main(int argc, char** argv) {
                         base);
   std::printf("hosts: %d x %d threads\n\n", base.hosts, base.threads_per_host);
 
+  // The partitions axis includes the CLI's `auto` sentinel, resolved
+  // against this machine (ResolveAutoPartitions) so the row shows what a
+  // hands-off run would get. The wide= axis is the certified-class A/B:
+  // off batches pure RAM hits only (pre-widening engine), on adds flash
+  // hits and sole-holder writes — identical results, different wall_s and
+  // batch occupancy.
+  std::vector<Sweep::AxisValue> partitions_axis = PartitionsAxis({1, 4, 16});
+  partitions_axis.push_back(
+      {"auto", [](ExperimentParams& p) { p.num_partitions = kAutoPartitions; }});
+  std::vector<Sweep::AxisValue> wide_axis = {
+      {"off", [](ExperimentParams& p) { p.wide_certification = false; }},
+      {"on", [](ExperimentParams& p) { p.wide_certification = true; }}};
+
   Sweep sweep(base);
   sweep.AddAxis("filers", FilersAxis({1, 4}))
-      .AddAxis("partitions", PartitionsAxis({1, 4, 16}));
+      .AddAxis("wide", std::move(wide_axis))
+      .AddAxis("partitions", std::move(partitions_axis));
 
-  Table table({"filers", "partitions", "read_us", "ram_hit_pct", "blocks", "wall_s",
-               "kops_s", "speedup"});
-  // partitions=1 wall time per filers= block, the speedup denominator.
-  std::map<int, double> serial_wall;
+  Table table({"filers", "wide", "partitions", "read_us", "ram_hit_pct", "blocks",
+               "batch_pct", "wall_s", "kops_s", "speedup"});
+  // partitions=1 wall time per (filers, wide) block, the speedup denominator.
+  std::map<std::pair<int, bool>, double> serial_wall;
   ParallelRunner(1).RunOrdered(
       sweep.Expand(),
       [](const SweepPoint& point) { return RunExperiment(point.params); },
@@ -81,25 +97,38 @@ int main(int argc, char** argv) {
         const Metrics& m = result.metrics;
         const uint64_t blocks = m.measured_read_blocks + m.measured_write_blocks;
         const double kops = blocks / std::max(result.wall_seconds, 1e-9) / 1000.0;
-        const int filers = point.params.num_filers;
+        // Batch occupancy: share of trace records the coordinator certified
+        // into parallel batches (0 on the serial engine by definition).
+        const uint64_t batched = m.certified_ram_batched + m.certified_flash_batched +
+                                 m.certified_write_batched;
+        const double batch_pct =
+            m.trace_records == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(batched) / static_cast<double>(m.trace_records);
+        const std::pair<int, bool> block = {point.params.num_filers,
+                                            point.params.wide_certification};
         if (point.params.num_partitions == 1) {
-          serial_wall[filers] = result.wall_seconds;
+          serial_wall[block] = result.wall_seconds;
         }
-        const double speedup = serial_wall.count(filers)
-                                   ? serial_wall[filers] / std::max(result.wall_seconds, 1e-9)
+        const double speedup = serial_wall.count(block)
+                                   ? serial_wall[block] / std::max(result.wall_seconds, 1e-9)
                                    : 0.0;
-        table.AddRow({point.label(0), point.label(1), Table::Cell(m.mean_read_us(), 2),
+        table.AddRow({point.label(0), point.label(1), point.label(2),
+                      Table::Cell(m.mean_read_us(), 2),
                       Table::Cell(100.0 * m.ram_hit_rate(), 1), Table::Cell(blocks),
-                      Table::Cell(result.wall_seconds, 2), Table::Cell(kops, 1),
-                      Table::Cell(speedup, 2)});
+                      Table::Cell(batch_pct, 1), Table::Cell(result.wall_seconds, 2),
+                      Table::Cell(kops, 1), Table::Cell(speedup, 2)});
       });
   PrintTable(table, options);
 
   std::printf(
-      "\nDown a filers= block every metric column repeats exactly — that is\n"
-      "the DESIGN.md S12 contract (partitions change wall_s and kops_s,\n"
-      "never results). Across blocks, filers=4 cuts read_us during the\n"
-      "miss-heavy warmup tail: sharding fixes the storm, partitioning fixes\n"
-      "how long you wait for the simulation of it.\n");
+      "\nDown a (filers, wide) block every metric column except batch_pct\n"
+      "repeats exactly — that is the DESIGN.md S12 contract (partitions and\n"
+      "the certified-class width change wall_s, kops_s, and how much of the\n"
+      "trace gets batched, never results). batch_pct is the certified-batch\n"
+      "occupancy; wide=on lifts it by adding flash hits and sole-holder\n"
+      "writes to the certified class. Across blocks, filers=4 cuts read_us\n"
+      "during the miss-heavy warmup tail: sharding fixes the storm,\n"
+      "partitioning fixes how long you wait for the simulation of it.\n");
   return 0;
 }

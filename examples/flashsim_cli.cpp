@@ -15,10 +15,18 @@
 //     --ram-gib=N --flash-gib=N --ws-gib=N --filer-tib=N
 //     --hosts=N --threads=N --write-pct=N --scale=N --seed=N
 //     --filers=N --shard-strategy=hash|modulo   sharded storage backend
-//     --partitions=N          partitioned engine: N host groups on N worker
+//     --partitions=N|auto     partitioned engine: N host groups on N worker
 //                             threads, byte-identical to the serial engine
+//                             (auto = one per core, clamped to the hosts;
+//                             the resolved count is reported in the
+//                             configuration line and the --json output)
 //     --prefetch-pct=N        filer fast-read rate
 //     --flash-read-us=N --flash-write-us=N
+//     --flash-noise=SIGMA     mean-one lognormal flash latency noise
+//     --flash-rng=substream|legacy   noise draw keying (substream draws are
+//                             per-host and order-independent; legacy shares
+//                             one stream and disables flash/write batch
+//                             certification in the partitioned engine)
 //     --persistent            doubled flash writes (recoverable cache)
 //     --cold                  skip warmup (crashed cache)
 //     --ftl                   FTL-backed flash device (GC, erases, TRIM)
@@ -177,6 +185,27 @@ void RegisterFlags(FlagParser& parser, CliOptions* options) {
                      params.num_partitions = static_cast<int>(parsed);
                      return true;
                    });
+  parser.AddCustom("flash-noise", "SIGMA",
+                   "mean-one lognormal flash latency noise (0 = off)",
+                   [&params](const std::string& value) {
+                     char* end = nullptr;
+                     params.timing.flash_noise_sigma = std::strtod(value.c_str(), &end);
+                     return end != nullptr && *end == '\0' && !value.empty() &&
+                            params.timing.flash_noise_sigma >= 0.0;
+                   });
+  parser.AddCustom("flash-rng", "substream|legacy",
+                   "flash noise draw keying: per-host counter substreams "
+                   "(order-independent) or one shared stream in dispatch order",
+                   [&params](const std::string& value) {
+                     if (value == "substream") {
+                       params.timing.flash_rng_mode = FlashRngMode::kSubstream;
+                     } else if (value == "legacy") {
+                       params.timing.flash_rng_mode = FlashRngMode::kLegacy;
+                     } else {
+                       return false;
+                     }
+                     return true;
+                   });
   parser.AddCustom("shard-strategy", "hash|modulo", "block -> filer shard routing",
                    [&params](const std::string& value) {
                      const auto strategy = ParseShardStrategy(value);
@@ -330,6 +359,7 @@ int main(int argc, char** argv) {
   }
   Metrics metrics;
   std::shared_ptr<obs::Telemetry> telemetry;
+  SimConfig run_config;
   if (!options.trace_path.empty()) {
     std::string error;
     auto source = OpenTraceSource(options.trace_path, &error);
@@ -337,12 +367,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", error.c_str());
       return 1;
     }
-    SimConfig config = BuildSimConfig(options.params);
+    run_config = BuildSimConfig(options.params);
     if (!quiet) {
-      std::printf("configuration: %s (trace: %s)\n", config.Summary().c_str(),
+      std::printf("configuration: %s (trace: %s)\n", run_config.Summary().c_str(),
                   options.trace_path.c_str());
     }
-    Simulation sim(config);
+    Simulation sim(run_config);
     if (series != nullptr) {
       sim.set_read_latency_series(series.get());
     }
@@ -353,6 +383,7 @@ int main(int argc, char** argv) {
     if (!quiet) {
       std::printf("configuration: %s\n", result.config.Summary().c_str());
     }
+    run_config = result.config;
     metrics = result.metrics;
     telemetry = result.telemetry;
   }
@@ -374,7 +405,15 @@ int main(int argc, char** argv) {
   }
 
   if (options.json) {
-    std::printf("%s\n", MetricsToJson(metrics).Dump(2).c_str());
+    JsonValue doc = MetricsToJson(metrics);
+    // Engine shape, so a --partitions=auto run is self-describing: the
+    // machine-resolved partition count rides along with the metrics.
+    // MetricsFromJson ignores unknown keys, so snapshots stay restorable.
+    JsonValue engine = JsonValue::Object();
+    engine.Set("num_partitions", static_cast<int64_t>(run_config.num_partitions));
+    engine.Set("partitions_auto", run_config.partitions_auto);
+    doc.Set("engine", std::move(engine));
+    std::printf("%s\n", doc.Dump(2).c_str());
     return 0;
   }
   if (quiet) {

@@ -37,14 +37,29 @@ class UnifiedStack : public CacheStack {
     const uint32_t slot = cache_.Lookup(key);
     return slot != kInvalidSlot && cache_.dirty(slot);
   }
-  // Only the RAM-medium branch of Read is certified: it touches the chain
-  // and the RAM device timeline and returns. (A flash-medium hit is also
-  // host-local but shares the flash timeline with syncer flushes; keeping
-  // it on the coordinator sidesteps ordering questions for no measurable
-  // loss — the batches that matter are RAM-hit storms.)
-  bool ReadIsPureRamHit(BlockKey key) const override {
+  // Certified-class verdicts (DESIGN.md §12). Any resident hit is
+  // host-local on the unified chain — blocks never migrate, so a hit is
+  // Touch + counter + the landing medium's device charge, with no install,
+  // eviction, or residency callback. Writes certify on the resident +
+  // MarkDirty-policy branch for either medium (a flash-medium write charges
+  // the host's own flash timeline; the coordinator flushes batches in rank
+  // order, so the charge commutes).
+  AccessVerdict ClassifyAccess(TraceOp op, BlockKey key,
+                               AccessEffects* effects = nullptr) const override {
+    (void)effects;  // unified hits never install or evict
     const uint32_t slot = cache_.Lookup(key);
-    return slot != kInvalidSlot && cache_.medium_of(slot) == Medium::kRam;
+    if (slot == kInvalidSlot) {
+      return AccessVerdict::kUncertifiable;
+    }
+    if (op == TraceOp::kWrite) {
+      const WritebackPolicy policy = PolicyFor(cache_.medium_of(slot));
+      if (policy == WritebackPolicy::kSync || policy == WritebackPolicy::kAsync) {
+        return AccessVerdict::kUncertifiable;
+      }
+      return AccessVerdict::kPrivateWrite;
+    }
+    return cache_.medium_of(slot) == Medium::kRam ? AccessVerdict::kPureRamHit
+                                                  : AccessVerdict::kFlashHit;
   }
   // One LookupFast probe that certifies and executes. A flash-medium hit
   // mutates nothing (Read would Touch it, so the caller must fall back and
@@ -58,6 +73,18 @@ class UnifiedStack : public CacheStack {
     cache_.Touch(slot);
     ++counters_.ram_hits;
     return ram_dev_->Read(now);
+  }
+  // Fused flash-medium twin: replays Read's flash branch — Touch,
+  // flash_hits, flash device charge — exactly; mutates nothing on a miss or
+  // a RAM-medium hit.
+  std::optional<SimTime> TryReadFlashFastPath(SimTime now, BlockKey key) override {
+    const uint32_t slot = cache_.LookupFast(key);
+    if (slot == kInvalidSlot || cache_.medium_of(slot) != Medium::kFlash) {
+      return std::nullopt;
+    }
+    cache_.Touch(slot);
+    ++counters_.flash_hits;
+    return flash_dev_->Read(now, key);
   }
   uint64_t RamResident() const override;
   uint64_t FlashResident() const override;

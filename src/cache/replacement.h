@@ -81,6 +81,15 @@ class EvictionPolicy {
   // return a linked, in-use slot.
   virtual uint32_t SelectVictim() = 0;
 
+  // The slot SelectVictim would return, computed without mutating the chain
+  // or policy state; kInvalidSlot when the prediction is impossible (CLOCK
+  // rotates the chain while selecting). Contract: whenever PeekVictim
+  // returns a slot, an immediately following SelectVictim must return that
+  // slot. The partitioned engine uses this to certify evicting flash-hit
+  // installs (DESIGN.md §12); a kInvalidSlot answer only narrows the
+  // certified class, never correctness.
+  virtual uint32_t PeekVictim() const { return kInvalidSlot; }
+
   // Policy-internal bookkeeping audit; aborts on violation. Called from
   // LruBlockCache::CheckInvariants.
   virtual void CheckInvariants() const {}
@@ -110,6 +119,7 @@ class LruPolicy final : public EvictionPolicy {
   ReplacementPolicy id() const override { return ReplacementPolicy::kLru; }
   void OnHit(uint32_t slot) override;
   uint32_t SelectVictim() override { return cache().LruSlot(); }
+  uint32_t PeekVictim() const override { return cache().LruSlot(); }
 };
 
 // Insertion order: hits never reorder.
@@ -119,6 +129,7 @@ class FifoPolicy final : public EvictionPolicy {
   ReplacementPolicy id() const override { return ReplacementPolicy::kFifo; }
   void OnHit(uint32_t slot) override { (void)slot; }
   uint32_t SelectVictim() override { return cache().LruSlot(); }
+  uint32_t PeekVictim() const override { return cache().LruSlot(); }
 };
 
 // Second chance: hits set the slot's reference bit; victim selection
@@ -154,6 +165,7 @@ class SlruPolicy final : public EvictionPolicy {
   void OnInsert(uint32_t slot) override;
   void OnRemove(uint32_t slot) override;
   uint32_t SelectVictim() override { return cache().LruSlot(); }
+  uint32_t PeekVictim() const override { return cache().LruSlot(); }
   void CheckInvariants() const override;
   // Seam: probationary hits recirculate to the probationary MRU instead of
   // promoting — the classic segment-promotion off-by-one.
@@ -186,6 +198,7 @@ class LruKPolicy final : public EvictionPolicy {
   void OnInsert(uint32_t slot) override;
   void OnRemove(uint32_t slot) override;
   uint32_t SelectVictim() override;
+  uint32_t PeekVictim() const override;
   void CheckInvariants() const override;
   // Seam: rank victims by most-recent access instead of 2nd-most-recent,
   // silently degrading to timestamp-LRU.

@@ -60,8 +60,11 @@ std::string SimConfig::Summary() const {
                   ShardStrategyName(shard_strategy));
     out += buf;
   }
-  if (num_partitions > 1) {
-    std::snprintf(buf, sizeof(buf), " partitions=%d", num_partitions);
+  if (num_partitions > 1 || partitions_auto) {
+    // Self-describing runs: report the resolved count even when the user
+    // asked for `auto` (the sentinel itself never reaches a SimConfig).
+    std::snprintf(buf, sizeof(buf), " partitions=%d%s", num_partitions,
+                  partitions_auto ? "(auto)" : "");
     out += buf;
   }
   if (replacement != ReplacementPolicy::kLru) {

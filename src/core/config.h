@@ -58,6 +58,19 @@ struct SimConfig {
   // loop, to prove the two paths coincide.
   bool force_partitioned = false;
 
+  // Set by the CLI/experiment layer when num_partitions came from the
+  // `auto` sentinel (ResolveAutoPartitions), so Summary and result sinks
+  // can report the machine-resolved count as such. Purely descriptive.
+  bool partitions_auto = false;
+
+  // Widened certified class (DESIGN.md §12): with this on (default) the
+  // partitioned coordinator defers certified flash hits and sole-holder
+  // MarkDirty writes into parallel batches alongside pure RAM hits, and the
+  // serial engine inlines the same classes past the event heap. Results
+  // are byte-identical either way; off exists for A/B benchmarking
+  // (pre-widening behavior) and debugging.
+  bool wide_certification = true;
+
   // Serial read fast path (DESIGN.md §13): when a thread's completion is
   // provably the next event and its next record is a pure-RAM-hit read,
   // execute it inline instead of round-tripping the event heap. Results are

@@ -36,7 +36,11 @@ SimConfig BuildSimConfig(const ExperimentParams& params) {
   config.num_partitions = params.num_partitions == kAutoPartitions
                               ? ResolveAutoPartitions(params.hosts)
                               : params.num_partitions;
+  // Remember that the count was machine-resolved: Summary() and the CLI
+  // report it, so an auto run is self-describing.
+  config.partitions_auto = params.num_partitions == kAutoPartitions;
   config.force_partitioned = params.force_partitioned;
+  config.wide_certification = params.wide_certification;
   config.arch = params.arch;
   config.ram_policy = params.ram_policy;
   config.flash_policy = params.flash_policy;

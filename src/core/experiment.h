@@ -53,6 +53,9 @@ struct ExperimentParams {
   // partitioned coordinator.
   int num_partitions = 1;
   bool force_partitioned = false;
+  // A/B knob for the widened certified class (SimConfig::wide_certification):
+  // off restores the pure-RAM-hit-only batching. Results identical either way.
+  bool wide_certification = true;
   InvalidationTraffic invalidation_traffic = InvalidationTraffic::kNone;
   // Coherence protocol axis (DESIGN.md §15); perfect is the paper's model.
   CoherenceModel coherence = CoherenceModel::kPerfect;

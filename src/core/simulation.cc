@@ -119,6 +119,17 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
     hosts_.push_back(std::make_unique<HostState>(config_, queue_for_host(h), *backend_,
                                                  *directory_, h));
   }
+  if (config_.timing.flash_noise_sigma > 0.0) {
+    // Arm per-host flash latency noise. The legacy stream's seed sits in the
+    // same golden-ratio family as the per-host substream roots but at a
+    // host index no real host uses, so the two modes never share a stream.
+    flash_noise_rng_.Seed(FlashStreamSeed(config_.seed, -1));
+    for (int h = 0; h < config_.num_hosts; ++h) {
+      hosts_[static_cast<size_t>(h)]->flash_dev.EnableNoise(
+          config_.timing.flash_noise_sigma, config_.timing.flash_rng_mode,
+          FlashStreamSeed(config_.seed, h), &flash_noise_rng_);
+    }
+  }
   fabric_ = std::make_unique<CoherenceFabric>(*this);
   CoherenceParams cparams;
   cparams.model = config_.coherence;
@@ -321,16 +332,52 @@ SimTime Simulation::ExecuteOp(SimTime now, const TraceRecord& record) {
 
 std::optional<SimTime> Simulation::TryFastExecute(CacheStack& stack, const TraceRecord& record,
                                                   SimTime now, bool measured) {
-  if (record.op != TraceOp::kRead || record.block_count == 0) {
+  if (record.block_count == 0) {
     return std::nullopt;
+  }
+  if (record.op == TraceOp::kWrite) {
+    // Widened class (DESIGN.md §13): a single-block sole-holder MarkDirty
+    // write schedules nothing and leaves the directory untouched, so
+    // inlining it preserves the event-visible schedule exactly like a pure
+    // RAM hit. Multi-block writes stay on the event path.
+    if (!config_.wide_certification || record.block_count != 1) {
+      return std::nullopt;
+    }
+    const int host_id = record.host % config_.num_hosts;
+    const BlockKey key = MakeBlockKey(record.file_id, record.block);
+    if (stack.ClassifyAccess(TraceOp::kWrite, key) != AccessVerdict::kPrivateWrite ||
+        !directory_->SoleHolder(host_id, key)) {
+      return std::nullopt;
+    }
+    const SimTime t = stack.Write(now, key);
+    if (measured) {
+      ++metrics_.measured_write_blocks;
+    }
+    // Sole holder: the protocol finds no stale copies, charges nothing, and
+    // returns t unchanged; the directory's write counters still advance.
+    return coherence_->OnWrite(host_id, key, t, measured);
   }
   SimTime t = now;
   if (record.block_count == 1) {
     // The common case fuses certification and execution into one probe.
-    const std::optional<SimTime> hit =
-        stack.TryReadFastPath(t, MakeBlockKey(record.file_id, record.block));
+    const BlockKey key = MakeBlockKey(record.file_id, record.block);
+    const std::optional<SimTime> hit = stack.TryReadFastPath(t, key);
     if (!hit.has_value()) {
-      return std::nullopt;
+      if (!config_.wide_certification) {
+        return std::nullopt;
+      }
+      // Widened class: a certified flash hit also schedules nothing — the
+      // flash charge and the silent RAM install run inline at the same
+      // simulated time the event path would have used.
+      const std::optional<SimTime> flash = stack.TryReadFlashFastPath(t, key);
+      if (!flash.has_value()) {
+        return std::nullopt;
+      }
+      if (measured) {
+        ++metrics_.read_level_blocks[static_cast<size_t>(HitLevel::kFlash)];
+        ++metrics_.measured_read_blocks;
+      }
+      return *flash;
     }
     t = *hit;
   } else {
@@ -616,24 +663,59 @@ void Simulation::RunPartitioned(TraceSource& source) {
   // messages through shared filer resources, so it is never host-local.
   const bool certify = auditor_ == nullptr && !config_.collect_mrc && !coherence_active_ &&
                        (telemetry_ == nullptr || telemetry_->trace() == nullptr);
-  const SimDuration ram_ns = config_.timing.ram_access_ns;
-  std::vector<DeferredRead> batch;
-  batch.reserve(static_cast<size_t>(NumThreads()));
+  // The widened classes (flash hits, private writes) additionally need
+  // order-decoupled flash draws: legacy shared-stream noise consumes one
+  // RNG stream in dispatch order, which batched execution would reorder.
+  const bool wide = certify && config_.wide_certification &&
+                    !(config_.timing.flash_noise_sigma > 0.0 &&
+                      config_.timing.flash_rng_mode == FlashRngMode::kLegacy);
+
+  cert_pending_ops_.assign(hosts_.size(), 0);
+  cert_pending_installs_.assign(hosts_.size(), 0);
+  cert_pending_keys_.assign(hosts_.size(), {});
+  cert_touched_hosts_.clear();
+  partition_busy_.assign(partitions_.size(), 0);
+  exec_pending_ = false;
+  exec_fn_ = [this](int p) {
+    if (p == 0) {
+      return;  // the coordinator runs partition 0's slice itself
+    }
+    SeqSource* src = &partitions_[static_cast<size_t>(p)]->worker_src;
+    for (DeferredRead& d : *exec_batch_) {
+      if (d.partition == p && !d.exit) {
+        ExecuteDeferred(d, src);
+      }
+    }
+  };
+
+  // Double-buffered batches: while one executes on the workers, the merge
+  // loop certifies ahead into the other.
+  std::vector<DeferredRead> batch_bufs[2];
+  batch_bufs[0].reserve(static_cast<size_t>(NumThreads()));
+  batch_bufs[1].reserve(static_cast<size_t>(NumThreads()));
+  std::vector<DeferredRead>* batch = &batch_bufs[0];
   SimTime batch_bound = kSimTimeNever;
   uint64_t next_rank = 1;
 
   // The merge loop: repeatedly take the global (time, seq) minimum across
   // the partition queue heads — the genealogical seqs make that order
-  // exactly the serial engine's dispatch order. Certified pure-RAM-hit
-  // reads (and thread exits) are deferred into the batch; anything that
-  // can touch shared state (writes, filer misses, syncers, the background
-  // writers, samples) first flushes the batch, then executes on the
-  // coordinator with every queue's seq source at the event's rank.
+  // exactly the serial engine's dispatch order. Certified accesses (and
+  // thread exits) are deferred into the open batch; anything that can touch
+  // shared state (uncertified writes, filer misses, syncers, the background
+  // writers, samples) first retires every deferred batch, then executes on
+  // the coordinator with every queue's seq source at the event's rank.
+  // While a posted batch executes, its partitions' queues belong to the
+  // workers: the pick skips them, and only events strictly below
+  // exec_floor_ — provably earlier than anything a busy partition holds or
+  // will schedule — may be popped.
   for (;;) {
     int best = -1;
     SimTime best_time = 0;
     uint64_t best_seq = 0;
     for (int p = 0; p < num_partitions; ++p) {
+      if (exec_pending_ && partition_busy_[static_cast<size_t>(p)] != 0) {
+        continue;
+      }
       const EventQueue& q = partitions_[static_cast<size_t>(p)]->queue;
       if (q.empty()) {
         continue;
@@ -645,62 +727,139 @@ void Simulation::RunPartitioned(TraceSource& source) {
         best_seq = q.HeadSeq();
       }
     }
-    if (best == -1) {
-      if (batch.empty()) {
-        break;  // all queues drained, nothing deferred: the run is over
+    if (best == -1 || (exec_pending_ && best_time >= exec_floor_)) {
+      if (exec_pending_) {
+        WaitAndPost();
+        continue;  // re-pick: the workers' completions are visible now
       }
-      FlushBatch(batch, &batch_bound);
-      continue;
+      if (!batch->empty()) {
+        StartExec(*batch, &batch_bound);
+        batch = batch == &batch_bufs[0] ? &batch_bufs[1] : &batch_bufs[0];
+        continue;
+      }
+      break;  // all queues drained, nothing deferred: the run is over
     }
     EventQueue& q = partitions_[static_cast<size_t>(best)]->queue;
-    // Deferred reads complete no earlier than their start plus one RAM
-    // access, so every event they schedule lands at or past batch_bound;
-    // heads before the bound are safe to pop, heads at or past it must
-    // wait for the flush to materialize the batch's children.
-    if (!batch.empty() && best_time >= batch_bound) {
-      FlushBatch(batch, &batch_bound);
+    // Deferred accesses complete no earlier than their class floor, so
+    // every event they schedule lands at or past batch_bound; heads before
+    // the bound are safe to pop, heads at or past it must wait for the
+    // flush to materialize the batch's children.
+    if (!batch->empty() && best_time >= batch_bound) {
+      if (exec_pending_) {
+        WaitAndPost();
+        continue;
+      }
+      StartExec(*batch, &batch_bound);
+      batch = batch == &batch_bufs[0] ? &batch_bufs[1] : &batch_bufs[0];
       continue;
     }
     if (certify && q.HeadIsTyped(this, kEvThreadStart)) {
       const int thread_index = static_cast<int>(q.HeadArg());
       auto& backlog = backlog_[static_cast<size_t>(thread_index)];
       const int host_id = thread_index / config_.threads_per_host;
-      bool certified;
-      if (backlog.empty()) {
+      const size_t h = static_cast<size_t>(host_id);
+      DeferredRead d;
+      d.now = best_time;
+      d.partition = best;
+      d.thread_index = thread_index;
+      d.exit = backlog.empty();
+      bool certified = false;
+      if (d.exit) {
         certified = true;  // thread exit: only a live_threads_ decrement
       } else {
         const TraceRecord& record = backlog.front();
-        certified = record.op == TraceOp::kRead && record.block_count >= 1;
-        for (uint32_t i = 0; certified && i < record.block_count; ++i) {
-          certified = hosts_[static_cast<size_t>(host_id)]->stack->ReadIsPureRamHit(
-              MakeBlockKey(record.file_id, record.block + i));
+        CacheStack& stack = *hosts_[h]->stack;
+        auto& pend_keys = cert_pending_keys_[h];
+        const auto key_pending = [&pend_keys](BlockKey key) {
+          return std::find(pend_keys.begin(), pend_keys.end(), key) != pend_keys.end();
+        };
+        bool installs_slot = false;
+        if (record.op == TraceOp::kRead && record.block_count >= 1) {
+          bool pure = true;
+          for (uint32_t i = 0; pure && i < record.block_count; ++i) {
+            const BlockKey key = MakeBlockKey(record.file_id, record.block + i);
+            pure = !key_pending(key) && stack.ReadIsPureRamHit(key);
+          }
+          if (pure) {
+            d.verdict = AccessVerdict::kPureRamHit;
+            certified = true;
+          } else if (wide && record.block_count == 1) {
+            const BlockKey key = MakeBlockKey(record.file_id, record.block);
+            AccessEffects effects;
+            if (!key_pending(key) &&
+                stack.ClassifyAccess(TraceOp::kRead, key, &effects) ==
+                    AccessVerdict::kFlashHit) {
+              if (effects.ram_evict) {
+                // The peeked victim holds only while no earlier batch
+                // member reorders or re-dirties this host's RAM chain.
+                certified = cert_pending_ops_[h] == 0 && !key_pending(effects.victim_key);
+              } else if (effects.ram_install) {
+                // Free-slot install: earlier pending installs each consume
+                // one of the slots the classification saw.
+                certified = cert_pending_installs_[h] <
+                            config_.ram_blocks() - stack.RamResident();
+                installs_slot = certified;
+              } else {
+                certified = true;  // no RAM tier: touch + flash charge only
+              }
+              if (certified) {
+                d.verdict = AccessVerdict::kFlashHit;
+                if (effects.ram_install) {
+                  pend_keys.push_back(key);
+                }
+                if (effects.ram_evict) {
+                  pend_keys.push_back(effects.victim_key);
+                }
+              }
+            }
+          }
+        } else if (wide && record.op == TraceOp::kWrite && record.block_count == 1) {
+          const BlockKey key = MakeBlockKey(record.file_id, record.block);
+          if (!key_pending(key) &&
+              stack.ClassifyAccess(TraceOp::kWrite, key) == AccessVerdict::kPrivateWrite &&
+              directory_->SoleHolder(host_id, key)) {
+            d.verdict = AccessVerdict::kPrivateWrite;
+            d.dir_generation = directory_->generation();
+            certified = true;
+          }
+        }
+        if (certified) {
+          d.record = record;
+          backlog.pop_front();
+          if (cert_pending_ops_[h]++ == 0) {
+            cert_touched_hosts_.push_back(host_id);
+          }
+          if (installs_slot) {
+            ++cert_pending_installs_[h];
+          }
+          batch_bound = std::min(batch_bound, DeferredBound(d));
         }
       }
       if (certified) {
-        DeferredRead d;
-        d.now = best_time;
         d.rank = next_rank++;
-        d.partition = best;
-        d.thread_index = thread_index;
-        d.exit = backlog.empty();
-        if (!d.exit) {
-          d.record = backlog.front();
-          backlog.pop_front();
-          batch_bound = std::min(batch_bound, d.now + ram_ns);
-        }
         q.PopHeadDeferred();
-        batch.push_back(d);
+        batch->push_back(d);
         continue;
       }
     }
-    if (!batch.empty()) {
-      FlushBatch(batch, &batch_bound);
+    // Dispatch needs exclusive access to every partition (a syncer step or
+    // an invalidating write may touch any host) and every earlier-ranked
+    // deferred access retired first.
+    if (exec_pending_) {
+      WaitAndPost();
+      continue;
+    }
+    if (!batch->empty()) {
+      StartExec(*batch, &batch_bound);
+      batch = batch == &batch_bufs[0] ? &batch_bufs[1] : &batch_bufs[0];
       continue;  // re-pick: the flush scheduled the batch's children
     }
     coord_src_.rank = next_rank++;
     coord_src_.kid = 0;
     q.DispatchHead();
   }
+  FLASHSIM_DCHECK(!exec_pending_);
+  exec_fn_ = nullptr;
   for (auto& partition : partitions_) {
     partition->queue.set_seq_source(nullptr);
   }
@@ -712,54 +871,164 @@ void Simulation::ExecuteDeferred(DeferredRead& d, SeqSource* src) {
   const int host_id = d.thread_index / config_.threads_per_host;
   HostState& host = *hosts_[static_cast<size_t>(host_id)];
   SimTime t = d.now;
-  for (uint32_t i = 0; i < d.record.block_count; ++i) {
-    // Certification already proved every block a pure RAM hit, so the fused
-    // fast path must succeed — and its probe prefetches the LRU slot the
-    // following Touch dereferences.
-    const std::optional<SimTime> hit =
-        host.stack->TryReadFastPath(t, MakeBlockKey(d.record.file_id, d.record.block + i));
-    FLASHSIM_DCHECK(hit.has_value());
-    t = *hit;
+  switch (d.verdict) {
+    case AccessVerdict::kPureRamHit:
+      for (uint32_t i = 0; i < d.record.block_count; ++i) {
+        // Certification already proved every block a pure RAM hit, so the
+        // fused fast path must succeed — and its probe prefetches the LRU
+        // slot the following Touch dereferences.
+        const std::optional<SimTime> hit =
+            host.stack->TryReadFastPath(t, MakeBlockKey(d.record.file_id, d.record.block + i));
+        FLASHSIM_DCHECK(hit.has_value());
+        t = *hit;
+      }
+      break;
+    case AccessVerdict::kFlashHit: {
+      const std::optional<SimTime> hit =
+          host.stack->TryReadFlashFastPath(t, MakeBlockKey(d.record.file_id, d.record.block));
+      FLASHSIM_DCHECK(hit.has_value());
+      t = *hit;
+      break;
+    }
+    case AccessVerdict::kPrivateWrite:
+      // The certified MarkDirty branch: touch + device write + MarkDirty,
+      // all host-local. The directory side runs in the post-pass.
+      t = host.stack->Write(t, MakeBlockKey(d.record.file_id, d.record.block));
+      break;
+    case AccessVerdict::kUncertifiable:
+      FLASHSIM_CHECK(false);  // never deferred
   }
   d.done = t;
   queue_for_host(host_id).ScheduleEvent(t, this, kEvThreadStart,
                                         static_cast<uint64_t>(d.thread_index));
 }
 
-void Simulation::FlushBatch(std::vector<DeferredRead>& batch, SimTime* batch_bound) {
+SimTime Simulation::DeferredBound(const DeferredRead& d) const {
+  if (d.exit) {
+    return kSimTimeNever;  // schedules nothing
+  }
+  const bool noisy = config_.timing.flash_noise_sigma > 0.0;
+  SimDuration floor = 0;
+  switch (d.verdict) {
+    case AccessVerdict::kPureRamHit:
+      floor = config_.timing.ram_access_ns;
+      break;
+    case AccessVerdict::kFlashHit:
+      floor = noisy ? 0
+                    : (config_.timing.use_ftl ? config_.timing.ftl_page_read_ns
+                                              : config_.timing.flash_read_ns);
+      break;
+    case AccessVerdict::kPrivateWrite: {
+      // RAM-medium writes complete after one RAM access; flash-medium
+      // (unified) after at least one program. Take the smaller — a bound
+      // may always be conservative.
+      const SimDuration flash_floor =
+          noisy ? 0
+                : (config_.timing.use_ftl ? config_.timing.ftl_page_program_ns
+                                          : config_.timing.flash_write_ns);
+      floor = std::min(config_.timing.ram_access_ns, flash_floor);
+      break;
+    }
+    case AccessVerdict::kUncertifiable:
+      FLASHSIM_CHECK(false);
+  }
+  return d.now + floor;
+}
+
+void Simulation::StartExec(std::vector<DeferredRead>& batch, SimTime* batch_bound) {
+  FLASHSIM_DCHECK(!exec_pending_);
   if (batch.empty()) {
     return;
   }
-  // Execution phase: each entry's stack reads mutate only its own host's
-  // caches and devices, and its completion event goes to its own partition
-  // queue, so entries of different partitions commute. Within a partition
-  // the batch's rank order (its construction order) is preserved, keeping
-  // per-host LRU touch order identical to serial.
+  // The open batch's certified predictions become reality now; the per-host
+  // bookkeeping that validated them resets with it.
+  for (const int h : cert_touched_hosts_) {
+    cert_pending_ops_[static_cast<size_t>(h)] = 0;
+    cert_pending_installs_[static_cast<size_t>(h)] = 0;
+    cert_pending_keys_[static_cast<size_t>(h)].clear();
+  }
+  cert_touched_hosts_.clear();
+  *batch_bound = kSimTimeNever;
+  // Small batches execute inline on the coordinator: the worker barrier
+  // costs more than it amortizes.
   if (partitions_.size() == 1 || batch.size() < kMinParallelFlush) {
     for (DeferredRead& d : batch) {
       if (!d.exit) {
         ExecuteDeferred(d, &coord_src_);
       }
     }
-  } else {
-    for (auto& partition : partitions_) {
-      partition->queue.set_seq_source(&partition->worker_src);
+    PostPass(batch);
+    return;
+  }
+  // Pipelined flush: post partitions [1, P) to the workers and run
+  // partition 0's slice here — the coordinator's own slice finishes before
+  // certify-ahead resumes, so partition 0 is never busy. Each entry's stack
+  // access mutates only its own host's caches and devices, and its
+  // completion event goes to its own partition queue, so entries of
+  // different partitions commute; within a partition the batch's rank order
+  // (its construction order) is preserved, keeping per-host cache and
+  // device-timeline order identical to serial. exec_floor_ is the least
+  // time any busy partition holds (its pre-exec head) or can schedule (its
+  // entries' class floors).
+  exec_floor_ = kSimTimeNever;
+  bool any_busy = false;
+  for (const DeferredRead& d : batch) {
+    if (d.exit || d.partition == 0) {
+      continue;
     }
-    pool_->RunBatch([this, &batch](int p) {
-      SeqSource* src = &partitions_[static_cast<size_t>(p)]->worker_src;
-      for (DeferredRead& d : batch) {
-        if (d.partition == p && !d.exit) {
-          ExecuteDeferred(d, src);
-        }
+    const size_t p = static_cast<size_t>(d.partition);
+    if (partition_busy_[p] == 0) {
+      partition_busy_[p] = 1;
+      any_busy = true;
+      const EventQueue& q = partitions_[p]->queue;
+      if (!q.empty()) {
+        exec_floor_ = std::min(exec_floor_, q.HeadTime());
       }
-    });
+    }
+    exec_floor_ = std::min(exec_floor_, DeferredBound(d));
+  }
+  for (auto& partition : partitions_) {
+    partition->queue.set_seq_source(&partition->worker_src);
+  }
+  exec_batch_ = &batch;
+  if (any_busy) {
+    pool_->StartBatch(exec_fn_);
+    exec_pending_ = true;
+  }
+  SeqSource* src0 = &partitions_[0]->worker_src;
+  for (DeferredRead& d : batch) {
+    if (d.partition == 0 && !d.exit) {
+      ExecuteDeferred(d, src0);
+    }
+  }
+  if (!exec_pending_) {
+    // Every entry was partition 0's (or an exit): nothing was posted, so
+    // retire the batch immediately.
     for (auto& partition : partitions_) {
       partition->queue.set_seq_source(&coord_src_);
     }
+    PostPass(batch);
+    exec_batch_ = nullptr;
   }
+}
+
+void Simulation::WaitAndPost() {
+  FLASHSIM_DCHECK(exec_pending_);
+  pool_->WaitBatch();
+  exec_pending_ = false;
+  std::fill(partition_busy_.begin(), partition_busy_.end(), 0);
+  for (auto& partition : partitions_) {
+    partition->queue.set_seq_source(&coord_src_);
+  }
+  PostPass(*exec_batch_);
+  exec_batch_ = nullptr;
+}
+
+void Simulation::PostPass(std::vector<DeferredRead>& batch) {
   // Post-pass, in rank order on the coordinator: every order-sensitive
   // accumulation (the Welford mean is not associative, so Record order must
-  // be the serial order bit-for-bit), exactly mirroring StartThread.
+  // be the serial order bit-for-bit), exactly mirroring StartThread — plus,
+  // for private writes, the directory side of ExecuteOp's write branch.
   for (DeferredRead& d : batch) {
     if (d.exit) {
       --live_threads_;
@@ -768,25 +1037,58 @@ void Simulation::FlushBatch(std::vector<DeferredRead>& batch, SimTime* batch_bou
     if (d.done > last_op_completion_) {
       last_op_completion_ = d.done;
     }
-    if (!d.record.warmup) {
-      const int64_t latency = d.done - d.now;
-      metrics_.read_latency.Record(latency);
-      if (!op_hist_read_.empty()) {
-        op_hist_read_[static_cast<size_t>(d.thread_index / config_.threads_per_host)]->Record(
-            latency);
+    const size_t host_id = static_cast<size_t>(d.thread_index / config_.threads_per_host);
+    const bool measured = !d.record.warmup;
+    if (d.verdict == AccessVerdict::kPrivateWrite) {
+      const BlockKey key = MakeBlockKey(d.record.file_id, d.record.block);
+      if (measured) {
+        ++metrics_.measured_write_blocks;
       }
-      if (read_series_ != nullptr) {
-        read_series_->Record(d.now, static_cast<double>(latency));
+      // Sole holder: the protocol finds no stale copies and charges
+      // nothing; the directory's write counters advance exactly as serial.
+      const SimTime settled =
+          coherence_->OnWrite(static_cast<int>(host_id), key, d.done, measured);
+      FLASHSIM_DCHECK(settled == d.done);
+      (void)settled;
+      // Frozen-holder invariant: no batch member fired a residency
+      // callback, so the sole-holder proof from certification still holds.
+      FLASHSIM_DCHECK(directory_->generation() == d.dir_generation);
+      if (measured) {
+        const int64_t latency = d.done - d.now;
+        metrics_.write_latency.Record(latency);
+        if (!op_hist_write_.empty()) {
+          op_hist_write_[host_id]->Record(latency);
+        }
+      } else {
+        metrics_.warmup_blocks += d.record.block_count;
       }
-      metrics_.read_level_blocks[static_cast<size_t>(HitLevel::kRam)] += d.record.block_count;
-      metrics_.measured_read_blocks += d.record.block_count;
+      ++metrics_.certified_write_batched;
     } else {
-      metrics_.warmup_blocks += d.record.block_count;
+      if (measured) {
+        const int64_t latency = d.done - d.now;
+        metrics_.read_latency.Record(latency);
+        if (!op_hist_read_.empty()) {
+          op_hist_read_[host_id]->Record(latency);
+        }
+        if (read_series_ != nullptr) {
+          read_series_->Record(d.now, static_cast<double>(latency));
+        }
+        const HitLevel level =
+            d.verdict == AccessVerdict::kFlashHit ? HitLevel::kFlash : HitLevel::kRam;
+        metrics_.read_level_blocks[static_cast<size_t>(level)] += d.record.block_count;
+        metrics_.measured_read_blocks += d.record.block_count;
+      } else {
+        metrics_.warmup_blocks += d.record.block_count;
+      }
+      if (d.verdict == AccessVerdict::kFlashHit) {
+        ++metrics_.certified_flash_batched;
+      } else {
+        ++metrics_.certified_ram_batched;
+      }
     }
     ++metrics_.trace_records;
   }
   batch.clear();
-  *batch_bound = kSimTimeNever;
 }
 
 Metrics Simulation::Run(TraceSource& source) {

@@ -127,11 +127,12 @@ class Simulation : private EventHandler {
   };
 
   // A certified event pulled off a partition queue but not yet executed:
-  // either one thread's next trace record — a read that is a pure RAM hit
-  // on every block — or a thread exit (backlog empty). Batch members
-  // commute (disjoint host-local state), execute on partition workers, and
-  // have their order-sensitive metric effects applied by the coordinator in
-  // rank order, which is exactly the serial engine's processing order.
+  // one thread's next trace record — classified by `verdict` as a pure RAM
+  // hit, a certified flash hit, or a sole-holder private write — or a
+  // thread exit (backlog empty). Batch members commute (disjoint host-local
+  // state), execute on partition workers, and have their order-sensitive
+  // metric effects applied by the coordinator in rank order, which is
+  // exactly the serial engine's processing order.
   struct DeferredRead {
     SimTime now = 0;
     SimTime done = 0;  // written by the executing worker
@@ -139,6 +140,11 @@ class Simulation : private EventHandler {
     int partition = 0;
     int thread_index = 0;
     bool exit = false;
+    AccessVerdict verdict = AccessVerdict::kPureRamHit;
+    // kPrivateWrite only: directory generation at certification time. The
+    // batch's frozen-holder invariant (no member fires a residency
+    // callback) keeps it constant until the post-pass re-checks it.
+    uint64_t dir_generation = 0;
     TraceRecord record;
   };
 
@@ -196,13 +202,27 @@ class Simulation : private EventHandler {
   // into the per-thread backlogs, schedules the root events through the
   // coordinator's SeqSource, and runs the merge loop: pop the global
   // (time, seq) minimum across partition queues, deferring certified
-  // pure-RAM-hit reads into a batch and executing everything else serially
-  // in exact legacy order. FlushBatch fans a batch out across the worker
-  // pool (partition-local state only), then applies the order-sensitive
-  // metric updates in rank order on the coordinator.
+  // accesses (pure RAM hits, certified flash hits, sole-holder private
+  // writes) into a batch and executing everything else serially in exact
+  // legacy order.
+  //
+  // Batch execution is pipelined: StartExec posts the batch's worker slices
+  // via PartitionWorkerPool::StartBatch, runs partition 0's slice on the
+  // coordinator, and returns — the merge loop keeps certifying ahead into a
+  // second batch, restricted to non-busy partitions and to events provably
+  // earlier than exec_floor_ (a lower bound on anything a busy partition
+  // holds or will schedule). WaitAndPost joins the workers and applies the
+  // batch's order-sensitive metric updates in rank order (PostPass).
   void RunPartitioned(TraceSource& source);
-  void FlushBatch(std::vector<DeferredRead>& batch, SimTime* batch_bound);
+  void StartExec(std::vector<DeferredRead>& batch, SimTime* batch_bound);
+  void WaitAndPost();
+  void PostPass(std::vector<DeferredRead>& batch);
   void ExecuteDeferred(DeferredRead& d, SeqSource* src);
+  // Lower bound on a deferred entry's completion time (and therefore on any
+  // event executing it can schedule), by verdict class. Flash floors drop
+  // to zero while latency noise is armed: a lognormal factor can shrink a
+  // service below its nominal time.
+  SimTime DeferredBound(const DeferredRead& d) const;
 
   // Queue routing: per-host events live on the host's partition queue;
   // global events (syncer ticks, telemetry samples) on partition 0's.
@@ -239,6 +259,29 @@ class Simulation : private EventHandler {
   std::vector<int> partition_of_host_;  // per host
   SeqSource coord_src_;
   std::unique_ptr<PartitionWorkerPool> pool_;
+  // Pipelined-flush state (valid between StartExec and WaitAndPost): the
+  // posted batch, the worker callable it outlives, which partitions a
+  // worker currently owns, and the floor below which the merge loop may
+  // still pop non-busy heads.
+  std::function<void(int)> exec_fn_;
+  std::vector<DeferredRead>* exec_batch_ = nullptr;
+  bool exec_pending_ = false;
+  std::vector<uint8_t> partition_busy_;  // per partition
+  SimTime exec_floor_ = 0;
+  // Per-host certification bookkeeping for the open batch: how many batch
+  // members touch the host at all (any member reorders its RAM recency
+  // chain, so victim peeks only certify on an untouched host), how many
+  // consume a free RAM slot, and which keys' residency the batch is about
+  // to change (installed keys and peeked victims — later candidates naming
+  // them would be classified against stale state). Reset per StartExec via
+  // the touched-host list.
+  std::vector<uint32_t> cert_pending_ops_;       // per host
+  std::vector<uint32_t> cert_pending_installs_;  // per host
+  std::vector<std::vector<BlockKey>> cert_pending_keys_;  // per host
+  std::vector<int> cert_touched_hosts_;
+  // Shared stream for FlashRngMode::kLegacy latency noise, consumed in
+  // dispatch order; unused (but always wired) in substream mode.
+  Rng flash_noise_rng_;
   std::unique_ptr<StorageBackend> backend_;
   std::unique_ptr<Directory> directory_;
   std::vector<std::unique_ptr<HostState>> hosts_;

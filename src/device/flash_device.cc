@@ -1,6 +1,27 @@
 #include "src/device/flash_device.h"
 
+#include <cmath>
+
+#include "src/util/distributions.h"
+
 namespace flashsim {
+
+SimDuration FlashDevice::ApplyNoise(SimDuration service) {
+  if (noise_sigma_ <= 0.0) {
+    return service;
+  }
+  double z;
+  if (rng_mode_ == FlashRngMode::kSubstream) {
+    Rng draw(FlashDrawSeed(stream_seed_, draw_counter_++));
+    z = SampleStandardNormal(draw);
+  } else {
+    z = SampleStandardNormal(*shared_rng_);
+  }
+  // Mean-one lognormal: variance without shifting the average (ssd_profile
+  // uses the same shape for the §6.2 validation model).
+  const double factor = std::exp(noise_sigma_ * z - 0.5 * noise_sigma_ * noise_sigma_);
+  return static_cast<SimDuration>(static_cast<double>(service) * factor);
+}
 
 void FlashDevice::EnableFtl(uint64_t logical_pages, FtlParams ftl_params,
                             const FtlDeviceTimings& timings) {
@@ -60,6 +81,7 @@ SimTime FlashDevice::Read(SimTime now, BlockKey key) {
     // Reads of never-written keys (fills racing evictions) still touch NAND.
     service = ServiceTime(ftl_->Read(lpn != nullptr ? *lpn : 0));
   }
+  service = ApplyNoise(service);
   const SimTime done = resource_.Acquire(now, service);
   if (read_probe_ != nullptr) {
     read_probe_->Record(now, done - service, done);
@@ -78,6 +100,7 @@ SimTime FlashDevice::Write(SimTime now, BlockKey key) {
       service += ftl_timings_.page_program_ns;
     }
   }
+  service = ApplyNoise(service);
   const SimTime done = resource_.Acquire(now, service);
   if (write_probe_ != nullptr) {
     write_probe_->Record(now, done - service, done);

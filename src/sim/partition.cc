@@ -23,18 +23,29 @@ PartitionWorkerPool::~PartitionWorkerPool() {
 }
 
 void PartitionWorkerPool::RunBatch(const std::function<void(int)>& fn) {
+  StartBatch(fn);
+  fn(0);  // coordinator runs partition 0's slice itself
+  WaitBatch();
+}
+
+void PartitionWorkerPool::StartBatch(const std::function<void(int)>& fn) {
   if (num_partitions_ == 1) {
-    fn(0);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    FLASHSIM_DCHECK(work_ == nullptr);
     work_ = &fn;
     pending_ = num_partitions_ - 1;
     ++generation_;
   }
   work_ready_.notify_all();
-  fn(0);  // coordinator runs partition 0's slice itself
+}
+
+void PartitionWorkerPool::WaitBatch() {
+  if (num_partitions_ == 1) {
+    return;
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return pending_ == 0; });
   work_ = nullptr;

@@ -84,6 +84,18 @@ class PartitionWorkerPool {
 
   void RunBatch(const std::function<void(int partition)>& fn);
 
+  // Pipelined split of RunBatch (DESIGN.md §12): StartBatch posts fn to the
+  // workers for partitions [1, P) and returns immediately — the caller runs
+  // partition 0's slice itself (on its own thread, any time before
+  // WaitBatch) and may keep certifying ahead while workers execute. `fn`
+  // must stay alive and unmodified until WaitBatch returns. WaitBatch
+  // blocks until every worker finishes; the generation barrier gives the
+  // same release/acquire ordering as RunBatch. Exactly one StartBatch may
+  // be outstanding. With P == 1 StartBatch is a no-op and the caller's own
+  // fn(0) is the whole batch.
+  void StartBatch(const std::function<void(int partition)>& fn);
+  void WaitBatch();
+
  private:
   void WorkerLoop(int partition);
 

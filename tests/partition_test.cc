@@ -137,6 +137,66 @@ TEST(PartitionedEngine, ByteIdenticalToSerialAcrossPartitionCounts) {
   }
 }
 
+// Widened certification (DESIGN.md §12): flash hits and sole-holder private
+// writes join the certified class. Identity must hold on a miss-heavy
+// workload where the new classes dominate, and the batch-occupancy counters
+// must prove the widening is real — the partitioned engine actually batches
+// flash hits (certified_flash_batched > 0) — while staying engine-shape
+// observers only (always zero on the serial engine).
+TEST(PartitionedEngine, ByteIdenticalOnMissHeavyFlashWorkload) {
+  for (const Architecture arch :
+       {Architecture::kNaive, Architecture::kLookaside, Architecture::kUnified}) {
+    ExperimentParams params = MultiHostParams();
+    params.arch = arch;
+    // Working set 20x RAM: most reads fall through to the flash tier.
+    params.working_set_gib = 160.0;
+    const Metrics serial = RunExperiment(params).metrics;
+    EXPECT_LE(serial.ram_hit_rate(), 0.5)
+        << ArchitectureName(arch) << ": workload must be miss-heavy";
+    EXPECT_EQ(serial.certified_ram_batched, 0u);
+    EXPECT_EQ(serial.certified_flash_batched, 0u);
+    EXPECT_EQ(serial.certified_write_batched, 0u);
+    for (const int p : {2, 4, 8}) {
+      ExperimentParams part = params;
+      part.num_partitions = p;
+      const Metrics m = RunExperiment(part).metrics;
+      ExpectMetricsIdentical(serial, m,
+                             std::string(ArchitectureName(arch)) + " miss-heavy P=" +
+                                 std::to_string(p));
+      EXPECT_GT(m.certified_flash_batched, 0u)
+          << ArchitectureName(arch) << " P=" << p
+          << ": flash hits never entered a parallel batch";
+    }
+  }
+}
+
+// Sole-holder private writes: disjoint per-host working sets make every
+// host the directory's sole holder for its blocks, so the write-heavy mix
+// exercises the kPrivateWrite certified class hard. Identity must hold and
+// the partitioned engine must actually batch writes.
+TEST(PartitionedEngine, ByteIdenticalOnPrivateWriteWorkload) {
+  for (const Architecture arch :
+       {Architecture::kNaive, Architecture::kLookaside, Architecture::kUnified}) {
+    ExperimentParams params = MultiHostParams();
+    params.arch = arch;
+    params.write_fraction = 0.6;
+    params.shared_working_set = false;
+    const Metrics serial = RunExperiment(params).metrics;
+    EXPECT_EQ(serial.certified_write_batched, 0u);
+    for (const int p : {2, 4, 8}) {
+      ExperimentParams part = params;
+      part.num_partitions = p;
+      const Metrics m = RunExperiment(part).metrics;
+      ExpectMetricsIdentical(serial, m,
+                             std::string(ArchitectureName(arch)) + " private-write P=" +
+                                 std::to_string(p));
+      EXPECT_GT(m.certified_write_batched, 0u)
+          << ArchitectureName(arch) << " P=" << p
+          << ": private writes never entered a parallel batch";
+    }
+  }
+}
+
 TEST(PartitionedEngine, ByteIdenticalUnderShardedBackendAndInvalidationTraffic) {
   ExperimentParams params = MultiHostParams();
   params.num_filers = 4;
